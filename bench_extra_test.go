@@ -1,0 +1,148 @@
+package xlnand
+
+// Benchmarks for the subsystems beyond the figure harness: FTL service
+// paths, the socket front end, the stress models and the HV power
+// integration.
+
+import (
+	"testing"
+	"time"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/controller"
+	"xlnand/internal/ftl"
+	"xlnand/internal/hv"
+	"xlnand/internal/nand"
+	"xlnand/internal/sim"
+)
+
+func newBenchFTL(b *testing.B) *ftl.FTL {
+	b.Helper()
+	env := sim.DefaultEnv()
+	dev := nand.NewDevice(env.Cal, 6, 555)
+	codec, err := bch.NewPageCodec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ftl.New(ctrl, env, []ftl.PartitionSpec{
+		{Name: "data", Blocks: 6, Mode: sim.ModeMaxRead},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+func BenchmarkFTLWriteWithGC(b *testing.B) {
+	f := newBenchFTL(b)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Write("data", i%100, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p, err := f.Partition("data")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(p.WriteAmplification(), "write-amp")
+}
+
+func BenchmarkFTLRead(b *testing.B) {
+	f := newBenchFTL(b)
+	data := make([]byte, 4096)
+	for lpa := 0; lpa < 32; lpa++ {
+		if err := f.Write("data", lpa, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.Read("data", i%32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSocketTransaction(b *testing.B) {
+	env := sim.DefaultEnv()
+	dev := nand.NewDevice(env.Cal, 4, 556)
+	codec, err := bch.NewPageCodec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sock, err := controller.NewSocket(ctrl, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	var at time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := i % 4
+		page := (i / 4) % 64
+		if page == 0 && i >= 4 {
+			b.StopTimer()
+			if err := ctrl.EraseBlock(block); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		res, err := sock.Submit(controller.Tx{
+			Kind: controller.TxWrite, Arrival: at, Block: block, Page: page, Data: data,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = res.Complete
+	}
+	b.ReportMetric(sock.Utilisation(), "utilisation")
+}
+
+func BenchmarkStressedRBER(b *testing.B) {
+	cal := nand.DefaultCalibration()
+	s := nand.DefaultStressConfig()
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += cal.StressedRBER(s, nand.ISPPSV, 1e4, float64(i%100000), float64(i%5000))
+	}
+	_ = acc
+}
+
+func BenchmarkHVPowerIntegration(b *testing.B) {
+	pc := hv.DefaultPowerConfig()
+	cal := nand.DefaultCalibration()
+	tl, err := hv.SyntheticTimeline(cal, nand.ISPPDV, nand.L3, 1e4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pc.Integrate(tl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionFigures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("ext-retention", 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunExperiment("ext-disturb", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

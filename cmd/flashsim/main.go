@@ -1,0 +1,86 @@
+// Command flashsim regenerates the figures of Zambelli et al. (DATE 2012)
+// from the xlnand model stack.
+//
+// Usage:
+//
+//	flashsim -fig fig05                # one figure, ASCII chart
+//	flashsim -all -format table        # every figure as data tables
+//	flashsim -all -format csv -out dir # CSV files for external plotting
+//	flashsim -list                     # available figure IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xlnand"
+)
+
+func main() {
+	var (
+		figID  = flag.String("fig", "", "figure ID to regenerate (see -list)")
+		all    = flag.Bool("all", false, "regenerate every figure")
+		list   = flag.Bool("list", false, "list available figures")
+		format = flag.String("format", "ascii", "output format: ascii, table or csv")
+		outDir = flag.String("out", "", "write per-figure files to this directory instead of stdout")
+		width  = flag.Int("width", 76, "ASCII chart width")
+		height = flag.Int("height", 22, "ASCII chart height")
+		seed   = flag.Uint64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range xlnand.Experiments() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range xlnand.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *figID != "":
+		ids = []string{*figID}
+	default:
+		fmt.Fprintln(os.Stderr, "flashsim: pass -fig <id>, -all or -list")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		fig, err := xlnand.RunExperiment(id, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashsim: %v\n", err)
+			os.Exit(1)
+		}
+		var rendered, ext string
+		switch *format {
+		case "ascii":
+			rendered, ext = xlnand.RenderASCII(fig, *width, *height), "txt"
+		case "table":
+			rendered, ext = xlnand.RenderTable(fig), "txt"
+		case "csv":
+			rendered, ext = xlnand.RenderCSV(fig), "csv"
+		default:
+			fmt.Fprintf(os.Stderr, "flashsim: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if *outDir == "" {
+			fmt.Printf("==== %s ====\n%s\n", id, rendered)
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "flashsim: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, id+"."+ext)
+		if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "flashsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

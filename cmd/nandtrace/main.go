@@ -1,0 +1,119 @@
+// Command nandtrace replays a synthetic workload trace against the full
+// simulated sub-system (controller + adaptive codec + NAND device) and
+// reports throughput and reliability statistics per service level.
+//
+// Usage:
+//
+//	nandtrace -profile read -ops 400 -cycles 1e5 -mode max-read
+//	nandtrace -profile mixed -ops 300 -mode nominal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xlnand"
+	"xlnand/internal/workload"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "read", "workload profile: read, write or mixed")
+		ops     = flag.Int("ops", 300, "number of operations")
+		cycles  = flag.Float64("cycles", 0, "pre-age every block to this wear")
+		mode    = flag.String("mode", "nominal", "service level: nominal, min-uber or max-read")
+		seed    = flag.Uint64("seed", 11, "trace seed")
+		blocks  = flag.Int("blocks", 4, "flash blocks")
+		record  = flag.String("record", "", "write the generated trace to this CSV file and exit")
+		replay  = flag.String("replay", "", "replay a trace CSV instead of generating one")
+	)
+	flag.Parse()
+
+	s, err := xlnand.Open(xlnand.Options{Blocks: *blocks, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	for b := 0; b < *blocks; b++ {
+		if err := s.AgeBlock(b, *cycles); err != nil {
+			fatal(err)
+		}
+	}
+	var m xlnand.Mode
+	switch *mode {
+	case "nominal":
+		m = xlnand.ModeNominal
+	case "min-uber":
+		m = xlnand.ModeMinUBER
+	case "max-read":
+		m = xlnand.ModeMaxRead
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if err := s.SelectMode(m); err != nil {
+		fatal(err)
+	}
+
+	pages := s.PagesPerBlock()
+	var tr workload.Trace
+	if *replay != "" {
+		fh, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = workload.ReadTrace(fh)
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var prof workload.Profile
+		switch *profile {
+		case "read":
+			prof = workload.ReadIntensive(*ops, *blocks, pages)
+		case "write":
+			prof = workload.WriteIntensive(*ops, *blocks, pages)
+		case "mixed":
+			prof = workload.Mixed(*ops, *blocks, pages)
+		default:
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+		var err error
+		tr, err = workload.Generate(prof, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *record != "" {
+		fh, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.WriteTrace(fh, tr); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d requests to %s\n", len(tr.Requests), *record)
+		return
+	}
+	st, err := workload.Run(s.Controller(), tr)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace %q, %d requests, mode %s, wear %.0f cycles\n",
+		tr.Name, len(tr.Requests), m, *cycles)
+	fmt.Printf("  reads:  %6d   (%.2f MB/s, %v total)\n", st.Reads, st.ReadMBps, st.ReadTime)
+	fmt.Printf("  writes: %6d   (%.2f MB/s, %v total)\n", st.Writes, st.WriteMBps, st.WriteTime)
+	fmt.Printf("  erases: %6d   (%v total)\n", st.Erases, st.EraseTime)
+	fmt.Printf("  corrected bit errors: %d\n", st.BitErrorsCorrected)
+	fmt.Printf("  uncorrectable pages:  %d\n", st.Uncorrectable)
+	fmt.Printf("  modelled wall time:   %v\n", st.TotalTime())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nandtrace: %v\n", err)
+	os.Exit(1)
+}

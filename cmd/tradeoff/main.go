@@ -1,0 +1,77 @@
+// Command tradeoff enumerates the cross-layer operating points of paper
+// §6.3 at a chosen wear level: the full (algorithm × capability) grid,
+// the Pareto-optimal subset, and the three named service levels.
+//
+// Usage:
+//
+//	tradeoff -cycles 1e6            # end-of-life trade-off table
+//	tradeoff -cycles 1e4 -stride 4  # thinner capability grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xlnand"
+)
+
+func main() {
+	var (
+		cycles = flag.Float64("cycles", 1e5, "program/erase cycles (wear level)")
+		stride = flag.Int("stride", 8, "capability grid stride")
+		pareto = flag.Bool("pareto", true, "print the Pareto front")
+	)
+	flag.Parse()
+
+	s, err := xlnand.Open(xlnand.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Cross-layer operating points at %.0f P/E cycles (target UBER 1e-11)\n\n", *cycles)
+	header := fmt.Sprintf("%-8s %4s  %10s  %10s  %9s  %9s  %8s  %8s  %8s",
+		"alg", "t", "RBER", "UBER", "read MB/s", "write MB/s", "power W", "wr pJ/b", "rd pJ/b")
+	line := func(p xlnand.OperatingPoint, tag string) string {
+		return fmt.Sprintf("%-8s %4d  %10.2e  %10.2e  %9.2f  %9.2f  %8.4f  %8.0f  %8.0f %s",
+			p.Alg, p.T, p.RBER, p.UBER, p.ReadMBps, p.WriteMBps,
+			p.ProgramPowerW+p.ECCPowerW, p.WriteEnergyPJPerBit, p.ReadEnergyPJPerBit, tag)
+	}
+
+	pts, err := s.ExploreOperatingPoints(*cycles, *stride)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Full grid:")
+	fmt.Println(header)
+	for _, p := range pts {
+		tag := ""
+		if p.UBER <= 1e-11 {
+			tag = "meets target"
+		}
+		fmt.Println(line(p, tag))
+	}
+
+	if *pareto {
+		fmt.Println("\nPareto front (UBER / read / write / power):")
+		fmt.Println(header)
+		for _, p := range xlnand.ParetoFront(pts) {
+			fmt.Println(line(p, ""))
+		}
+	}
+
+	fmt.Println("\nPaper service levels:")
+	fmt.Println(header)
+	for _, m := range []xlnand.Mode{xlnand.ModeNominal, xlnand.ModeMinUBER, xlnand.ModeMaxRead} {
+		p, err := s.EvaluateMode(m, *cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(line(p, "<- "+m.String()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package xlnand_test
+
+import (
+	"fmt"
+	"log"
+
+	"xlnand"
+)
+
+// The calibrated lifetime RBER model reproduces the paper's Fig. 5
+// anchors: ISPP-SV reaches 1e-3 at a million cycles while ISPP-DV stays
+// an order of magnitude lower.
+func ExampleRBER() {
+	fmt.Printf("SV fresh: %.1e\n", xlnand.RBER(xlnand.ISPPSV, 0))
+	fmt.Printf("SV EOL:   %.1e\n", xlnand.RBER(xlnand.ISPPSV, 1e6))
+	fmt.Printf("DV EOL:   %.1e\n", xlnand.RBER(xlnand.ISPPDV, 1e6))
+	// Output:
+	// SV fresh: 1.0e-06
+	// SV EOL:   1.0e-03
+	// DV EOL:   8.4e-05
+}
+
+// Sizing the adaptive BCH code per the paper's §6.2: t = 3 suffices at
+// the fresh RBER, and the worst case fixes the architecture at t = 65.
+func ExampleRequiredT() {
+	tMin, err := xlnand.RequiredT(16, 32768, 1e-6, 1e-11, 65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fresh:", tMin)
+	tMax, err := xlnand.RequiredT(16, 32768, 1e-3, 1e-11, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("EOL:", tMax)
+	// Output:
+	// fresh: 3
+	// EOL: 66
+}
+
+// The adaptive codec corrects real bit errors in real buffers.
+func ExampleNewPageCodec() {
+	codec, err := xlnand.NewPageCodec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	page := make([]byte, 4096)
+	copy(page, "cross-layer flash management")
+	cw, err := codec.EncodeCodeword(30, page)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cw[0] ^= 0xff // clobber a full byte (8 bit errors)
+	n, err := codec.Decode(30, cw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corrected %d bit errors: %q\n", n, cw[:12])
+	// Output:
+	// corrected 8 bit errors: "cross-layer "
+}
+
+// Evaluating the paper's service levels at end of life shows the
+// cross-layer trade-off: max-read relaxes the codec from t=65 to t=14.
+func ExampleSubsystem_EvaluateMode() {
+	sys, err := xlnand.Open(xlnand.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nom, err := sys.EvaluateMode(xlnand.ModeNominal, 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := sys.EvaluateMode(xlnand.ModeMaxRead, 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nominal:  t=%d\n", nom.T)
+	fmt.Printf("max-read: t=%d\n", fast.T)
+	fmt.Printf("read gain: +%.0f%%\n", 100*(fast.ReadMBps/nom.ReadMBps-1))
+	// Output:
+	// nominal:  t=65
+	// max-read: t=14
+	// read gain: +37%
+}

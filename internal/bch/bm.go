@@ -1,0 +1,65 @@
+package bch
+
+import "xlnand/internal/gf"
+
+// BerlekampMassey computes the error-locator polynomial lambda(x) from the
+// syndrome sequence S_1..S_2t using the iterative (inverse-free in spirit;
+// one division per length change) Berlekamp-Massey algorithm the paper
+// adopts from Micheloni et al. [29]. The adaptive hardware runs one
+// iteration per unit of correction capability; this software version is
+// bit-exact with that datapath.
+//
+// It returns lambda (ascending coefficients, lambda[0] == 1) and the LFSR
+// length L = assumed number of errors. Callers must reject L > t and
+// deg(lambda) != L as uncorrectable.
+func BerlekampMassey(f *gf.Field, syn []uint32) (lambda []uint32, L int) {
+	n2t := len(syn)
+	lambda = make([]uint32, 1, n2t/2+2)
+	lambda[0] = 1
+	prev := []uint32{1} // B(x): copy of lambda before the last length change
+	b := uint32(1)      // discrepancy at the last length change
+	shift := 1          // x^shift multiplier applied to B
+
+	for r := 1; r <= n2t; r++ {
+		// Discrepancy d = S_r + sum_{i=1..L} lambda_i * S_{r-i}.
+		var d uint32
+		for i := 0; i <= L && i < len(lambda); i++ {
+			if r-i >= 1 {
+				d ^= f.Mul(lambda[i], syn[r-i-1])
+			}
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		// lambda' = lambda - (d/b) x^shift B(x)
+		coef := f.Div(d, b)
+		next := make([]uint32, max(len(lambda), len(prev)+shift))
+		copy(next, lambda)
+		for i, pb := range prev {
+			next[i+shift] ^= f.Mul(coef, pb)
+		}
+		if 2*L <= r-1 {
+			// Length change: stash the pre-update lambda.
+			prev = lambda
+			b = d
+			L = r - L
+			shift = 1
+		} else {
+			shift++
+		}
+		lambda = next
+	}
+	// Trim trailing zeros for a well-defined degree.
+	for len(lambda) > 1 && lambda[len(lambda)-1] == 0 {
+		lambda = lambda[:len(lambda)-1]
+	}
+	return lambda, L
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

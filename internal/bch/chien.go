@@ -1,0 +1,77 @@
+package bch
+
+import "xlnand/internal/gf"
+
+// ChienSearch finds the error positions encoded in the locator polynomial
+// lambda for a (possibly shortened) codeword of nbits bits. It returns the
+// bit indices (0 = first transmitted bit = coefficient of x^(nbits-1)) of
+// every error, or ok = false if the number of roots found in the valid
+// position range does not match deg(lambda) — the uncorrectable-pattern
+// signature.
+//
+// Like the paper's adaptable Chien block, the search does not sweep all of
+// GF(2^m): for a code shortened by `offset` positions the scan covers only
+// exponents corresponding to real codeword positions. (In hardware the
+// start exponent per t comes from a small ROM; here it is computed from
+// the code geometry.)
+//
+// An error at polynomial degree d (0 <= d < nbits) has locator X = alpha^d
+// and manifests as lambda(alpha^-d) = 0. The scan therefore evaluates
+// lambda at alpha^0 (d = 0) and alpha^j for j = N-nbits+1 .. N-1
+// (d = N - j), i.e. exactly nbits candidate exponents.
+func ChienSearch(f *gf.Field, lambda []uint32, nbits int) (positions []int, ok bool) {
+	degLam := len(lambda) - 1
+	for degLam > 0 && lambda[degLam] == 0 {
+		degLam--
+	}
+	if degLam == 0 {
+		return nil, true // no errors located
+	}
+	N := f.N()
+	if nbits > N {
+		return nil, false
+	}
+	positions = make([]int, 0, degLam)
+
+	// terms[i] = lambda_i * alpha^(i*j), updated incrementally as j
+	// advances by one. Start at j0 = N - nbits + 1, after first testing
+	// j = 0 (position d = 0) directly.
+	var sum0 uint32
+	for i := 0; i <= degLam; i++ {
+		sum0 ^= lambda[i]
+	}
+	if sum0 == 0 {
+		positions = append(positions, nbits-1) // d = 0 -> last bit index
+	}
+
+	j0 := N - nbits + 1
+	terms := make([]uint32, degLam+1)
+	for i := 0; i <= degLam; i++ {
+		if lambda[i] != 0 {
+			terms[i] = f.MulAlpha(lambda[i], i*j0%N)
+		}
+	}
+	for j := j0; j < N; j++ {
+		var sum uint32
+		for _, tm := range terms {
+			sum ^= tm
+		}
+		if sum == 0 {
+			d := N - j
+			positions = append(positions, nbits-1-d)
+			if len(positions) == degLam {
+				break
+			}
+		}
+		// Advance: terms[i] *= alpha^i.
+		for i := 1; i <= degLam; i++ {
+			if terms[i] != 0 {
+				terms[i] = f.MulAlpha(terms[i], i)
+			}
+		}
+	}
+	if len(positions) != degLam {
+		return positions, false
+	}
+	return positions, true
+}

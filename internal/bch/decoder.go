@@ -1,0 +1,100 @@
+package bch
+
+import (
+	"errors"
+	"fmt"
+
+	"xlnand/internal/gf"
+)
+
+// ErrUncorrectable is returned when the decoder detects more errors than
+// the configured correction capability can repair. The codeword is left
+// unmodified in that case.
+var ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
+
+// Decoder runs the three-stage BCH decoding flow of the paper's Fig. 2:
+// syndrome computation, Berlekamp-Massey, Chien search. One Decoder is
+// bound to one code (one t); the adaptive Codec multiplexes between them.
+type Decoder struct {
+	code *Code
+	syn  *SyndromeCalc
+}
+
+// NewDecoder creates a decoder for the code, sharing the given syndrome
+// calculator (pass nil to create a private one).
+func NewDecoder(c *Code, syn *SyndromeCalc) *Decoder {
+	if syn == nil {
+		syn = NewSyndromeCalc(c.Field)
+	}
+	return &Decoder{code: c, syn: syn}
+}
+
+// Code returns the code this decoder was built for.
+func (d *Decoder) Code() *Code { return d.code }
+
+// Decode corrects the codeword (msg ++ parity bytes, as produced by
+// Encoder.EncodeCodeword) in place. It returns the number of bit errors
+// corrected, or ErrUncorrectable (codeword untouched) when the pattern
+// exceeds the code's capability in a detectable way.
+func (d *Decoder) Decode(codeword []byte) (int, error) {
+	nbits := d.code.CodewordBits()
+	if nbits%8 != 0 {
+		return 0, fmt.Errorf("bch: codeword bits %d not byte aligned; use DecodePoly", nbits)
+	}
+	if len(codeword) != nbits/8 {
+		return 0, fmt.Errorf("bch: codeword is %d bytes, want %d", len(codeword), nbits/8)
+	}
+	syn := d.syn.Syndromes(codeword, d.code.T)
+	if AllZero(syn) {
+		return 0, nil
+	}
+	lambda, L := BerlekampMassey(d.code.Field, syn)
+	if L > d.code.T || len(lambda)-1 != L {
+		return 0, ErrUncorrectable
+	}
+	positions, ok := ChienSearch(d.code.Field, lambda, nbits)
+	if !ok {
+		return 0, ErrUncorrectable
+	}
+	for _, p := range positions {
+		codeword[p/8] ^= 1 << uint(7-p%8)
+	}
+	// Defensive re-check: a miscorrection beyond capability can leave
+	// nonzero syndromes; verify and roll back rather than hand corrupted
+	// data upward.
+	if !AllZero(d.syn.Syndromes(codeword, d.code.T)) {
+		for _, p := range positions {
+			codeword[p/8] ^= 1 << uint(7-p%8)
+		}
+		return 0, ErrUncorrectable
+	}
+	return len(positions), nil
+}
+
+// DecodePoly is the polynomial-level reference decoder used for
+// non-byte-aligned toy codes and cross-validation. It returns the
+// corrected codeword polynomial and the number of errors corrected.
+func DecodePoly(c *Code, cw gf.Poly2) (gf.Poly2, int, error) {
+	nbits := c.CodewordBits()
+	syn := SyndromesPoly(c.Field, cw, c.T)
+	if AllZero(syn) {
+		return cw, 0, nil
+	}
+	lambda, L := BerlekampMassey(c.Field, syn)
+	if L > c.T || len(lambda)-1 != L {
+		return cw, 0, ErrUncorrectable
+	}
+	positions, ok := ChienSearch(c.Field, lambda, nbits)
+	if !ok {
+		return cw, 0, ErrUncorrectable
+	}
+	fix := gf.Poly2{}
+	for _, p := range positions {
+		fix = fix.Add(gf.NewPoly2FromCoeffs(nbits - 1 - p))
+	}
+	corrected := cw.Add(fix)
+	if !AllZero(SyndromesPoly(c.Field, corrected, c.T)) {
+		return cw, 0, ErrUncorrectable
+	}
+	return corrected, len(positions), nil
+}

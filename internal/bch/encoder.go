@@ -1,0 +1,150 @@
+package bch
+
+import (
+	"fmt"
+
+	"xlnand/internal/gf"
+)
+
+// Encoder performs systematic BCH encoding: parity(x) = msg(x)·x^r mod g(x),
+// the exact computation the paper's programmable parallel LFSR performs in
+// k/p clock cycles. The software implementation processes the message one
+// byte at a time through a 256-entry remainder table (the equivalent of a
+// p = 8 parallel LFSR network with its XOR taps selected by the ROM of
+// characteristic polynomials).
+type Encoder struct {
+	code *Code
+	r    int           // parity bits = deg(g)
+	rw   int           // words in the remainder register
+	tbl  [256][]uint64 // tbl[v] = v(x)·x^r mod g(x)
+}
+
+// NewEncoder builds the remainder table for the code's generator
+// polynomial. Encoding requires r >= 8; the page-scale codes used by the
+// flash controller (r = 16·t >= 48) always satisfy this. For smaller toy
+// codes use the polynomial API (EncodePoly).
+func NewEncoder(c *Code) *Encoder {
+	e := &Encoder{code: c, r: c.GenDegree, rw: (c.GenDegree + 63) / 64}
+	// Seed single-bit entries: x^(r+u) mod g for u = 0..7.
+	var single [8]gf.Poly2
+	p := gf.NewPoly2FromCoeffs(c.GenDegree) // x^r
+	for u := 0; u < 8; u++ {
+		single[u] = p.Mod(c.Gen)
+		p = p.ShiftLeft(1)
+	}
+	for v := 0; v < 256; v++ {
+		w := make([]uint64, e.rw)
+		for u := 0; u < 8; u++ {
+			// Bit u of the input byte, MSB-first: byte bit 7-u' ...
+			// here v's bit position b (0 = LSB) corresponds to x^b.
+			if v>>uint(u)&1 == 1 {
+				xorInto(w, single[u])
+			}
+		}
+		e.tbl[v] = w
+	}
+	return e
+}
+
+func xorInto(dst []uint64, p gf.Poly2) {
+	for i := 0; i <= p.Degree(); i++ {
+		if p.Coeff(i) == 1 {
+			dst[i/64] ^= 1 << uint(i%64)
+		}
+	}
+}
+
+// Code returns the code this encoder was built for.
+func (e *Encoder) Code() *Code { return e.code }
+
+// ParityBytes returns the parity length in bytes. It panics if the parity
+// length is not byte-aligned (use EncodePoly for such codes).
+func (e *Encoder) ParityBytes() int {
+	if e.r%8 != 0 {
+		panic("bch: parity length not byte aligned; use EncodePoly")
+	}
+	return e.r / 8
+}
+
+// Encode computes the parity block for msg, which must be exactly k/8
+// bytes (k must be byte-aligned). The returned slice has r/8 bytes with
+// the coefficient of x^(r-1) in the MSB of byte 0, matching the spare-area
+// layout used by the controller.
+func (e *Encoder) Encode(msg []byte) ([]byte, error) {
+	k, r := e.code.K, e.r
+	if k%8 != 0 || r%8 != 0 {
+		return nil, fmt.Errorf("bch: code geometry k=%d r=%d not byte aligned", k, r)
+	}
+	if len(msg) != k/8 {
+		return nil, fmt.Errorf("bch: message is %d bytes, want %d", len(msg), k/8)
+	}
+	if r < 8 {
+		return nil, fmt.Errorf("bch: r=%d too small for byte-wise encoder", r)
+	}
+	reg := make([]uint64, e.rw)
+	for _, b := range msg {
+		top := e.topByte(reg)
+		e.shiftLeft8(reg)
+		idx := top ^ b
+		for i, w := range e.tbl[idx] {
+			reg[i] ^= w
+		}
+	}
+	// Serialise the register MSB-first: parity byte 0 bit 7 = coeff r-1.
+	out := make([]byte, r/8)
+	for i := 0; i < r; i++ {
+		deg := r - 1 - i
+		bit := reg[deg/64] >> uint(deg%64) & 1
+		if bit == 1 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out, nil
+}
+
+// topByte extracts the top 8 coefficients (degrees r-8..r-1) of the
+// remainder register.
+func (e *Encoder) topByte(reg []uint64) byte {
+	pos := e.r - 8
+	word, off := pos/64, uint(pos%64)
+	v := reg[word] >> off
+	if off > 56 && word+1 < len(reg) {
+		v |= reg[word+1] << (64 - off)
+	}
+	return byte(v)
+}
+
+// shiftLeft8 shifts the register left by 8 bits and masks to r bits.
+func (e *Encoder) shiftLeft8(reg []uint64) {
+	for i := len(reg) - 1; i > 0; i-- {
+		reg[i] = reg[i]<<8 | reg[i-1]>>56
+	}
+	reg[0] <<= 8
+	// Mask the top word to r bits.
+	if rem := uint(e.r % 64); rem != 0 {
+		reg[len(reg)-1] &= (1 << rem) - 1
+	}
+}
+
+// EncodeCodeword returns msg ++ parity, the systematic on-flash codeword.
+func (e *Encoder) EncodeCodeword(msg []byte) ([]byte, error) {
+	parity, err := e.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(msg)+len(parity))
+	out = append(out, msg...)
+	return append(out, parity...), nil
+}
+
+// EncodePoly is the bit-exact polynomial reference implementation:
+// it returns the full codeword polynomial msg(x)·x^r + parity(x).
+// It works for any code geometry and is used to cross-validate the
+// byte-wise fast path in tests.
+func EncodePoly(c *Code, msg gf.Poly2) gf.Poly2 {
+	if msg.Degree() >= c.K {
+		panic(fmt.Sprintf("bch: message degree %d exceeds k-1 = %d", msg.Degree(), c.K-1))
+	}
+	shifted := msg.ShiftLeft(c.GenDegree)
+	return shifted.Add(shifted.Mod(c.Gen))
+}

@@ -1,0 +1,122 @@
+package bch
+
+import "time"
+
+// HWConfig captures the micro-architectural parameters of the adaptive
+// codec that determine its latency (paper §4 and Fig. 8):
+//
+//   - ParallelismP: datapath width p of the programmable LFSRs. Encoding
+//     consumes the k-bit message in k/p cycles; the syndrome block streams
+//     the n-bit codeword in n/p cycles.
+//   - ChienParallelismH: number of simultaneous locator evaluations h in
+//     the Chien search (t × h constant Galois multipliers); the search
+//     covers the n real codeword positions in n/h cycles.
+//   - IBMCyclesPerT2: the iBM machine performs t iterations, each updating
+//     up to t+1 locator coefficients over a bounded multiplier pool, i.e.
+//     a serialised O(t^2) multiplier schedule. This constant is the cycle
+//     cost per t^2 unit (1.8 in the paper-calibrated default).
+//   - ClockHz: codec clock (80 MHz in the paper).
+//
+// Latency numbers are architectural estimates, deliberately decoupled from
+// the speed of the software implementation.
+type HWConfig struct {
+	ParallelismP      int
+	ChienParallelismH int
+	IBMCyclesPerT2    float64
+	SyndromeEvalCyc   int // per-syndrome evaluation-network cycles
+	AlignOverheadCyc  int // parity alignment stage when r % p != 0 (paper §4)
+	PipelineFillCyc   int // fixed pipeline fill/drain overhead per operation
+	ClockHz           float64
+}
+
+// DefaultHWConfig returns the calibration used to reproduce Fig. 8:
+// p = 8, h = 32, 80 MHz, iBM serialisation 1.8 cycles per t².
+func DefaultHWConfig() HWConfig {
+	return HWConfig{
+		ParallelismP:      8,
+		ChienParallelismH: 32,
+		IBMCyclesPerT2:    1.8,
+		SyndromeEvalCyc:   4,
+		AlignOverheadCyc:  8,
+		PipelineFillCyc:   16,
+		ClockHz:           80e6,
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// EncodeCycles returns the encoder latency in clock cycles for a code
+// with message length k. The programmable LFSR absorbs p bits per cycle;
+// the latency is independent of t (paper §4: "The encoding latency is
+// therefore not influenced by the selected correction capability").
+func (h HWConfig) EncodeCycles(k int) int {
+	return ceilDiv(k, h.ParallelismP) + h.PipelineFillCyc
+}
+
+// SyndromeCycles returns the syndrome-block latency: the n-bit codeword
+// streams through the 2t parallel LFSRs at p bits/cycle, followed by the
+// evaluation networks and, when the parity length does not fit the
+// datapath width, the preliminary alignment phase.
+func (h HWConfig) SyndromeCycles(n, t int) int {
+	c := ceilDiv(n, h.ParallelismP) + 2*t*h.SyndromeEvalCyc
+	if (n % h.ParallelismP) != 0 {
+		c += h.AlignOverheadCyc
+	}
+	return c
+}
+
+// IBMCycles returns the Berlekamp-Massey machine latency: t iterations
+// with a serialised multiplier schedule growing linearly per iteration.
+func (h HWConfig) IBMCycles(t int) int {
+	return int(h.IBMCyclesPerT2*float64(t)*float64(t) + 0.5)
+}
+
+// ChienCycles returns the Chien-search latency: n real positions examined
+// h at a time (the shortening-offset ROM skips the virtual positions).
+func (h HWConfig) ChienCycles(n int) int {
+	return ceilDiv(n, h.ChienParallelismH)
+}
+
+// DecodeCycles returns the worst-case decoder latency (errors present, all
+// three stages run) for a codeword of n bits at capability t.
+func (h HWConfig) DecodeCycles(n, t int) int {
+	return h.SyndromeCycles(n, t) + h.IBMCycles(t) + h.ChienCycles(n) + h.PipelineFillCyc
+}
+
+// DecodeCleanCycles returns the decoder latency when the codeword is
+// error-free: the decoder terminates after the syndrome stage (paper §4,
+// "If all reminders are null ... the decoding process ends").
+func (h HWConfig) DecodeCleanCycles(n, t int) int {
+	return h.SyndromeCycles(n, t) + h.PipelineFillCyc
+}
+
+func (h HWConfig) toDuration(cycles int) time.Duration {
+	sec := float64(cycles) / h.ClockHz
+	return time.Duration(sec * float64(time.Second))
+}
+
+// EncodeLatency returns the encoder latency as a wall-clock duration.
+func (h HWConfig) EncodeLatency(k int) time.Duration {
+	return h.toDuration(h.EncodeCycles(k))
+}
+
+// DecodeLatency returns the worst-case decode duration for (n, t).
+func (h HWConfig) DecodeLatency(n, t int) time.Duration {
+	return h.toDuration(h.DecodeCycles(n, t))
+}
+
+// DecodeCleanLatency returns the error-free decode duration for (n, t).
+func (h HWConfig) DecodeCleanLatency(n, t int) time.Duration {
+	return h.toDuration(h.DecodeCleanCycles(n, t))
+}
+
+// GateEstimate roughly sizes the decoder datapath in constant Galois
+// multipliers, the dominant resource (paper §4: t × h multipliers in the
+// Chien block plus 2t LFSRs). Used by ablation A3 to expose the
+// latency/area trade-off of the parallelism choice.
+func (h HWConfig) GateEstimate(t int) int {
+	chien := t * h.ChienParallelismH
+	syndrome := 2 * t * h.ParallelismP
+	ibm := 3 * t // iBM datapath registers+multipliers scale linearly
+	return chien + syndrome + ibm
+}

@@ -1,0 +1,109 @@
+package bch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEncodeCyclesIndependentOfT(t *testing.T) {
+	h := DefaultHWConfig()
+	k := 32768
+	base := h.EncodeCycles(k)
+	// Encoding latency must not depend on t at all (paper §4).
+	if base != h.EncodeCycles(k) {
+		t.Fatal("encode cycles not deterministic")
+	}
+	// k/p dominates: 32768/8 = 4096 cycles + fill.
+	if base < 4096 || base > 4096+64 {
+		t.Fatalf("encode cycles = %d, want 4096 + small overhead", base)
+	}
+}
+
+func TestEncodeLatencyMatchesPaperEnvelope(t *testing.T) {
+	// Fig. 8 shows encode latency ≈ 50 µs at 80 MHz for the 4 KB page.
+	h := DefaultHWConfig()
+	lat := h.EncodeLatency(32768)
+	if lat < 45*time.Microsecond || lat > 60*time.Microsecond {
+		t.Fatalf("encode latency = %v, want ≈ 51 µs", lat)
+	}
+}
+
+func TestDecodeLatencyEnvelopeFig8(t *testing.T) {
+	// Fig. 8: decode latency ranges from ≈ 60 µs (t=3, fresh) to
+	// ≈ 150-170 µs (t=65, end of life) at 80 MHz.
+	h := DefaultHWConfig()
+	k := 32768
+	low := h.DecodeLatency(k+16*3, 3)
+	high := h.DecodeLatency(k+16*65, 65)
+	if low < 55*time.Microsecond || low > 75*time.Microsecond {
+		t.Fatalf("t=3 decode latency = %v, want ≈ 60-70 µs", low)
+	}
+	if high < 140*time.Microsecond || high > 180*time.Microsecond {
+		t.Fatalf("t=65 decode latency = %v, want ≈ 150-170 µs", high)
+	}
+	if high <= low {
+		t.Fatal("decode latency must grow with t")
+	}
+}
+
+func TestDecodeCyclesMonotoneInT(t *testing.T) {
+	h := DefaultHWConfig()
+	k := 32768
+	prev := 0
+	for tc := 3; tc <= 65; tc++ {
+		cur := h.DecodeCycles(k+16*tc, tc)
+		if cur <= prev {
+			t.Fatalf("decode cycles not strictly increasing at t=%d", tc)
+		}
+		prev = cur
+	}
+}
+
+func TestCleanDecodeFasterThanWorstCase(t *testing.T) {
+	h := DefaultHWConfig()
+	n, tc := 33808, 65
+	if h.DecodeCleanCycles(n, tc) >= h.DecodeCycles(n, tc) {
+		t.Fatal("early termination on clean codeword saves nothing")
+	}
+}
+
+func TestChienParallelismTradeoff(t *testing.T) {
+	// Ablation A3's invariant: doubling h halves Chien cycles (up to
+	// ceiling) but scales the multiplier estimate.
+	h1 := DefaultHWConfig()
+	h2 := h1
+	h2.ChienParallelismH *= 2
+	n := 33808
+	c1, c2 := h1.ChienCycles(n), h2.ChienCycles(n)
+	if c2 > c1/2+1 {
+		t.Fatalf("doubling h: cycles %d -> %d", c1, c2)
+	}
+	if h2.GateEstimate(30) <= h1.GateEstimate(30) {
+		t.Fatal("doubling h should cost area")
+	}
+}
+
+func TestSyndromeAlignmentPenalty(t *testing.T) {
+	h := DefaultHWConfig()
+	// n multiple of p: no alignment stage; n off by one: penalty applies.
+	aligned := h.SyndromeCycles(32768, 10)
+	misaligned := h.SyndromeCycles(32769, 10)
+	if misaligned <= aligned {
+		t.Fatal("alignment phase not charged for misaligned parity")
+	}
+}
+
+func TestGateEstimateGrowsWithT(t *testing.T) {
+	h := DefaultHWConfig()
+	if h.GateEstimate(65) <= h.GateEstimate(3) {
+		t.Fatal("gate estimate must grow with t")
+	}
+}
+
+func TestLatencyDurationConversion(t *testing.T) {
+	h := DefaultHWConfig()
+	h.ClockHz = 1e6 // 1 MHz -> 1 µs per cycle
+	if got := h.toDuration(5); got != 5*time.Microsecond {
+		t.Fatalf("toDuration(5 cycles @ 1MHz) = %v", got)
+	}
+}

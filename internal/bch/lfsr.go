@@ -1,0 +1,106 @@
+package bch
+
+import "xlnand/internal/gf"
+
+// LFSR is the bit-accurate model of the paper's programmable encoder
+// datapath (§4): an r-bit linear feedback shift register whose XOR taps
+// are selected by the characteristic polynomial held in the tap ROM, fed
+// p bits per clock cycle through the parallelised network. It computes
+// the same remainder as the table-driven Encoder — the table encoder is
+// the fast software path, this structure mirrors the hardware and is
+// cross-validated against it in the tests.
+type LFSR struct {
+	taps  []int  // exponents i (< r) with g_i = 1, excluding the monic term
+	r     int    // register length = deg(g)
+	p     int    // input bits consumed per Clock
+	state []bool // state[i] = coefficient of x^i
+}
+
+// NewLFSR builds the programmable LFSR for a code's generator polynomial
+// with datapath width p (the paper instantiates p = 8).
+func NewLFSR(c *Code, p int) *LFSR {
+	if p < 1 {
+		panic("bch: LFSR parallelism must be >= 1")
+	}
+	l := &LFSR{r: c.GenDegree, p: p, state: make([]bool, c.GenDegree)}
+	for i := 0; i < c.GenDegree; i++ {
+		if c.Gen.Coeff(i) == 1 {
+			l.taps = append(l.taps, i)
+		}
+	}
+	return l
+}
+
+// Reset clears the register between codewords.
+func (l *LFSR) Reset() {
+	for i := range l.state {
+		l.state[i] = false
+	}
+}
+
+// shiftBit advances the register by one bit of input: the classic
+// Galois-configuration step — feedback = msb XOR input; every ROM-selected
+// tap XORs the feedback into its stage.
+func (l *LFSR) shiftBit(in bool) {
+	feedback := l.state[l.r-1] != in
+	for i := l.r - 1; i > 0; i-- {
+		l.state[i] = l.state[i-1]
+		if feedback && hasTap(l.taps, i) {
+			l.state[i] = !l.state[i]
+		}
+	}
+	l.state[0] = feedback && hasTap(l.taps, 0)
+}
+
+func hasTap(taps []int, i int) bool {
+	for _, t := range taps {
+		if t == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Clock consumes up to p input bits (MSB-first order within the slice),
+// modelling one hardware cycle of the parallel network. It returns the
+// number of bits consumed.
+func (l *LFSR) Clock(bits []bool) int {
+	n := len(bits)
+	if n > l.p {
+		n = l.p
+	}
+	for i := 0; i < n; i++ {
+		l.shiftBit(bits[i])
+	}
+	return n
+}
+
+// Remainder returns the current register contents as a polynomial: the
+// parity block once the whole message has been clocked through.
+func (l *LFSR) Remainder() gf.Poly2 {
+	var exps []int
+	for i, b := range l.state {
+		if b {
+			exps = append(exps, i)
+		}
+	}
+	return gf.NewPoly2FromCoeffs(exps...)
+}
+
+// EncodeBits runs a full message (MSB-first bit slice, length k) through
+// the LFSR and returns the parity polynomial, plus the number of clock
+// cycles the hardware would spend (ceil(k/p) — the paper's encode
+// latency).
+func (l *LFSR) EncodeBits(msg []bool) (gf.Poly2, int) {
+	l.Reset()
+	cycles := 0
+	for off := 0; off < len(msg); off += l.p {
+		end := off + l.p
+		if end > len(msg) {
+			end = len(msg)
+		}
+		l.Clock(msg[off:end])
+		cycles++
+	}
+	return l.Remainder(), cycles
+}

@@ -1,0 +1,113 @@
+package bch
+
+import (
+	"fmt"
+	"sync"
+
+	"xlnand/internal/gf"
+)
+
+// SyndromeCalc computes the 2t codeword syndromes S_j = C(alpha^j),
+// j = 1..2t. This is the software equivalent of the decoder's syndrome
+// block: one parallel LFSR per generating polynomial psi_i followed by an
+// evaluation network (paper §4).
+//
+// The implementation processes the codeword one byte at a time (p = 8)
+// with per-exponent lookup tables, computing only the odd syndromes
+// directly and deriving even ones via the binary-code identity
+// S_2j = S_j^2 (Frobenius: C(alpha^2j) = C(alpha^j)^2 for binary C).
+//
+// Tables depend only on the field, not on t, so one SyndromeCalc serves
+// every correction capability of an adaptive codec.
+type SyndromeCalc struct {
+	f *gf.Field
+
+	mu   sync.Mutex
+	tbls map[int]*synTable // keyed by odd exponent j
+}
+
+type synTable struct {
+	v     [256]uint32 // v[b] = sum over set bits u (MSB-first) of alpha^(j*(7-u))
+	step8 int         // 8*j mod N, the per-byte Horner multiplier exponent
+}
+
+// NewSyndromeCalc creates a calculator over the given field.
+func NewSyndromeCalc(f *gf.Field) *SyndromeCalc {
+	return &SyndromeCalc{f: f, tbls: make(map[int]*synTable)}
+}
+
+func (s *SyndromeCalc) table(j int) *synTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tbls[j]; ok {
+		return t
+	}
+	t := &synTable{step8: (8 * j) % s.f.N()}
+	var single [8]uint32
+	for u := 0; u < 8; u++ {
+		// Bit u counted from MSB has in-byte degree 7-u.
+		single[u] = s.f.Alpha(j * (7 - u) % s.f.N())
+	}
+	for b := 0; b < 256; b++ {
+		var acc uint32
+		for u := 0; u < 8; u++ {
+			if b>>(7-uint(u))&1 == 1 {
+				acc ^= single[u]
+			}
+		}
+		t.v[b] = acc
+	}
+	s.tbls[j] = t
+	return t
+}
+
+// Syndromes returns S_1..S_2t (index 0 holds S_1) for the codeword bytes,
+// whose first byte's MSB is the coefficient of x^(nbits-1). nbits must be
+// 8*len(codeword).
+func (s *SyndromeCalc) Syndromes(codeword []byte, t int) []uint32 {
+	if t <= 0 {
+		panic("bch: non-positive t")
+	}
+	syn := make([]uint32, 2*t)
+	// Odd syndromes by byte-wise Horner.
+	for j := 1; j <= 2*t-1; j += 2 {
+		tbl := s.table(j)
+		var acc uint32
+		for _, b := range codeword {
+			acc = s.f.MulAlpha(acc, tbl.step8) ^ tbl.v[b]
+		}
+		syn[j-1] = acc
+	}
+	// Even syndromes via squaring.
+	for j := 2; j <= 2*t; j += 2 {
+		syn[j-1] = s.f.Sqr(syn[j/2-1])
+	}
+	return syn
+}
+
+// SyndromesPoly is the reference implementation evaluating the codeword
+// polynomial directly; used to cross-check the table path in tests and
+// for non-byte-aligned toy codes.
+func SyndromesPoly(f *gf.Field, cw gf.Poly2, t int) []uint32 {
+	syn := make([]uint32, 2*t)
+	for j := 1; j <= 2*t; j++ {
+		syn[j-1] = cw.Eval(f, f.Alpha(j))
+	}
+	return syn
+}
+
+// AllZero reports whether every syndrome vanishes (error-free codeword,
+// where the decoder terminates early — paper §4).
+func AllZero(syn []uint32) bool {
+	for _, s := range syn {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders syndromes compactly for diagnostics.
+func SyndromeString(syn []uint32) string {
+	return fmt.Sprintf("S[1..%d]=%v", len(syn), syn)
+}

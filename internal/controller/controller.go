@@ -1,0 +1,295 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/nand"
+	"xlnand/internal/timing"
+)
+
+// ErrUncorrectable is surfaced when the decoder cannot repair a page.
+var ErrUncorrectable = errors.New("controller: uncorrectable page")
+
+// Controller drives one NAND device through the adaptive BCH codec. It
+// owns the page buffer, the register file and (optionally) the
+// reliability manager, and accounts architectural latency for every
+// operation with the paper's timing model: page read time tR, bus
+// transfer, and codec cycles at 80 MHz.
+type Controller struct {
+	dev   *nand.Device
+	codec *bch.Codec
+	hw    bch.HWConfig
+	bus   timing.FlashBus
+	regs  RegisterFile
+	mgr   *ReliabilityManager
+
+	pageBuffer []byte // controller-side page RAM (Fig. 1), size of one codeword
+}
+
+// Config parametrises controller construction.
+type Config struct {
+	HW  bch.HWConfig
+	Bus timing.FlashBus
+	// TargetUBERExp initialises RegTargetUBERExp (e.g. 11 for 1e-11).
+	TargetUBERExp uint32
+	// InitialT initialises RegECCCapability.
+	InitialT uint32
+	// Adaptive enables the reliability manager from the start.
+	Adaptive bool
+}
+
+// DefaultConfig returns the paper's baseline controller configuration:
+// default codec hardware at 80 MHz, default bus, UBER target 1e-11,
+// t = 65 (worst-case until the manager relaxes it), manager enabled.
+func DefaultConfig() Config {
+	return Config{
+		HW:            bch.DefaultHWConfig(),
+		Bus:           timing.DefaultFlashBus(),
+		TargetUBERExp: 11,
+		InitialT:      65,
+		Adaptive:      true,
+	}
+}
+
+// New wires a controller to a device and an adaptive codec. The codec's
+// message length must match the device page size.
+func New(dev *nand.Device, codec *bch.Codec, cfg Config) (*Controller, error) {
+	if codec.K != dev.Calibration().PageDataBits() {
+		return nil, fmt.Errorf("controller: codec protects %d bits but page holds %d",
+			codec.K, dev.Calibration().PageDataBits())
+	}
+	maxParity, err := codec.ParityBytes(codec.TMax)
+	if err != nil {
+		return nil, err
+	}
+	if maxParity > dev.Calibration().PageSpareBytes {
+		return nil, fmt.Errorf("controller: worst-case parity %d B exceeds spare area %d B",
+			maxParity, dev.Calibration().PageSpareBytes)
+	}
+	c := &Controller{
+		dev:        dev,
+		codec:      codec,
+		hw:         cfg.HW,
+		bus:        cfg.Bus,
+		pageBuffer: make([]byte, dev.Calibration().PageDataBytes+dev.Calibration().PageSpareBytes),
+	}
+	if err := c.regs.Write(RegTargetUBERExp, cfg.TargetUBERExp); err != nil {
+		return nil, err
+	}
+	if err := c.regs.Write(RegECCCapability, cfg.InitialT); err != nil {
+		return nil, err
+	}
+	c.mgr = NewReliabilityManager(codec, c.targetUBER())
+	if cfg.Adaptive {
+		if err := c.regs.Write(RegAdaptive, 1); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Registers exposes the register file (the socket-visible configuration
+// surface).
+func (c *Controller) Registers() *RegisterFile { return &c.regs }
+
+// Manager exposes the reliability manager for inspection.
+func (c *Controller) Manager() *ReliabilityManager { return c.mgr }
+
+// Device exposes the attached NAND device.
+func (c *Controller) Device() *nand.Device { return c.dev }
+
+// targetUBER decodes RegTargetUBERExp.
+func (c *Controller) targetUBER() float64 {
+	exp, _ := c.regs.Read(RegTargetUBERExp)
+	u := 1.0
+	for i := uint32(0); i < exp; i++ {
+		u /= 10
+	}
+	return u
+}
+
+// algorithm decodes RegAlgorithm.
+func (c *Controller) algorithm() nand.Algorithm {
+	v, _ := c.regs.Read(RegAlgorithm)
+	if v != 0 {
+		return nand.ISPPDV
+	}
+	return nand.ISPPSV
+}
+
+// SetAlgorithm writes RegAlgorithm — the runtime program-algorithm
+// selection this paper introduces.
+func (c *Controller) SetAlgorithm(alg nand.Algorithm) {
+	v := uint32(0)
+	if alg == nand.ISPPDV {
+		v = 1
+	}
+	// Only writable registers involved; error impossible by construction.
+	_ = c.regs.Write(RegAlgorithm, v)
+}
+
+// SetCapability writes RegECCCapability (clamped to the codec range) and
+// disables the adaptive manager's override for subsequent operations.
+func (c *Controller) SetCapability(t int) {
+	_ = c.regs.Write(RegECCCapability, uint32(c.codec.ClampT(t)))
+	_ = c.regs.Write(RegAdaptive, 0)
+}
+
+// SetAdaptive re-enables the reliability manager.
+func (c *Controller) SetAdaptive(on bool) {
+	v := uint32(0)
+	if on {
+		v = 1
+	}
+	_ = c.regs.Write(RegAdaptive, v)
+}
+
+// currentT resolves the capability for the next operation: the manager's
+// choice in adaptive mode, the register value otherwise.
+func (c *Controller) currentT(blockIdx int) int {
+	if v, _ := c.regs.Read(RegAdaptive); v != 0 {
+		cycles, err := c.dev.Cycles(blockIdx)
+		if err != nil {
+			cycles = 0
+		}
+		return c.mgr.SelectT(c.algorithm(), cycles)
+	}
+	v, _ := c.regs.Read(RegECCCapability)
+	return c.codec.ClampT(int(v))
+}
+
+// WriteLatency breaks down one page write.
+type WriteLatency struct {
+	Encode   time.Duration
+	Transfer time.Duration
+	Program  time.Duration
+}
+
+// Total returns the end-to-end (unpipelined) write latency.
+func (l WriteLatency) Total() time.Duration { return l.Encode + l.Transfer + l.Program }
+
+// WriteResult reports one page write.
+type WriteResult struct {
+	T        int
+	Alg      nand.Algorithm
+	Latency  WriteLatency
+	Program  nand.ProgramResult
+	ParityBy int
+}
+
+// WritePage encodes data (exactly one page) at the current capability and
+// programs it with the current algorithm. The modelled latency covers
+// encode (k/p cycles), codeword transfer and the ISPP run.
+func (c *Controller) WritePage(blockIdx, pageIdx int, data []byte) (WriteResult, error) {
+	var res WriteResult
+	if len(data) != c.dev.Calibration().PageDataBytes {
+		return res, fmt.Errorf("controller: page write needs %d bytes, got %d",
+			c.dev.Calibration().PageDataBytes, len(data))
+	}
+	res.T = c.currentT(blockIdx)
+	res.Alg = c.algorithm()
+	parity, err := c.codec.Encode(res.T, data)
+	if err != nil {
+		return res, err
+	}
+	res.ParityBy = len(parity)
+	// Page buffer staging (Fig. 1: the embedded RAM between socket and
+	// flash interface).
+	copy(c.pageBuffer, data)
+	copy(c.pageBuffer[len(data):], parity)
+
+	prog, err := c.dev.Program(blockIdx, pageIdx, data, parity, res.Alg)
+	if err != nil {
+		c.regs.setStatus(StatusProgramFail, 0)
+		return res, err
+	}
+	res.Program = prog
+	res.Latency = WriteLatency{
+		Encode:   c.hw.EncodeLatency(c.codec.K),
+		Transfer: c.bus.Transfer(len(data) + len(parity)),
+		Program:  prog.Duration,
+	}
+	c.regs.setStatus(StatusOK, 0)
+	return res, nil
+}
+
+// ReadLatency breaks down one page read.
+type ReadLatency struct {
+	TR       time.Duration // array-to-register sensing
+	Transfer time.Duration // codeword over the flash bus
+	Decode   time.Duration // syndrome + iBM + Chien at the codec clock
+}
+
+// Total returns the end-to-end read latency.
+func (l ReadLatency) Total() time.Duration { return l.TR + l.Transfer + l.Decode }
+
+// ReadResult reports one page read.
+type ReadResult struct {
+	Data      []byte
+	T         int
+	Alg       nand.Algorithm
+	Corrected int
+	Latency   ReadLatency
+}
+
+// ReadPage reads, transfers and decodes a page, correcting raw bit
+// errors. The decode runs at the capability the page was written with,
+// recovered from the stored parity length (the geometry r = m·t makes the
+// mapping exact) — reconfiguring the controller between write and read
+// therefore never corrupts old pages. Uncorrectable pages return
+// ErrUncorrectable with the raw data attached.
+func (c *Controller) ReadPage(blockIdx, pageIdx int) (ReadResult, error) {
+	var res ReadResult
+	res.Alg = c.algorithm()
+	if alg, err := c.dev.WrittenAlgorithm(blockIdx, pageIdx); err == nil {
+		res.Alg = alg // report the algorithm the page actually carries
+	}
+
+	data, spare, err := c.dev.Read(blockIdx, pageIdx)
+	if err != nil {
+		return res, err
+	}
+	res.T = len(spare) * 8 / c.codec.M
+	parityBytes, err := c.codec.ParityBytes(res.T)
+	if err != nil || parityBytes != len(spare) {
+		return res, fmt.Errorf("controller: page %d.%d spare (%d bytes) does not map to a supported capability",
+			blockIdx, pageIdx, len(spare))
+	}
+	codeword := make([]byte, 0, len(data)+parityBytes)
+	codeword = append(codeword, data...)
+	codeword = append(codeword, spare...)
+
+	nErr, decErr := c.codec.Decode(res.T, codeword)
+	code, cErr := c.codec.Code(res.T)
+	if cErr != nil {
+		return res, cErr
+	}
+	res.Latency = ReadLatency{
+		TR:       nand.PageReadTime,
+		Transfer: c.bus.Transfer(len(codeword)),
+	}
+	if nErr == 0 && decErr == nil {
+		res.Latency.Decode = c.hw.DecodeCleanLatency(code.CodewordBits(), res.T)
+	} else {
+		res.Latency.Decode = c.hw.DecodeLatency(code.CodewordBits(), res.T)
+	}
+	if decErr != nil {
+		c.regs.setStatus(StatusUncorrectable, 0)
+		res.Data = codeword[:len(data)]
+		c.mgr.ObserveUncorrectable()
+		return res, fmt.Errorf("%w: block %d page %d", ErrUncorrectable, blockIdx, pageIdx)
+	}
+	res.Corrected = nErr
+	res.Data = codeword[:len(data)]
+	c.regs.setStatus(StatusOK, uint32(nErr))
+	c.mgr.ObserveDecode(res.Alg, code.CodewordBits(), nErr)
+	return res, nil
+}
+
+// EraseBlock erases a device block through the controller.
+func (c *Controller) EraseBlock(blockIdx int) error {
+	return c.dev.Erase(blockIdx)
+}

@@ -1,0 +1,145 @@
+package controller
+
+import (
+	"math"
+	"sync"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/nand"
+)
+
+// ReliabilityManager is the "integrated reliability manager" of paper §3:
+// it fuses decoder feedback (corrected-error counts per codeword) with
+// the wear-indexed RBER model to keep the ECC capability at the minimum
+// value meeting the UBER target — the in-situ self-adaptation loop.
+//
+// Two estimation paths coexist:
+//
+//   - model path: the block's P/E cycle count indexes the calibrated
+//     RBER lifetime model (what the paper's evaluation uses);
+//   - measurement path: an exponentially-weighted estimate of RBER from
+//     observed corrected errors, which overrides the model when it is
+//     materially worse (a self-protective bias).
+//
+// A safety margin multiplies the estimate before the t solver so that
+// estimation noise cannot push the real UBER past the target.
+type ReliabilityManager struct {
+	mu sync.Mutex
+
+	codec      *bch.Codec
+	targetUBER float64
+	cal        nand.Calibration
+
+	// Measurement state, tracked per program algorithm: SV pages and DV
+	// pages have error rates an order of magnitude apart, so a shared
+	// estimate would poison the better algorithm's capability choice.
+	ewmaRBER      [2]float64
+	ewmaWeight    [2]float64
+	alpha         float64 // EWMA smoothing factor
+	uncorrectable int
+
+	// SafetyMargin scales the RBER estimate before solving for t.
+	SafetyMargin float64
+}
+
+func algIndex(alg nand.Algorithm) int {
+	if alg == nand.ISPPDV {
+		return 1
+	}
+	return 0
+}
+
+// NewReliabilityManager builds a manager for the codec and UBER target.
+func NewReliabilityManager(codec *bch.Codec, targetUBER float64) *ReliabilityManager {
+	return &ReliabilityManager{
+		codec:        codec,
+		targetUBER:   targetUBER,
+		cal:          nand.DefaultCalibration(),
+		alpha:        0.05,
+		SafetyMargin: 1.3,
+	}
+}
+
+// SetCalibration replaces the RBER model calibration (tests and ablations).
+func (m *ReliabilityManager) SetCalibration(cal nand.Calibration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cal = cal
+}
+
+// TargetUBER returns the UBER the manager is holding.
+func (m *ReliabilityManager) TargetUBER() float64 { return m.targetUBER }
+
+// ObserveDecode feeds one successful decode (codeword length n bits,
+// nErr corrected) of a page written with the given algorithm into the
+// measurement estimator.
+func (m *ReliabilityManager) ObserveDecode(alg nand.Algorithm, nBits, nErr int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := algIndex(alg)
+	sample := float64(nErr) / float64(nBits)
+	if m.ewmaWeight[i] == 0 {
+		m.ewmaRBER[i] = sample
+		m.ewmaWeight[i] = 1
+		return
+	}
+	m.ewmaRBER[i] = (1-m.alpha)*m.ewmaRBER[i] + m.alpha*sample
+}
+
+// ObserveUncorrectable records a decode failure; a burst of failures is
+// the strongest possible signal that the capability is under-provisioned.
+func (m *ReliabilityManager) ObserveUncorrectable() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.uncorrectable++
+}
+
+// Uncorrectables returns the number of observed decode failures.
+func (m *ReliabilityManager) Uncorrectables() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.uncorrectable
+}
+
+// MeasuredRBER returns the EWMA estimate for the algorithm and whether
+// any data backs it.
+func (m *ReliabilityManager) MeasuredRBER(alg nand.Algorithm) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := algIndex(alg)
+	return m.ewmaRBER[i], m.ewmaWeight[i] > 0
+}
+
+// EstimateRBER fuses the model and measurement paths for the given
+// algorithm and wear.
+func (m *ReliabilityManager) EstimateRBER(alg nand.Algorithm, cycles float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	est := m.cal.RBER(alg, cycles)
+	if i := algIndex(alg); m.ewmaWeight[i] > 0 && m.ewmaRBER[i] > est {
+		est = m.ewmaRBER[i]
+	}
+	return est
+}
+
+// SelectT returns the minimum capability meeting the UBER target at the
+// estimated RBER (with safety margin), clamped to the codec's range. If
+// even TMax cannot meet the target the manager pins TMax — the device is
+// end-of-life and the status path will surface uncorrectables.
+func (m *ReliabilityManager) SelectT(alg nand.Algorithm, cycles float64) int {
+	rber := m.EstimateRBER(alg, cycles) * m.SafetyMargin
+	t, err := bch.RequiredT(m.codec.M, m.codec.K, rber, m.targetUBER, m.codec.TMax)
+	if err != nil {
+		return m.codec.TMax
+	}
+	return m.codec.ClampT(t)
+}
+
+// ProjectedUBER reports the post-correction error rate the manager
+// expects for a capability/algorithm/wear triple (Eq. 1 in its sparse
+// validity regime, tail-accumulated otherwise).
+func (m *ReliabilityManager) ProjectedUBER(t int, alg nand.Algorithm, cycles float64) float64 {
+	rber := m.EstimateRBER(alg, cycles)
+	n := m.codec.K + m.codec.M*t
+	return math.Exp(bch.LogUBERTail(n, t, rber))
+}

@@ -1,0 +1,94 @@
+// Package controller implements the advanced NAND memory controller of
+// paper §3 (Fig. 1): the command/status register file behind the on-chip
+// network socket, the page-buffer RAM, the adaptive-ECC datapath glue and
+// the reliability manager that re-selects the correction capability and
+// the program algorithm at runtime to hold a target UBER.
+package controller
+
+import "fmt"
+
+// Register identifies one configuration/status register of the controller
+// (the "command/status control register" block of Fig. 1). Configuration
+// writes arriving over the socket interface update these; the core
+// controller reads them to steer each operation.
+type Register int
+
+const (
+	// RegAlgorithm selects the program algorithm (0 = ISPP-SV,
+	// 1 = ISPP-DV) — the physical-layer knob exposed to software.
+	RegAlgorithm Register = iota
+	// RegECCCapability holds the correction capability t for subsequent
+	// operations (clamped to the codec's supported range).
+	RegECCCapability
+	// RegTargetUBERExp holds the UBER target as a negative power of ten
+	// (11 means 1e-11).
+	RegTargetUBERExp
+	// RegAdaptive enables the self-adaptive reliability manager
+	// (non-zero: the manager overrides RegECCCapability).
+	RegAdaptive
+	// RegStatus is read-only: bit 0 = last op OK, bit 1 = uncorrectable,
+	// bit 2 = program failure.
+	RegStatus
+	// RegErrCount is read-only: bit errors corrected by the last decode.
+	RegErrCount
+	numRegisters
+)
+
+// String implements fmt.Stringer.
+func (r Register) String() string {
+	switch r {
+	case RegAlgorithm:
+		return "ALG_SELECT"
+	case RegECCCapability:
+		return "ECC_T"
+	case RegTargetUBERExp:
+		return "TARGET_UBER_EXP"
+	case RegAdaptive:
+		return "ADAPTIVE"
+	case RegStatus:
+		return "STATUS"
+	case RegErrCount:
+		return "ERR_COUNT"
+	default:
+		return fmt.Sprintf("REG_%d", int(r))
+	}
+}
+
+// Status register bits.
+const (
+	StatusOK            = 1 << 0
+	StatusUncorrectable = 1 << 1
+	StatusProgramFail   = 1 << 2
+)
+
+// RegisterFile is the controller's register block.
+type RegisterFile struct {
+	regs [numRegisters]uint32
+}
+
+// Write updates a configuration register; writes to read-only registers
+// are rejected, mirroring a bus-error response.
+func (rf *RegisterFile) Write(r Register, v uint32) error {
+	if r < 0 || r >= numRegisters {
+		return fmt.Errorf("controller: write to unknown register %d", int(r))
+	}
+	if r == RegStatus || r == RegErrCount {
+		return fmt.Errorf("controller: register %v is read-only", r)
+	}
+	rf.regs[r] = v
+	return nil
+}
+
+// Read returns a register value.
+func (rf *RegisterFile) Read(r Register) (uint32, error) {
+	if r < 0 || r >= numRegisters {
+		return 0, fmt.Errorf("controller: read of unknown register %d", int(r))
+	}
+	return rf.regs[r], nil
+}
+
+// setStatus is the internal (hardware-side) status update path.
+func (rf *RegisterFile) setStatus(status, errCount uint32) {
+	rf.regs[RegStatus] = status
+	rf.regs[RegErrCount] = errCount
+}

@@ -1,0 +1,63 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterReadWrite(t *testing.T) {
+	var rf RegisterFile
+	if err := rf.Write(RegAlgorithm, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rf.Read(RegAlgorithm)
+	if err != nil || v != 1 {
+		t.Fatalf("read back %d, %v", v, err)
+	}
+}
+
+func TestReadOnlyRegistersRejectWrites(t *testing.T) {
+	var rf RegisterFile
+	if err := rf.Write(RegStatus, 1); err == nil {
+		t.Fatal("STATUS accepted a bus write")
+	}
+	if err := rf.Write(RegErrCount, 1); err == nil {
+		t.Fatal("ERR_COUNT accepted a bus write")
+	}
+}
+
+func TestUnknownRegister(t *testing.T) {
+	var rf RegisterFile
+	if err := rf.Write(Register(99), 0); err == nil {
+		t.Fatal("unknown register write accepted")
+	}
+	if _, err := rf.Read(Register(-1)); err == nil {
+		t.Fatal("unknown register read accepted")
+	}
+}
+
+func TestInternalStatusPath(t *testing.T) {
+	var rf RegisterFile
+	rf.setStatus(StatusOK, 7)
+	s, _ := rf.Read(RegStatus)
+	e, _ := rf.Read(RegErrCount)
+	if s != StatusOK || e != 7 {
+		t.Fatalf("status path: %d/%d", s, e)
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	names := map[Register]string{
+		RegAlgorithm:     "ALG_SELECT",
+		RegECCCapability: "ECC_T",
+		RegStatus:        "STATUS",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Fatalf("register %d renders as %q", int(r), r.String())
+		}
+	}
+	if !strings.HasPrefix(Register(42).String(), "REG_") {
+		t.Fatal("unknown register should render with REG_ prefix")
+	}
+}

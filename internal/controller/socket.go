@@ -1,0 +1,178 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"xlnand/internal/timing"
+)
+
+// Socket models the controller's network-facing front end of the paper's
+// Fig. 1: an OCP-style target interface whose transactions (read, write,
+// configuration) pass through a request queue into the core controller.
+// The on-chip network is much faster than the flash device, so the
+// socket's job is buffering and decoupling; the model tracks queue
+// occupancy and per-transaction waiting/service times so that
+// system-level studies can see the queuing component of latency.
+//
+// Time is virtual: transactions carry explicit arrival times and the
+// socket replays them against the controller's modelled service times.
+type Socket struct {
+	ctrl *Controller
+	bus  timing.FlashBus
+	// depth is the request-queue capacity (transactions).
+	depth int
+
+	// busyUntil is the virtual time at which the controller finishes its
+	// current transaction backlog.
+	busyUntil time.Duration
+	// queued tracks the virtual completion times of in-flight
+	// transactions for occupancy accounting.
+	queued []time.Duration
+
+	// Stats.
+	Accepted  int
+	Rejected  int // queue-full pushbacks (the OCP SCmdAccept=0 path)
+	TotalWait time.Duration
+	TotalServ time.Duration
+	MaxDepth  int
+}
+
+// TxKind is the transaction type.
+type TxKind int
+
+const (
+	// TxRead is a page read request.
+	TxRead TxKind = iota
+	// TxWrite is a page program request.
+	TxWrite
+	// TxConfig is a register write (mode/capability/algorithm change).
+	TxConfig
+)
+
+// String implements fmt.Stringer.
+func (k TxKind) String() string {
+	switch k {
+	case TxRead:
+		return "read"
+	case TxWrite:
+		return "write"
+	case TxConfig:
+		return "config"
+	default:
+		return "tx?"
+	}
+}
+
+// Tx is one socket transaction.
+type Tx struct {
+	Kind    TxKind
+	Arrival time.Duration // virtual arrival time
+	Block   int
+	Page    int
+	Data    []byte   // write payload
+	Reg     Register // config target
+	Value   uint32   // config value
+}
+
+// TxResult reports one completed transaction.
+type TxResult struct {
+	Tx       Tx
+	Wait     time.Duration // time spent queued behind earlier work
+	Service  time.Duration // controller+device service time
+	Complete time.Duration // virtual completion time
+	Data     []byte        // read payload
+	Err      error
+}
+
+// NewSocket wraps a controller with a request queue of the given depth.
+func NewSocket(ctrl *Controller, depth int) (*Socket, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("controller: socket queue depth %d < 1", depth)
+	}
+	return &Socket{ctrl: ctrl, bus: ctrl.bus, depth: depth}, nil
+}
+
+// drain removes transactions that completed before t from the occupancy
+// window.
+func (s *Socket) drain(t time.Duration) {
+	keep := s.queued[:0]
+	for _, done := range s.queued {
+		if done > t {
+			keep = append(keep, done)
+		}
+	}
+	s.queued = keep
+}
+
+// Submit offers a transaction to the socket at its arrival time.
+// Transactions must be submitted in non-decreasing arrival order. A full
+// queue rejects the transaction (counted, error returned) — the network
+// would retry later.
+func (s *Socket) Submit(tx Tx) (TxResult, error) {
+	res := TxResult{Tx: tx}
+	s.drain(tx.Arrival)
+	if len(s.queued) >= s.depth {
+		s.Rejected++
+		res.Err = fmt.Errorf("controller: socket queue full (%d in flight)", len(s.queued))
+		return res, res.Err
+	}
+
+	start := tx.Arrival
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	res.Wait = start - tx.Arrival
+
+	var service time.Duration
+	switch tx.Kind {
+	case TxRead:
+		rd, err := s.ctrl.ReadPage(tx.Block, tx.Page)
+		service = rd.Latency.Total()
+		res.Data = rd.Data
+		res.Err = err
+	case TxWrite:
+		wr, err := s.ctrl.WritePage(tx.Block, tx.Page, tx.Data)
+		// Unpipelined single-transaction service: encode + transfer +
+		// program (sustained streams overlap these; the socket models
+		// request/response semantics).
+		service = wr.Latency.Total()
+		res.Err = err
+	case TxConfig:
+		// A register write costs one bus beat.
+		res.Err = s.ctrl.regs.Write(tx.Reg, tx.Value)
+		service = s.bus.Transfer(4)
+	default:
+		res.Err = fmt.Errorf("controller: unknown transaction kind %d", int(tx.Kind))
+		return res, res.Err
+	}
+
+	res.Service = service
+	res.Complete = start + service
+	s.busyUntil = res.Complete
+	s.queued = append(s.queued, res.Complete)
+	if len(s.queued) > s.MaxDepth {
+		s.MaxDepth = len(s.queued)
+	}
+	s.Accepted++
+	s.TotalWait += res.Wait
+	s.TotalServ += service
+	return res, res.Err
+}
+
+// Utilisation returns the controller-busy fraction over the window from
+// time zero to the last completion.
+func (s *Socket) Utilisation() float64 {
+	if s.busyUntil == 0 {
+		return 0
+	}
+	return s.TotalServ.Seconds() / s.busyUntil.Seconds()
+}
+
+// AvgWait returns the mean queuing delay of accepted transactions.
+func (s *Socket) AvgWait() time.Duration {
+	if s.Accepted == 0 {
+		return 0
+	}
+	return s.TotalWait / time.Duration(s.Accepted)
+}

@@ -1,0 +1,176 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"xlnand/internal/nand"
+)
+
+func newSocketRig(t *testing.T, depth int) (*Socket, *Controller) {
+	t.Helper()
+	c := newRig(t, true)
+	s, err := NewSocket(c, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+func TestNewSocketValidatesDepth(t *testing.T) {
+	c := newRig(t, true)
+	if _, err := NewSocket(c, 0); err == nil {
+		t.Fatal("zero-depth queue accepted")
+	}
+}
+
+func TestSocketWriteReadFlow(t *testing.T) {
+	s, _ := newSocketRig(t, 4)
+	data := randPage(40)
+	wr, err := s.Submit(Tx{Kind: TxWrite, Arrival: 0, Block: 0, Page: 0, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Service <= 0 || wr.Wait != 0 {
+		t.Fatalf("first write wait=%v service=%v", wr.Wait, wr.Service)
+	}
+	rd, err := s.Submit(Tx{Kind: TxRead, Arrival: wr.Complete, Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Wait != 0 {
+		t.Fatalf("read after completion should not wait, got %v", rd.Wait)
+	}
+	for i := range data {
+		if rd.Data[i] != data[i] {
+			t.Fatal("socket read returned wrong data")
+		}
+	}
+	if s.Accepted != 2 || s.Rejected != 0 {
+		t.Fatalf("stats: %d/%d", s.Accepted, s.Rejected)
+	}
+}
+
+func TestSocketQueuingDelay(t *testing.T) {
+	s, _ := newSocketRig(t, 8)
+	data := randPage(41)
+	// Two writes arriving at the same instant: the second must wait for
+	// the full service time of the first.
+	first, err := s.Submit(Tx{Kind: TxWrite, Arrival: 0, Block: 0, Page: 0, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(Tx{Kind: TxWrite, Arrival: 0, Block: 0, Page: 1, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Wait != first.Service {
+		t.Fatalf("second wait %v != first service %v", second.Wait, first.Service)
+	}
+	if s.AvgWait() != (first.Wait+second.Wait)/2 {
+		t.Fatal("AvgWait accounting wrong")
+	}
+}
+
+func TestSocketQueueFullPushback(t *testing.T) {
+	s, _ := newSocketRig(t, 2)
+	data := randPage(42)
+	// Three simultaneous arrivals against depth 2: the third is pushed
+	// back (OCP SCmdAccept deasserted).
+	var page int
+	submit := func() (TxResult, error) {
+		tx := Tx{Kind: TxWrite, Arrival: 0, Block: 0, Page: page, Data: data}
+		page++
+		return s.Submit(tx)
+	}
+	if _, err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submit(); err == nil {
+		t.Fatal("third transaction accepted into a depth-2 queue")
+	}
+	if s.Rejected != 1 {
+		t.Fatalf("rejected = %d", s.Rejected)
+	}
+	// After the backlog drains, submissions succeed again.
+	if _, err := s.Submit(Tx{Kind: TxWrite, Arrival: 10 * time.Second, Block: 0, Page: 5, Data: data}); err != nil {
+		t.Fatalf("post-drain submit failed: %v", err)
+	}
+}
+
+func TestSocketConfigTransaction(t *testing.T) {
+	s, c := newSocketRig(t, 4)
+	res, err := s.Submit(Tx{Kind: TxConfig, Arrival: 0, Reg: RegAlgorithm, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Service <= 0 {
+		t.Fatal("config transaction has no bus cost")
+	}
+	wr, err := c.WritePage(0, 0, randPage(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Alg != nand.ISPPDV {
+		t.Fatal("config transaction did not reach the register file")
+	}
+	// Config writes to read-only registers propagate the bus error.
+	if _, err := s.Submit(Tx{Kind: TxConfig, Arrival: time.Second, Reg: RegStatus, Value: 1}); err == nil {
+		t.Fatal("read-only register write accepted via socket")
+	}
+}
+
+func TestSocketUnknownKind(t *testing.T) {
+	s, _ := newSocketRig(t, 4)
+	if _, err := s.Submit(Tx{Kind: TxKind(9)}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSocketUtilisation(t *testing.T) {
+	s, _ := newSocketRig(t, 8)
+	data := randPage(44)
+	// Saturating arrivals -> utilisation ~ 1.
+	var at time.Duration
+	for i := 0; i < 4; i++ {
+		res, err := s.Submit(Tx{Kind: TxWrite, Arrival: at, Block: 0, Page: i, Data: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+	}
+	if u := s.Utilisation(); u < 0.95 || u > 1.0001 {
+		t.Fatalf("saturated utilisation = %v", u)
+	}
+	if s.MaxDepth < 2 {
+		t.Fatalf("max depth %d under saturation", s.MaxDepth)
+	}
+}
+
+func TestSocketIdleUtilisation(t *testing.T) {
+	s, _ := newSocketRig(t, 4)
+	if s.Utilisation() != 0 || s.AvgWait() != 0 {
+		t.Fatal("idle socket reports activity")
+	}
+	data := randPage(45)
+	// Widely spaced arrivals -> low utilisation.
+	if _, err := s.Submit(Tx{Kind: TxWrite, Arrival: 0, Block: 0, Page: 0, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Tx{Kind: TxWrite, Arrival: time.Second, Block: 0, Page: 1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.Utilisation(); u > 0.05 {
+		t.Fatalf("sparse utilisation = %v", u)
+	}
+}
+
+func TestSocketKindString(t *testing.T) {
+	if TxRead.String() != "read" || TxWrite.String() != "write" ||
+		TxConfig.String() != "config" || TxKind(7).String() != "tx?" {
+		t.Fatal("kind names drifted")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/nand"
+	"xlnand/internal/sim"
+	"xlnand/internal/stats"
+)
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// AblationBlockSize quantifies §6.2's block-size argument against Chen et
+// al. [28]: larger ECC blocks protect the same data with fewer parity
+// bits. For 512 B, 2 KB and 4 KB blocks it plots the spare-area overhead
+// (parity bits per data bit, with every block of a 4 KB page protected
+// independently) needed to hold UBER <= 1e-11 across the SV RBER range.
+func AblationBlockSize(env sim.Env) (Figure, error) {
+	f := Figure{
+		ID:     "abl-blocksize",
+		Title:  "Parity overhead vs ECC block size (target UBER 1e-11)",
+		XLabel: "RBER",
+		YLabel: "Parity overhead [%]",
+		LogX:   true,
+		Notes: []string{
+			"4 KB page split into independent blocks; per-block UBER budget scaled so the page-level target holds",
+		},
+	}
+	grid := stats.LogSpace(1e-6, 1e-3, 13)
+	type cfg struct {
+		name   string
+		kBits  int
+		m      int
+		blocks int // blocks per 4 KB page
+	}
+	cfgs := []cfg{
+		{"512 B blocks (Chen et al. [28])", 512 * 8, 13, 8},
+		{"2 KB blocks", 2048 * 8, 15, 2},
+		{"4 KB page (this work)", 4096 * 8, 16, 1},
+	}
+	for _, c := range cfgs {
+		ys := make([]float64, len(grid))
+		for i, r := range grid {
+			// The page fails if any constituent block fails; give each
+			// block an equal share of the UBER budget.
+			target := env.TargetUBER / float64(c.blocks)
+			t, err := bch.RequiredT(c.m, c.kBits, r, target, 1024)
+			if err != nil {
+				return f, err
+			}
+			parityBits := c.m * t * c.blocks
+			ys[i] = 100 * float64(parityBits) / float64(4096*8)
+		}
+		f.mustAdd(c.name, grid, ys)
+	}
+	return f, nil
+}
+
+// AblationISPP sweeps the conventional single-knob alternative to DV:
+// shrinking ΔISPP on plain ISPP-SV. It plots program time and the
+// programmed-distribution spread (Monte-Carlo) per step size, with
+// ISPP-DV at the nominal step as the cross-layer reference point.
+func AblationISPP(env sim.Env, seed uint64) (Figure, error) {
+	f := Figure{
+		ID:     "abl-ispp",
+		Title:  "Distribution compaction: ΔISPP shrink vs double verify",
+		XLabel: "ΔISPP [V]",
+		YLabel: "L2 sigma [mV] / program time [10 µs]",
+		Notes: []string{
+			"series 'sigma': programmed L2 spread; series 'time': full-page program time; DV point plotted at its effective fine step",
+		},
+	}
+	steps := []float64{0.10, 0.15, 0.20, 0.25, 0.35, 0.50}
+	const cells = 2048
+	sigma := make([]float64, len(steps))
+	times := make([]float64, len(steps))
+	rng := stats.NewRNG(seed)
+	for i, st := range steps {
+		cal := env.Cal
+		cal.DeltaISPP = st
+		sim := nand.NewPageSim(cal, cells, rng.Split())
+		aged := cal.Age(0)
+		sim.Erase(aged)
+		targets := make([]nand.Level, cells)
+		for j := range targets {
+			targets[j] = nand.L2
+		}
+		res, err := sim.Program(targets, nand.ISPPSV, aged)
+		if err != nil {
+			return f, err
+		}
+		sigma[i] = stats.Summarize(sim.VTHs()).Std * 1e3
+		full := nand.EstimateProgram(cal, nand.ISPPSV, aged)
+		times[i] = full.Duration.Seconds() * 1e5 // units of 10 µs
+		_ = res
+	}
+	f.mustAdd("SV sigma [mV]", steps, sigma)
+	f.mustAdd("SV program time [10 µs]", steps, times)
+
+	// The DV reference at the nominal 0.25 V step.
+	dvSim := nand.NewPageSim(env.Cal, cells, rng.Split())
+	aged := env.Cal.Age(0)
+	dvSim.Erase(aged)
+	targets := make([]nand.Level, cells)
+	for j := range targets {
+		targets[j] = nand.L2
+	}
+	if _, err := dvSim.Program(targets, nand.ISPPDV, aged); err != nil {
+		return f, err
+	}
+	dvStep := env.Cal.DeltaISPP * env.Cal.DVStepFactor
+	f.mustAdd("DV sigma [mV]", []float64{dvStep}, []float64{stats.Summarize(dvSim.VTHs()).Std * 1e3})
+	dvTime := nand.EstimateProgram(env.Cal, nand.ISPPDV, aged)
+	f.mustAdd("DV program time [10 µs]", []float64{dvStep}, []float64{dvTime.Duration.Seconds() * 1e5})
+	return f, nil
+}
+
+// AblationParallelism sweeps the decoder's Chien parallelism h and LFSR
+// parallelism p, plotting worst-case decode latency at t = 65 against
+// the Galois-multiplier budget — the area/latency trade-off of §4.
+func AblationParallelism(env sim.Env) Figure {
+	f := Figure{
+		ID:     "abl-parallelism",
+		Title:  "Decoder latency vs area across (p, h) at t = 65",
+		XLabel: "Galois multipliers",
+		YLabel: "Decode latency [µs]",
+	}
+	t := env.TMax
+	n := env.K + env.M*t
+	for _, p := range []int{4, 8, 16} {
+		xs := []float64{}
+		ys := []float64{}
+		for _, h := range []int{8, 16, 32, 64, 128} {
+			hw := env.HW
+			hw.ParallelismP = p
+			hw.ChienParallelismH = h
+			xs = append(xs, float64(hw.GateEstimate(t)))
+			ys = append(ys, hw.DecodeLatency(n, t).Seconds()*1e6)
+		}
+		f.mustAdd(sprintf("p = %d", p), xs, ys)
+	}
+	return f
+}
+
+// AblationLoadStrategy quantifies §6.3.3's mitigation: the DV
+// write-throughput loss under the full-sequence strategy (Fig. 9's
+// assumption) against the two-round data-load strategy, across the
+// lifetime.
+func AblationLoadStrategy(env sim.Env) Figure {
+	f := Figure{
+		ID:     "abl-loadstrategy",
+		Title:  "Write-loss mitigation by the two-round data load (§6.3.3)",
+		XLabel: "Program/Erase cycles",
+		YLabel: "Write Throughput Loss [%]",
+		LogX:   true,
+	}
+	grid := stats.LogSpace(1, 1e6, 13)
+	for _, strat := range []nand.LoadStrategy{nand.FullSequence, nand.TwoRound} {
+		ys := make([]float64, len(grid))
+		for i, n := range grid {
+			ys[i] = 100 * nand.WriteLossStrategy(env.Cal, nand.ISPPDV, strat, n)
+		}
+		f.mustAdd(strat.String(), grid, ys)
+	}
+	return f
+}
+
+// AblationApproximation compares the paper's dominant-term UBER (Eq. 1)
+// with the full tail accumulation across the operating RBER range at the
+// paper's two end-point capabilities, quantifying how tight Eq. 1 is in
+// its intended regime.
+func AblationApproximation(env sim.Env) Figure {
+	f := Figure{
+		ID:     "abl-approx",
+		Title:  "Eq. 1 dominant term vs full uncorrectable tail",
+		XLabel: "RBER",
+		YLabel: "tail / Eq.1 ratio",
+		LogX:   true,
+	}
+	grid := stats.LogSpace(1e-7, 1e-3, 17)
+	for _, t := range []int{3, 14, 65} {
+		n := env.K + env.M*t
+		ys := make([]float64, len(grid))
+		for i, r := range grid {
+			ys[i] = bch.UBERTail(n, t, r) / bch.UBER(n, t, r)
+		}
+		f.mustAdd(sprintf("t = %d", t), grid, ys)
+	}
+	return f
+}

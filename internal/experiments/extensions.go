@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"xlnand/internal/bch"
+	"xlnand/internal/nand"
+	"xlnand/internal/sim"
+	"xlnand/internal/stats"
+)
+
+// requiredTStressed sizes the ECC for a stressed RBER, pinning TMax when
+// the target is unreachable (end-of-life behaviour).
+func requiredTStressed(env sim.Env, rber float64) float64 {
+	t, err := bch.RequiredT(env.M, env.K, rber, env.TargetUBER, env.TMax)
+	if err != nil {
+		return float64(env.TMax)
+	}
+	if t < env.TMin {
+		t = env.TMin
+	}
+	return float64(t)
+}
+
+// ExtRetention extends the lifetime analysis with the data-retention
+// mechanism of paper §1 [4]: RBER and the required ECC capability as a
+// function of storage time at mid-life wear, for both program algorithms.
+// The cross-layer headroom story repeats on this axis: DV's RBER margin
+// keeps the required t low even after long bakes.
+func ExtRetention(env sim.Env) Figure {
+	f := Figure{
+		ID:     "ext-retention",
+		Title:  "Retention bake at 1e4 P/E cycles (extension)",
+		XLabel: "Retention [hours]",
+		YLabel: "RBER / required t",
+		LogX:   true,
+		LogY:   true,
+		Notes: []string{
+			"extension beyond the paper: retention per Mielke et al. [3] trends on the calibrated model",
+		},
+	}
+	s := nand.DefaultStressConfig()
+	grid := stats.LogSpace(1, 1e5, 11)
+	const cycles = 1e4
+	for _, alg := range []nand.Algorithm{nand.ISPPSV, nand.ISPPDV} {
+		rber := make([]float64, len(grid))
+		treq := make([]float64, len(grid))
+		for i, h := range grid {
+			rber[i] = env.Cal.StressedRBER(s, alg, cycles, 0, h)
+			treq[i] = requiredTStressed(env, rber[i])
+		}
+		f.mustAdd("RBER "+alg.String(), grid, rber)
+		f.mustAdd("t required "+alg.String(), grid, treq)
+	}
+	return f
+}
+
+// ExtMultiDie extends the throughput analysis to an interleaved
+// multi-die organisation: read throughput per mode versus die count at
+// end of life. With the array time hidden by parallelism the shared
+// codec becomes the bottleneck — the stage the max-read mode relaxes —
+// so the cross-layer gain survives (and the write penalty fades).
+func ExtMultiDie(env sim.Env) (Figure, error) {
+	f := Figure{
+		ID:     "ext-multidie",
+		Title:  "Multi-die scaling at end of life (extension)",
+		XLabel: "Dies",
+		YLabel: "Read throughput [MB/s]",
+		Notes: []string{
+			"extension beyond the paper: interleaved dies behind one controller; shared bus and codec serialise",
+		},
+	}
+	const cycles = 1e6
+	const maxDies = 8
+	for _, m := range []sim.Mode{sim.ModeNominal, sim.ModeMaxRead} {
+		xs := make([]float64, 0, maxDies)
+		ys := make([]float64, 0, maxDies)
+		sweep, err := env.DieSweep(m, cycles, maxDies)
+		if err != nil {
+			return f, err
+		}
+		for _, s := range sweep {
+			xs = append(xs, float64(s.Dies))
+			ys = append(ys, s.ReadMBps)
+		}
+		f.mustAdd("read "+m.String(), xs, ys)
+	}
+	return f, nil
+}
+
+// ExtReadDisturb extends the analysis with read-disturb stress: RBER and
+// required capability versus the number of reads a block has absorbed
+// since its last erase — the stress axis of read-intensive workloads,
+// exactly the deployments §6.3.2 targets.
+func ExtReadDisturb(env sim.Env) Figure {
+	f := Figure{
+		ID:     "ext-disturb",
+		Title:  "Read disturb at 1e4 P/E cycles (extension)",
+		XLabel: "Reads since erase",
+		YLabel: "RBER / required t",
+		LogX:   true,
+		LogY:   true,
+		Notes: []string{
+			"extension beyond the paper: pass-voltage disturb accumulated by read-intensive use",
+		},
+	}
+	s := nand.DefaultStressConfig()
+	grid := stats.LogSpace(1e2, 1e7, 11)
+	const cycles = 1e4
+	for _, alg := range []nand.Algorithm{nand.ISPPSV, nand.ISPPDV} {
+		rber := make([]float64, len(grid))
+		treq := make([]float64, len(grid))
+		for i, reads := range grid {
+			rber[i] = env.Cal.StressedRBER(s, alg, cycles, reads, 0)
+			treq[i] = requiredTStressed(env, rber[i])
+		}
+		f.mustAdd("RBER "+alg.String(), grid, rber)
+		f.mustAdd("t required "+alg.String(), grid, treq)
+	}
+	return f
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+func TestExtRetentionShape(t *testing.T) {
+	f := ExtRetention(env())
+	if len(f.Series) != 4 {
+		t.Fatalf("%d series, want 4", len(f.Series))
+	}
+	svR := findSeries(t, f, "RBER ISPP-SV")
+	dvR := findSeries(t, f, "RBER ISPP-DV")
+	svT := findSeries(t, f, "t required ISPP-SV")
+	dvT := findSeries(t, f, "t required ISPP-DV")
+	for i := range svR.X {
+		if dvR.Y[i] >= svR.Y[i] {
+			t.Fatalf("DV RBER not below SV at %g h", svR.X[i])
+		}
+		if dvT.Y[i] > svT.Y[i] {
+			t.Fatalf("DV required t above SV at %g h", svR.X[i])
+		}
+		if i > 0 && svR.Y[i] < svR.Y[i-1] {
+			t.Fatal("retention RBER not monotone")
+		}
+		if i > 0 && svT.Y[i] < svT.Y[i-1] {
+			t.Fatal("required t not monotone in retention")
+		}
+	}
+	// The bake must materially move the requirement over 5 decades.
+	if svT.Y[len(svT.Y)-1] <= svT.Y[0] {
+		t.Fatal("retention never raised the SV capability requirement")
+	}
+}
+
+func TestExtMultiDieShape(t *testing.T) {
+	f, err := ExtMultiDie(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom := findSeries(t, f, "read nominal")
+	fast := findSeries(t, f, "read max-read")
+	if len(nom.X) != 8 || len(fast.X) != 8 {
+		t.Fatalf("die sweep lengths %d/%d", len(nom.X), len(fast.X))
+	}
+	for i := range nom.X {
+		if fast.Y[i] < nom.Y[i] {
+			t.Fatalf("max-read slower than nominal at %g dies", nom.X[i])
+		}
+		if i > 0 && nom.Y[i] < nom.Y[i-1]-1e-9 {
+			t.Fatal("nominal scaling not monotone")
+		}
+	}
+	// The gain persists at the high-die end.
+	last := len(nom.X) - 1
+	if fast.Y[last]/nom.Y[last] < 1.2 {
+		t.Fatalf("multi-die gain collapsed: %.2f vs %.2f", fast.Y[last], nom.Y[last])
+	}
+}
+
+func TestExtReadDisturbShape(t *testing.T) {
+	f := ExtReadDisturb(env())
+	svR := findSeries(t, f, "RBER ISPP-SV")
+	svT := findSeries(t, f, "t required ISPP-SV")
+	dvT := findSeries(t, f, "t required ISPP-DV")
+	for i := 1; i < len(svR.X); i++ {
+		if svR.Y[i] < svR.Y[i-1] {
+			t.Fatal("disturb RBER not monotone")
+		}
+	}
+	if svT.Y[len(svT.Y)-1] <= svT.Y[0] {
+		t.Fatal("disturb never raised the SV capability requirement")
+	}
+	// The cross-layer headroom: DV keeps the requirement below SV's even
+	// at extreme read counts.
+	last := len(svT.Y) - 1
+	if dvT.Y[last] >= svT.Y[last] {
+		t.Fatal("DV headroom lost under heavy disturb")
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtWorkloadValidationAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace validation skipped in -short mode")
+	}
+	f, err := ExtWorkloadValidation(env(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := findSeries(t, f, "measured (trace replay)")
+	analytic := findSeries(t, f, "analytic (operating point)")
+	if len(measured.Y) != 2 || len(analytic.Y) != 2 {
+		t.Fatalf("series lengths %d/%d", len(measured.Y), len(analytic.Y))
+	}
+	for i := range measured.Y {
+		rel := math.Abs(measured.Y[i]-analytic.Y[i]) / analytic.Y[i]
+		if rel > 0.15 {
+			t.Fatalf("mode %d: measured %.2f vs analytic %.2f MB/s (%.0f%% apart)",
+				i+1, measured.Y[i], analytic.Y[i], rel*100)
+		}
+	}
+	// The cross-layer gain must appear in the *measured* path too.
+	gain := measured.Y[1]/measured.Y[0] - 1
+	if gain < 0.2 {
+		t.Fatalf("measured read gain %.0f%% too small", gain*100)
+	}
+}

@@ -1,0 +1,401 @@
+// Package ftl implements a flash translation layer over the cross-layer
+// memory controller — the paper's §7 future work ("expose differentiated
+// storage services to applications") made concrete. The physical block
+// space is split into named partitions, each bound to one of the paper's
+// service levels (nominal / min-UBER / max-read); the FTL gives every
+// partition a logical-page address space with out-of-place writes,
+// garbage collection and wear-aware victim selection, reconfiguring the
+// controller's two knobs per operation according to the owning
+// partition's mode.
+package ftl
+
+import (
+	"fmt"
+	"time"
+
+	"xlnand/internal/controller"
+	"xlnand/internal/nand"
+	"xlnand/internal/sim"
+)
+
+// PartitionSpec declares one storage service at construction time.
+type PartitionSpec struct {
+	Name string
+	// Blocks is the number of physical flash blocks owned by the
+	// partition (including over-provisioning; at least 2).
+	Blocks int
+	// Mode is the cross-layer service level for all data in the
+	// partition.
+	Mode sim.Mode
+}
+
+// ppa is a physical page address.
+type ppa struct {
+	block int
+	page  int
+}
+
+const invalidPPA = -1
+
+// blockState tracks one physical block inside a partition.
+type blockState struct {
+	id        int // global block index
+	writePtr  int // next free page (pages are programmed in order)
+	livePages int
+	// lbaOf maps page index -> logical page (or -1), for GC relocation.
+	lbaOf []int
+}
+
+// Partition is one differentiated storage service.
+type Partition struct {
+	Name string
+	Mode sim.Mode
+
+	blocks    []*blockState
+	active    int   // index into blocks: current write frontier
+	freePool  []int // indices of erased blocks
+	mapping   []int // logical page -> encoded PPA (block*pages + page), -1 if unwritten
+	pages     int   // pages per block
+	userPages int   // exported capacity in pages
+
+	// statistics
+	HostWrites  int
+	HostReads   int
+	GCMoves     int
+	Erases      int
+	Trims       int
+	ServiceTime time.Duration
+
+	// scrubMarks holds partition-local block indices awaiting refresh
+	// (see scrub.go).
+	scrubMarks map[int]bool
+}
+
+// FTL is the translation layer over one controller.
+type FTL struct {
+	ctrl  *controller.Controller
+	env   sim.Env
+	parts []*Partition
+}
+
+// New builds an FTL over the controller, carving the device's blocks into
+// the declared partitions. Every partition needs at least two blocks (one
+// of them stays free for garbage collection) and the total must fit the
+// device.
+func New(ctrl *controller.Controller, env sim.Env, specs []PartitionSpec) (*FTL, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("ftl: no partitions declared")
+	}
+	total := 0
+	for _, s := range specs {
+		if s.Blocks < 2 {
+			return nil, fmt.Errorf("ftl: partition %q needs >= 2 blocks", s.Name)
+		}
+		total += s.Blocks
+	}
+	dev := ctrl.Device()
+	if total > dev.Blocks() {
+		return nil, fmt.Errorf("ftl: partitions need %d blocks, device has %d", total, dev.Blocks())
+	}
+	f := &FTL{ctrl: ctrl, env: env}
+	next := 0
+	pages := dev.PagesPerBlock()
+	for _, s := range specs {
+		p := &Partition{
+			Name:      s.Name,
+			Mode:      s.Mode,
+			pages:     pages,
+			userPages: (s.Blocks - 1) * pages, // one block of over-provisioning
+		}
+		for b := 0; b < s.Blocks; b++ {
+			bs := &blockState{id: next, lbaOf: make([]int, pages)}
+			for i := range bs.lbaOf {
+				bs.lbaOf[i] = invalidPPA
+			}
+			p.blocks = append(p.blocks, bs)
+			next++
+		}
+		p.mapping = make([]int, p.userPages)
+		for i := range p.mapping {
+			p.mapping[i] = invalidPPA
+		}
+		// Block 0 is the first frontier; the rest start in the free pool.
+		p.active = 0
+		for b := 1; b < len(p.blocks); b++ {
+			p.freePool = append(p.freePool, b)
+		}
+		f.parts = append(f.parts, p)
+	}
+	return f, nil
+}
+
+// Partitions returns the declared services.
+func (f *FTL) Partitions() []*Partition { return f.parts }
+
+// Partition returns a partition by name.
+func (f *FTL) Partition(name string) (*Partition, error) {
+	for _, p := range f.parts {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("ftl: unknown partition %q", name)
+}
+
+// Capacity returns the exported size of a partition in logical pages.
+func (p *Partition) Capacity() int { return p.userPages }
+
+// configure drives the controller's two knobs for the partition's mode
+// before an operation on the given physical block (paper §6.3's three
+// service levels).
+func (f *FTL) configure(p *Partition, physBlock int) {
+	switch p.Mode {
+	case sim.ModeNominal:
+		f.ctrl.SetAlgorithm(nand.ISPPSV)
+		f.ctrl.SetAdaptive(true)
+	case sim.ModeMaxRead:
+		f.ctrl.SetAlgorithm(nand.ISPPDV)
+		f.ctrl.SetAdaptive(true)
+	case sim.ModeMinUBER:
+		f.ctrl.SetAlgorithm(nand.ISPPDV)
+		cycles, err := f.ctrl.Device().Cycles(physBlock)
+		if err != nil {
+			cycles = 0
+		}
+		// Keep the SV-sized capability while programming with DV.
+		f.ctrl.SetCapability(f.env.RequiredT(nand.ISPPSV, cycles))
+	}
+}
+
+// Write stores one logical page into the partition, superseding any
+// previous version (out-of-place update). The old copy is invalidated
+// before space allocation so that an overwrite at 100% logical
+// utilisation can still reclaim space — a simulator simplification that
+// trades power-fail atomicity (which this model does not exercise) for
+// the textbook GC invariant.
+func (f *FTL) Write(part string, lpa int, data []byte) error {
+	p, err := f.Partition(part)
+	if err != nil {
+		return err
+	}
+	if lpa < 0 || lpa >= p.userPages {
+		return fmt.Errorf("ftl: lpa %d outside partition %q capacity %d", lpa, part, p.userPages)
+	}
+	if old := p.mapping[lpa]; old != invalidPPA {
+		ob, op := old/p.pages, old%p.pages
+		p.blocks[ob].livePages--
+		p.blocks[ob].lbaOf[op] = invalidPPA
+		p.mapping[lpa] = invalidPPA
+	}
+	bs, page, err := f.allocate(p)
+	if err != nil {
+		return err
+	}
+	f.configure(p, bs.id)
+	wr, err := f.ctrl.WritePage(bs.id, page, data)
+	if err != nil {
+		return fmt.Errorf("ftl: program %d.%d: %w", bs.id, page, err)
+	}
+	p.ServiceTime += wr.Latency.Program
+	p.mapping[lpa] = localPPA(p, bs) + page
+	bs.lbaOf[page] = lpa
+	bs.livePages++
+	p.HostWrites++
+	return nil
+}
+
+// localPPA encodes the partition-local block index of bs.
+func localPPA(p *Partition, bs *blockState) int {
+	for i, b := range p.blocks {
+		if b == bs {
+			return i * p.pages
+		}
+	}
+	panic("ftl: block not in partition")
+}
+
+// Read fetches one logical page through the ECC path.
+func (f *FTL) Read(part string, lpa int) ([]byte, *controller.ReadResult, error) {
+	p, err := f.Partition(part)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lpa < 0 || lpa >= p.userPages {
+		return nil, nil, fmt.Errorf("ftl: lpa %d outside partition %q", lpa, part)
+	}
+	enc := p.mapping[lpa]
+	if enc == invalidPPA {
+		return nil, nil, fmt.Errorf("ftl: lpa %d of %q never written", lpa, part)
+	}
+	bs := p.blocks[enc/p.pages]
+	res, err := f.ctrl.ReadPage(bs.id, enc%p.pages)
+	if err != nil {
+		return nil, &res, err
+	}
+	p.HostReads++
+	p.ServiceTime += res.Latency.Total()
+	return res.Data, &res, nil
+}
+
+// Trim drops a logical page's mapping, freeing its physical copy for GC.
+func (f *FTL) Trim(part string, lpa int) error {
+	p, err := f.Partition(part)
+	if err != nil {
+		return err
+	}
+	if lpa < 0 || lpa >= p.userPages {
+		return fmt.Errorf("ftl: lpa %d outside partition %q", lpa, part)
+	}
+	if enc := p.mapping[lpa]; enc != invalidPPA {
+		bs := p.blocks[enc/p.pages]
+		bs.livePages--
+		bs.lbaOf[enc%p.pages] = invalidPPA
+		p.mapping[lpa] = invalidPPA
+		p.Trims++
+	}
+	return nil
+}
+
+// allocate returns the next free physical page of the partition's write
+// frontier. One erased block is always held in reserve as the garbage
+// collector's relocation destination (invariant: the free pool never
+// empties outside collect); host writes may consume pool blocks only
+// down to that reserve.
+func (f *FTL) allocate(p *Partition) (*blockState, int, error) {
+	bs := p.blocks[p.active]
+	if bs.writePtr < p.pages {
+		page := bs.writePtr
+		bs.writePtr++
+		return bs, page, nil
+	}
+	// Frontier sealed. Take a pool block if the reserve stays intact.
+	if len(p.freePool) >= 2 {
+		p.active = p.freePool[0]
+		p.freePool = p.freePool[1:]
+		nb := p.blocks[p.active]
+		if nb.writePtr != 0 {
+			return nil, 0, fmt.Errorf("ftl: fresh frontier block %d not empty", nb.id)
+		}
+		nb.writePtr = 1
+		return nb, 0, nil
+	}
+	// Otherwise reclaim: collect moves the victim's live pages into the
+	// reserved block, which becomes the new (partially filled) frontier.
+	if err := f.collect(p); err != nil {
+		return nil, 0, err
+	}
+	nb := p.blocks[p.active]
+	if nb.writePtr >= p.pages {
+		return nil, 0, fmt.Errorf("ftl: partition %q out of space (capacity %d pages)", p.Name, p.userPages)
+	}
+	page := nb.writePtr
+	nb.writePtr++
+	return nb, page, nil
+}
+
+// collect performs one garbage-collection round: the sealed block with
+// the fewest live pages (lowest wear as tie-break, levelling block usage)
+// is relocated into the reserved free block, which becomes the new write
+// frontier; the victim is erased and joins the pool.
+func (f *FTL) collect(p *Partition) error {
+	if len(p.freePool) == 0 {
+		return fmt.Errorf("ftl: partition %q lost its GC reserve (internal invariant)", p.Name)
+	}
+	victim := -1
+	for i, bs := range p.blocks {
+		if bs.writePtr < p.pages {
+			continue // only sealed (fully written) blocks are candidates
+		}
+		if victim == -1 || f.betterVictim(p, i, victim) {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return fmt.Errorf("ftl: partition %q has no sealed block to collect", p.Name)
+	}
+	vb := p.blocks[victim]
+	if vb.livePages == p.pages {
+		return fmt.Errorf("ftl: partition %q full of live data; over-provisioning exhausted", p.Name)
+	}
+	destIdx := p.freePool[0]
+	p.freePool = p.freePool[1:]
+	dest := p.blocks[destIdx]
+	if dest.writePtr != 0 {
+		return fmt.Errorf("ftl: GC destination block %d not erased", dest.id)
+	}
+	for page, lpa := range vb.lbaOf {
+		if lpa == invalidPPA {
+			continue
+		}
+		res, err := f.ctrl.ReadPage(vb.id, page)
+		if err != nil {
+			return fmt.Errorf("ftl: GC read %d.%d: %w", vb.id, page, err)
+		}
+		f.configure(p, dest.id)
+		if _, err := f.ctrl.WritePage(dest.id, dest.writePtr, res.Data); err != nil {
+			return fmt.Errorf("ftl: GC program: %w", err)
+		}
+		vb.livePages--
+		vb.lbaOf[page] = invalidPPA
+		p.mapping[lpa] = destIdx*p.pages + dest.writePtr
+		dest.lbaOf[dest.writePtr] = lpa
+		dest.livePages++
+		dest.writePtr++
+		p.GCMoves++
+	}
+	if err := f.ctrl.EraseBlock(vb.id); err != nil {
+		return err
+	}
+	vb.writePtr = 0
+	vb.livePages = 0
+	for i := range vb.lbaOf {
+		vb.lbaOf[i] = invalidPPA
+	}
+	p.Erases++
+	p.freePool = append(p.freePool, victim)
+	p.active = destIdx
+	return nil
+}
+
+// betterVictim ranks GC candidates: fewer live pages first, then lower
+// wear (erase count) to level block usage.
+func (f *FTL) betterVictim(p *Partition, a, b int) bool {
+	ba, bb := p.blocks[a], p.blocks[b]
+	if ba.livePages != bb.livePages {
+		return ba.livePages < bb.livePages
+	}
+	ca, _ := f.ctrl.Device().Cycles(ba.id)
+	cb, _ := f.ctrl.Device().Cycles(bb.id)
+	return ca < cb
+}
+
+// WriteAmplification returns total device writes / host writes for the
+// partition (1.0 when GC never ran).
+func (p *Partition) WriteAmplification() float64 {
+	if p.HostWrites == 0 {
+		return 0
+	}
+	return float64(p.HostWrites+p.GCMoves) / float64(p.HostWrites)
+}
+
+// WearSpread returns the min and max erase counts across the partition's
+// blocks — the wear-leveling quality metric.
+func (f *FTL) WearSpread(part string) (min, max float64, err error) {
+	p, err := f.Partition(part)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, bs := range p.blocks {
+		c, err := f.ctrl.Device().Cycles(bs.id)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 || c < min {
+			min = c
+		}
+		if i == 0 || c > max {
+			max = c
+		}
+	}
+	return min, max, nil
+}

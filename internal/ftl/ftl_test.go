@@ -1,0 +1,302 @@
+package ftl
+
+import (
+	"bytes"
+	"testing"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/controller"
+	"xlnand/internal/nand"
+	"xlnand/internal/sim"
+	"xlnand/internal/stats"
+)
+
+// newFTL builds an FTL over a small device with the three paper service
+// levels as partitions.
+func newFTL(t *testing.T, blocksPerPart int) *FTL {
+	t.Helper()
+	env := sim.DefaultEnv()
+	dev := nand.NewDevice(env.Cal, 3*blocksPerPart, 321)
+	codec, err := bch.NewPageCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(ctrl, env, []PartitionSpec{
+		{Name: "system", Blocks: blocksPerPart, Mode: sim.ModeMinUBER},
+		{Name: "media", Blocks: blocksPerPart, Mode: sim.ModeMaxRead},
+		{Name: "scratch", Blocks: blocksPerPart, Mode: sim.ModeNominal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func pagePattern(seed uint64, size int) []byte {
+	r := stats.NewRNG(seed)
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(r.Intn(256))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	env := sim.DefaultEnv()
+	dev := nand.NewDevice(env.Cal, 4, 1)
+	codec, _ := bch.NewPageCodec()
+	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ctrl, env, nil); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+	if _, err := New(ctrl, env, []PartitionSpec{{Name: "x", Blocks: 1}}); err == nil {
+		t.Fatal("1-block partition accepted")
+	}
+	if _, err := New(ctrl, env, []PartitionSpec{{Name: "x", Blocks: 8}}); err == nil {
+		t.Fatal("oversubscribed device accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := newFTL(t, 2)
+	data := pagePattern(1, 4096)
+	if err := f.Write("media", 5, data); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := f.Read("media", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted data")
+	}
+	if res.Alg != nand.ISPPDV {
+		t.Fatalf("media partition wrote with %v, want ISPP-DV", res.Alg)
+	}
+}
+
+func TestPartitionModesSteerKnobs(t *testing.T) {
+	f := newFTL(t, 2)
+	data := pagePattern(2, 4096)
+	for _, part := range []string{"system", "media", "scratch"} {
+		if err := f.Write(part, 0, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, resSys, err := f.Read("system", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, resScr, err := f.Read("scratch", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sys, data) {
+		t.Fatal("system data corrupted")
+	}
+	if resSys.Alg != nand.ISPPDV {
+		t.Fatal("min-UBER partition must program with DV")
+	}
+	if resScr.Alg != nand.ISPPSV {
+		t.Fatal("nominal partition must program with SV")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	f := newFTL(t, 2)
+	if _, _, err := f.Read("media", 0); err == nil {
+		t.Fatal("read of unwritten lpa accepted")
+	}
+	if _, _, err := f.Read("nope", 0); err == nil {
+		t.Fatal("unknown partition accepted")
+	}
+	if _, _, err := f.Read("media", 1<<20); err == nil {
+		t.Fatal("out-of-range lpa accepted")
+	}
+	if err := f.Write("media", -1, nil); err == nil {
+		t.Fatal("negative lpa accepted")
+	}
+}
+
+func TestOverwriteRemaps(t *testing.T) {
+	f := newFTL(t, 2)
+	v1 := pagePattern(3, 4096)
+	v2 := pagePattern(4, 4096)
+	if err := f.Write("scratch", 7, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write("scratch", 7, v2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.Read("scratch", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("overwrite did not supersede old version")
+	}
+	p, _ := f.Partition("scratch")
+	if p.HostWrites != 2 {
+		t.Fatalf("host writes = %d", p.HostWrites)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := newFTL(t, 2)
+	if err := f.Write("scratch", 3, pagePattern(5, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Trim("scratch", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Read("scratch", 3); err == nil {
+		t.Fatal("trimmed page still readable")
+	}
+	// Trimming an unwritten page is a no-op.
+	if err := f.Trim("scratch", 4); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := f.Partition("scratch")
+	if p.Trims != 1 {
+		t.Fatalf("trims = %d", p.Trims)
+	}
+}
+
+func TestGarbageCollectionSustainsOverwrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GC endurance test skipped in -short mode")
+	}
+	f := newFTL(t, 3) // 3 blocks x 64 pages, 128 user pages
+	p, _ := f.Partition("scratch")
+	data := pagePattern(6, 4096)
+	// Overwrite a working set larger than one block far beyond the raw
+	// capacity: GC must relocate still-live pages and reclaim superseded
+	// ones indefinitely.
+	const workingSet = 80
+	for i := 0; i < 6*64; i++ {
+		lpa := i % workingSet
+		if err := f.Write("scratch", lpa, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if p.Erases == 0 {
+		t.Fatal("GC never erased a block")
+	}
+	if p.GCMoves == 0 {
+		t.Fatal("GC never relocated a live page")
+	}
+	if wa := p.WriteAmplification(); wa < 1 || wa > 4 {
+		t.Fatalf("write amplification %v implausible for a %d-page working set", wa, workingSet)
+	}
+	// All live data still intact.
+	for lpa := 0; lpa < workingSet; lpa++ {
+		got, _, err := f.Read("scratch", lpa)
+		if err != nil {
+			t.Fatalf("read lpa %d after GC: %v", lpa, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("lpa %d corrupted after GC", lpa)
+		}
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity test skipped in -short mode")
+	}
+	f := newFTL(t, 2) // 64 user pages + 64 OP
+	data := pagePattern(7, 4096)
+	// Fill every logical page (fits), then keep all live and try to
+	// exceed: the partition must fail cleanly, not corrupt.
+	p, _ := f.Partition("scratch")
+	for lpa := 0; lpa < p.Capacity(); lpa++ {
+		if err := f.Write("scratch", lpa, data); err != nil {
+			t.Fatalf("fill write %d: %v", lpa, err)
+		}
+	}
+	// Everything is live; continued overwrites still work (each write
+	// supersedes itself), which exercises GC with maximum live pressure.
+	for i := 0; i < 32; i++ {
+		if err := f.Write("scratch", i%p.Capacity(), data); err != nil {
+			t.Fatalf("overwrite at full capacity: %v", err)
+		}
+	}
+}
+
+func TestWearLevelling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wear test skipped in -short mode")
+	}
+	f := newFTL(t, 3)
+	data := pagePattern(8, 4096)
+	for i := 0; i < 5*64; i++ {
+		if err := f.Write("scratch", i%16, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, max, err := f.WearSpread("scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max == 0 {
+		t.Fatal("no wear recorded")
+	}
+	if max-min > 4 {
+		t.Fatalf("wear spread %v..%v too wide for wear-aware GC", min, max)
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	// Traffic in one partition must not touch another's blocks.
+	f := newFTL(t, 2)
+	data := pagePattern(9, 4096)
+	if err := f.Write("media", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := f.Write("scratch", i%8, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := f.Read("media", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("media data disturbed by scratch traffic")
+	}
+	// Scratch wear must not leak onto media blocks.
+	_, maxMedia, err := f.WearSpread("media")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxMedia > 0 {
+		t.Fatalf("media blocks erased %v times by foreign traffic", maxMedia)
+	}
+}
+
+func TestServiceTimeAccounting(t *testing.T) {
+	f := newFTL(t, 2)
+	data := pagePattern(10, 4096)
+	if err := f.Write("media", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := f.Partition("media")
+	afterWrite := p.ServiceTime
+	if afterWrite <= 0 {
+		t.Fatal("write time not accounted")
+	}
+	if _, _, err := f.Read("media", 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.ServiceTime <= afterWrite {
+		t.Fatal("read time not accounted")
+	}
+}

@@ -1,0 +1,133 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"xlnand/internal/controller"
+)
+
+// ScrubPolicy configures background data refresh: a page whose decode
+// reports corrected errors at or above FractionOfT of the active
+// capability marks its block for refresh; Scrub relocates such blocks'
+// live data to fresh pages (healing read disturb and retention age, the
+// stress mechanisms the device model accumulates).
+type ScrubPolicy struct {
+	// FractionOfT in (0, 1]: the corrected-errors alarm threshold as a
+	// fraction of the capability the page was decoded with.
+	FractionOfT float64
+}
+
+// DefaultScrubPolicy alarms at 70% of the correction budget.
+func DefaultScrubPolicy() ScrubPolicy { return ScrubPolicy{FractionOfT: 0.7} }
+
+// ScrubReport summarises one scrub pass.
+type ScrubReport struct {
+	BlocksRefreshed int
+	PagesMoved      int
+	Uncorrectable   int
+}
+
+// CheckReadHealth inspects a read result against the policy and records
+// the page's block for refresh when the margin has thinned. It returns
+// true when the block was newly marked.
+func (f *FTL) CheckReadHealth(part string, lpa int, res *controller.ReadResult, pol ScrubPolicy) (bool, error) {
+	if pol.FractionOfT <= 0 || pol.FractionOfT > 1 {
+		return false, fmt.Errorf("ftl: scrub threshold %g outside (0,1]", pol.FractionOfT)
+	}
+	p, err := f.Partition(part)
+	if err != nil {
+		return false, err
+	}
+	if lpa < 0 || lpa >= p.userPages || p.mapping[lpa] == invalidPPA {
+		return false, fmt.Errorf("ftl: lpa %d not live in %q", lpa, part)
+	}
+	if res == nil || float64(res.Corrected) < pol.FractionOfT*float64(res.T) {
+		return false, nil
+	}
+	blk := p.mapping[lpa] / p.pages
+	if p.scrubMarks == nil {
+		p.scrubMarks = make(map[int]bool)
+	}
+	if p.scrubMarks[blk] {
+		return false, nil
+	}
+	p.scrubMarks[blk] = true
+	return true, nil
+}
+
+// PendingScrubs returns the number of blocks marked for refresh.
+func (p *Partition) PendingScrubs() int { return len(p.scrubMarks) }
+
+// Scrub rewrites every live page of each marked block to fresh locations
+// (new physical pages on a freshly-programmed block have zero retention
+// age, and the victims' eventual erase clears their read-disturb count).
+func (f *FTL) Scrub(part string) (ScrubReport, error) {
+	var rep ScrubReport
+	p, err := f.Partition(part)
+	if err != nil {
+		return rep, err
+	}
+	marks := p.scrubMarks
+	p.scrubMarks = nil
+	for blk := range marks {
+		bs := p.blocks[blk]
+		if bs.livePages == 0 && bs.writePtr == 0 {
+			continue // reclaimed by GC between mark and scrub
+		}
+		// Move the write frontier off the victim so relocated copies
+		// land on a different block (otherwise the refresh would chase
+		// its own writes and heal nothing).
+		if p.active == blk && len(p.freePool) >= 2 {
+			p.active = p.freePool[0]
+			p.freePool = p.freePool[1:]
+			nb := p.blocks[p.active]
+			nb.writePtr = 0
+		}
+		// Snapshot the live set before relocating: Write mutates lbaOf.
+		type liveEntry struct{ page, lpa int }
+		var live []liveEntry
+		for page, lpa := range bs.lbaOf {
+			if lpa != invalidPPA {
+				live = append(live, liveEntry{page, lpa})
+			}
+		}
+		moved := 0
+		for _, le := range live {
+			res, err := f.ctrl.ReadPage(bs.id, le.page)
+			if err != nil {
+				if errors.Is(err, controller.ErrUncorrectable) {
+					rep.Uncorrectable++
+					continue // data lost; leave the stale mapping
+				}
+				return rep, fmt.Errorf("ftl: scrub read %d.%d: %w", bs.id, le.page, err)
+			}
+			// Rewrite through the normal host path: allocation, mode
+			// configuration and mapping update all apply.
+			if err := f.Write(p.Name, le.lpa, res.Data); err != nil {
+				return rep, fmt.Errorf("ftl: scrub rewrite lpa %d: %w", le.lpa, err)
+			}
+			p.HostWrites-- // scrub traffic is not host traffic
+			p.GCMoves++
+			moved++
+		}
+		if moved > 0 || bs.livePages == 0 {
+			rep.BlocksRefreshed++
+			rep.PagesMoved += moved
+		}
+		// A fully-dead non-frontier victim would strand outside the free
+		// pool (GC only collects sealed blocks): erase and reclaim it now.
+		if bs.livePages == 0 && blk != p.active && bs.writePtr > 0 {
+			if err := f.ctrl.EraseBlock(bs.id); err != nil {
+				return rep, err
+			}
+			bs.writePtr = 0
+			for i := range bs.lbaOf {
+				bs.lbaOf[i] = invalidPPA
+			}
+			p.Erases++
+			p.freePool = append(p.freePool, blk)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,63 @@
+package gf
+
+// CyclotomicCoset returns the 2-cyclotomic coset of s modulo 2^m - 1:
+// {s, 2s, 4s, ...} reduced mod 2^m-1, in ascending generation order.
+// The coset of 0 is {0}.
+func (f *Field) CyclotomicCoset(s int) []int {
+	n := f.N()
+	s = ((s % n) + n) % n
+	coset := []int{s}
+	for x := (s * 2) % n; x != s; x = (x * 2) % n {
+		coset = append(coset, x)
+	}
+	return coset
+}
+
+// CosetLeader returns the smallest element of the cyclotomic coset of s.
+func (f *Field) CosetLeader(s int) int {
+	min := -1
+	for _, x := range f.CyclotomicCoset(s) {
+		if min == -1 || x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// MinimalPolynomial returns the minimal polynomial over GF(2) of
+// alpha^s, computed as the product of (x - alpha^c) over the cyclotomic
+// coset c of s. The result always has coefficients in {0,1}; this is
+// asserted by the conversion.
+func (f *Field) MinimalPolynomial(s int) Poly2 {
+	coset := f.CyclotomicCoset(s)
+	p := NewPolyM(f, 1) // start from the constant 1
+	for _, c := range coset {
+		p = p.MulXPlusConst(f.Alpha(c))
+	}
+	return p.ToPoly2()
+}
+
+// MinPolyTable memoizes minimal polynomials per coset leader; BCH code
+// construction for every t in 3..65 re-requests the same cosets many
+// times. It is not safe for concurrent mutation; build codes from a
+// single goroutine or use separate tables.
+type MinPolyTable struct {
+	f     *Field
+	cache map[int]Poly2
+}
+
+// MinPolyCache wraps a field with a memoizing minimal-polynomial lookup.
+func MinPolyCache(f *Field) *MinPolyTable {
+	return &MinPolyTable{f: f, cache: make(map[int]Poly2)}
+}
+
+// Get returns the minimal polynomial of alpha^s, cached by coset leader.
+func (c *MinPolyTable) Get(s int) Poly2 {
+	leader := c.f.CosetLeader(s)
+	if p, ok := c.cache[leader]; ok {
+		return p
+	}
+	p := c.f.MinimalPolynomial(leader)
+	c.cache[leader] = p
+	return p
+}

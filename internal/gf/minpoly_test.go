@@ -1,0 +1,122 @@
+package gf
+
+import (
+	"testing"
+)
+
+func TestCyclotomicCosetBasics(t *testing.T) {
+	f := NewField(4) // n = 15
+	got := f.CyclotomicCoset(1)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("coset(1) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coset(1) = %v, want %v", got, want)
+		}
+	}
+	// Coset of 5 mod 15: {5, 10}
+	got = f.CyclotomicCoset(5)
+	if len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Fatalf("coset(5) = %v, want [5 10]", got)
+	}
+	// Coset of 0 is {0}.
+	if g := f.CyclotomicCoset(0); len(g) != 1 || g[0] != 0 {
+		t.Fatalf("coset(0) = %v", g)
+	}
+}
+
+func TestCosetsPartitionTheGroup(t *testing.T) {
+	f := NewField(8)
+	seen := make(map[int]int)
+	for s := 0; s < f.N(); s++ {
+		leader := f.CosetLeader(s)
+		for _, x := range f.CyclotomicCoset(s) {
+			if prev, ok := seen[x]; ok && prev != leader {
+				t.Fatalf("element %d in two cosets (%d, %d)", x, prev, leader)
+			}
+			seen[x] = leader
+		}
+	}
+	if len(seen) != f.N() {
+		t.Fatalf("cosets cover %d elements, want %d", len(seen), f.N())
+	}
+}
+
+func TestCosetSizeDividesM(t *testing.T) {
+	f := NewField(12)
+	for s := 1; s < 200; s++ {
+		size := len(f.CyclotomicCoset(s))
+		if 12%size != 0 {
+			t.Fatalf("coset(%d) size %d does not divide m=12", s, size)
+		}
+	}
+}
+
+func TestMinimalPolynomialOfAlphaIsPrimPoly(t *testing.T) {
+	for _, m := range []int{4, 8, 16} {
+		f := NewField(m)
+		mp := f.MinimalPolynomial(1)
+		if !mp.Equal(NewPoly2FromBits(uint64(f.PrimPoly()))) {
+			t.Fatalf("m=%d: minpoly(alpha) = %v, want primitive polynomial", m, mp)
+		}
+	}
+}
+
+func TestMinimalPolynomialRoots(t *testing.T) {
+	// minpoly of alpha^s must vanish at every conjugate alpha^(s·2^j) and
+	// at no other power (checked on a small field exhaustively).
+	f := NewField(6)
+	for s := 1; s < f.N(); s++ {
+		mp := f.MinimalPolynomial(s)
+		coset := map[int]bool{}
+		for _, c := range f.CyclotomicCoset(s) {
+			coset[c] = true
+		}
+		for e := 0; e < f.N(); e++ {
+			v := mp.Eval(f, f.Alpha(e))
+			if coset[e] && v != 0 {
+				t.Fatalf("minpoly(alpha^%d) does not vanish at conjugate alpha^%d", s, e)
+			}
+			if !coset[e] && v == 0 {
+				t.Fatalf("minpoly(alpha^%d) vanishes at non-conjugate alpha^%d", s, e)
+			}
+		}
+	}
+}
+
+func TestMinimalPolynomialDegreeEqualsCosetSize(t *testing.T) {
+	f := NewField(16)
+	for _, s := range []int{1, 3, 5, 7, 9, 127, 129} {
+		mp := f.MinimalPolynomial(s)
+		if mp.Degree() != len(f.CyclotomicCoset(s)) {
+			t.Fatalf("deg minpoly(alpha^%d) = %d, want coset size %d",
+				s, mp.Degree(), len(f.CyclotomicCoset(s)))
+		}
+	}
+}
+
+func TestMinimalPolynomialOfZeroExponent(t *testing.T) {
+	f := NewField(4)
+	// alpha^0 = 1; minimal polynomial of 1 is x + 1.
+	if mp := f.MinimalPolynomial(0); !mp.Equal(NewPoly2FromCoeffs(0, 1)) {
+		t.Fatalf("minpoly(1) = %v, want x + 1", mp)
+	}
+}
+
+func TestMinPolyCacheConsistency(t *testing.T) {
+	f := NewField(16)
+	c := MinPolyCache(f)
+	for _, s := range []int{1, 2, 3, 5, 3, 1, 6} { // repeats exercise cache hits
+		direct := f.MinimalPolynomial(s)
+		cached := c.Get(s)
+		if !direct.Equal(cached) {
+			t.Fatalf("cache mismatch for s=%d", s)
+		}
+	}
+	// Conjugates share the cache entry.
+	if !c.Get(2).Equal(c.Get(1)) {
+		t.Fatal("conjugate exponents should produce identical minimal polynomials")
+	}
+}

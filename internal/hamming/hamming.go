@@ -1,0 +1,146 @@
+// Package hamming implements a SEC-DED (single-error-correcting,
+// double-error-detecting) extended Hamming code over configurable block
+// sizes — the low-end ECC family the paper cites for "relatively small
+// flash memories that hold non-critical, error-tolerant data" (§1,
+// derivatives of the Hamming code [2]). It is the weakest baseline of the
+// ECC-family comparison experiment.
+package hamming
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrDoubleError reports a detected-but-uncorrectable double bit error.
+var ErrDoubleError = errors.New("hamming: double bit error detected")
+
+// Code is a SEC-DED code protecting DataBytes of payload with parity
+// bits stored separately (r Hamming bits + 1 overall parity).
+type Code struct {
+	DataBytes int
+	r         int // Hamming parity bits: 2^r >= k + r + 1
+}
+
+// New builds a SEC-DED code for the given payload size.
+func New(dataBytes int) (*Code, error) {
+	if dataBytes <= 0 {
+		return nil, fmt.Errorf("hamming: non-positive block size %d", dataBytes)
+	}
+	k := dataBytes * 8
+	r := 1
+	for (1 << uint(r)) < k+r+1 {
+		r++
+	}
+	return &Code{DataBytes: dataBytes, r: r}, nil
+}
+
+// ParityBits returns the total check bits (Hamming r + overall parity).
+func (c *Code) ParityBits() int { return c.r + 1 }
+
+// ParityBytes returns the spare bytes consumed per block.
+func (c *Code) ParityBytes() int { return (c.ParityBits() + 7) / 8 }
+
+// bit reads data bit i (MSB-first within bytes).
+func bit(data []byte, i int) uint32 {
+	return uint32(data[i/8]>>(7-uint(i%8))) & 1
+}
+
+// flip toggles data bit i.
+func flip(data []byte, i int) {
+	data[i/8] ^= 1 << (7 - uint(i%8))
+}
+
+// syndromeOf computes the Hamming syndrome and overall parity of the
+// payload combined with the given check word. Data bits occupy the
+// non-power-of-two positions of the conceptual codeword, in order.
+func (c *Code) syndromeOf(data []byte, check uint32) (syn uint32, overall uint32) {
+	k := c.DataBytes * 8
+	pos := 1 // codeword positions start at 1; powers of two are parity
+	for i := 0; i < k; i++ {
+		for pos&(pos-1) == 0 { // skip parity positions
+			pos++
+		}
+		if bit(data, i) == 1 {
+			syn ^= uint32(pos)
+			overall ^= 1
+		}
+		pos++
+	}
+	// Fold in the stored parity bits: Hamming bit j sits at position 2^j.
+	for j := 0; j < c.r; j++ {
+		if check>>uint(j)&1 == 1 {
+			syn ^= 1 << uint(j)
+			overall ^= 1
+		}
+	}
+	overall ^= check >> uint(c.r) & 1 // stored overall parity
+	return syn, overall
+}
+
+// Encode returns the check word for a payload block: bits 0..r-1 are the
+// Hamming parity bits, bit r the overall parity.
+func (c *Code) Encode(data []byte) (uint32, error) {
+	if len(data) != c.DataBytes {
+		return 0, fmt.Errorf("hamming: block is %d bytes, want %d", len(data), c.DataBytes)
+	}
+	// Choose check bits so that the full-codeword syndrome and overall
+	// parity vanish: compute them over data alone, then set parity bits
+	// to cancel.
+	syn, overall := c.syndromeOf(data, 0)
+	check := syn // parity bit j = syndrome bit j cancels it
+	// Recompute overall parity including the chosen Hamming bits.
+	ones := uint32(bits.OnesCount32(check)) & 1
+	check |= ((overall ^ ones) & 1) << uint(c.r)
+	return check, nil
+}
+
+// Decode verifies and repairs a payload block in place given its stored
+// check word. It returns the number of corrected bit errors (0 or 1);
+// double errors return ErrDoubleError with the data untouched.
+func (c *Code) Decode(data []byte, check uint32) (int, error) {
+	if len(data) != c.DataBytes {
+		return 0, fmt.Errorf("hamming: block is %d bytes, want %d", len(data), c.DataBytes)
+	}
+	syn, overall := c.syndromeOf(data, check)
+	switch {
+	case syn == 0 && overall == 0:
+		return 0, nil
+	case overall == 1:
+		// Single error: in a parity position (syn is a power of two or
+		// zero -> stored check corrupted, data fine) or in a data bit.
+		if syn == 0 || syn&(syn-1) == 0 {
+			return 1, nil // check-word error; payload intact
+		}
+		idx, err := c.dataIndexOfPosition(int(syn))
+		if err != nil {
+			return 0, ErrDoubleError // syndrome points outside the code
+		}
+		flip(data, idx)
+		return 1, nil
+	default:
+		// Nonzero syndrome with even overall parity: double error.
+		return 0, ErrDoubleError
+	}
+}
+
+// dataIndexOfPosition maps a codeword position to the payload bit index.
+func (c *Code) dataIndexOfPosition(target int) (int, error) {
+	if target < 3 {
+		return 0, fmt.Errorf("hamming: position %d is a parity slot", target)
+	}
+	k := c.DataBytes * 8
+	idx := 0
+	pos := 1
+	for i := 0; i < k; i++ {
+		for pos&(pos-1) == 0 {
+			pos++
+		}
+		if pos == target {
+			return idx, nil
+		}
+		idx++
+		pos++
+	}
+	return 0, fmt.Errorf("hamming: position %d beyond codeword", target)
+}

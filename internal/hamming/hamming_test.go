@@ -1,0 +1,162 @@
+package hamming
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+func mkCode(t *testing.T, bytes int) *Code {
+	t.Helper()
+	c, err := New(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero-size block accepted")
+	}
+	if _, err := New(-4); err == nil {
+		t.Fatal("negative block accepted")
+	}
+}
+
+func TestParityBitsSized(t *testing.T) {
+	// 512 B = 4096 bits: r = 13 (2^13 = 8192 >= 4096+13+1), +1 = 14.
+	c := mkCode(t, 512)
+	if c.ParityBits() != 14 {
+		t.Fatalf("512 B parity bits = %d, want 14", c.ParityBits())
+	}
+	if c.ParityBytes() != 2 {
+		t.Fatalf("512 B parity bytes = %d, want 2", c.ParityBytes())
+	}
+	// 1 byte = 8 bits: r = 4, +1 = 5.
+	if mkCode(t, 1).ParityBits() != 5 {
+		t.Fatal("1 B parity sizing wrong")
+	}
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	c := mkCode(t, 512)
+	r := stats.NewRNG(1)
+	for trial := 0; trial < 30; trial++ {
+		data := make([]byte, 512)
+		for i := range data {
+			data[i] = byte(r.Intn(256))
+		}
+		check, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.Decode(data, check)
+		if err != nil || n != 0 {
+			t.Fatalf("clean decode: n=%d err=%v", n, err)
+		}
+	}
+}
+
+func TestEverySingleBitErrorCorrected(t *testing.T) {
+	// Exhaustive over a small block: every possible single data-bit
+	// error must be corrected exactly.
+	c := mkCode(t, 8)
+	r := stats.NewRNG(2)
+	data := make([]byte, 8)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	check, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < 64; pos++ {
+		dirty := append([]byte(nil), data...)
+		flip(dirty, pos)
+		n, err := c.Decode(dirty, check)
+		if err != nil {
+			t.Fatalf("bit %d: %v", pos, err)
+		}
+		if n != 1 || !bytes.Equal(dirty, data) {
+			t.Fatalf("bit %d: not corrected (n=%d)", pos, n)
+		}
+	}
+}
+
+func TestCheckWordErrorTolerated(t *testing.T) {
+	// An error in the stored parity itself must not corrupt the payload.
+	c := mkCode(t, 64)
+	r := stats.NewRNG(3)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	check, _ := c.Encode(data)
+	want := append([]byte(nil), data...)
+	for j := 0; j < c.ParityBits(); j++ {
+		dirty := append([]byte(nil), data...)
+		n, err := c.Decode(dirty, check^(1<<uint(j)))
+		if err != nil {
+			t.Fatalf("parity bit %d: %v", j, err)
+		}
+		if n != 1 || !bytes.Equal(dirty, want) {
+			t.Fatalf("parity bit %d: payload disturbed", j)
+		}
+	}
+}
+
+func TestDoubleErrorsDetectedNotMiscorrected(t *testing.T) {
+	c := mkCode(t, 64)
+	r := stats.NewRNG(4)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	check, _ := c.Encode(data)
+	for trial := 0; trial < 300; trial++ {
+		dirty := append([]byte(nil), data...)
+		pos := r.SampleK(512, 2)
+		flip(dirty, pos[0])
+		flip(dirty, pos[1])
+		n, err := c.Decode(dirty, check)
+		if !errors.Is(err, ErrDoubleError) {
+			t.Fatalf("double error (bits %v) not detected: n=%d err=%v", pos, n, err)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongSize(t *testing.T) {
+	c := mkCode(t, 64)
+	if _, err := c.Decode(make([]byte, 8), 0); err == nil {
+		t.Fatal("wrong block size accepted")
+	}
+	if _, err := c.Encode(make([]byte, 8)); err == nil {
+		t.Fatal("wrong block size accepted by encoder")
+	}
+}
+
+func TestAllZeroAndAllOnesBlocks(t *testing.T) {
+	c := mkCode(t, 32)
+	zero := make([]byte, 32)
+	ones := bytes.Repeat([]byte{0xff}, 32)
+	for _, data := range [][]byte{zero, ones} {
+		check, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := append([]byte(nil), data...)
+		if n, err := c.Decode(cp, check); err != nil || n != 0 {
+			t.Fatalf("degenerate block: n=%d err=%v", n, err)
+		}
+		flip(cp, 100)
+		if n, err := c.Decode(cp, check); err != nil || n != 1 {
+			t.Fatalf("degenerate block single error: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(cp, data) {
+			t.Fatal("degenerate block not restored")
+		}
+	}
+}

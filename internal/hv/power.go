@@ -1,0 +1,185 @@
+package hv
+
+import (
+	"fmt"
+	"time"
+
+	"xlnand/internal/nand"
+)
+
+// PowerConfig gathers the load-current calibration of the HV subsystem:
+// how much current each pump sources in each operation phase. These are
+// the fitted constants that place the absolute power numbers in the
+// paper's 0.15-0.18 W band (Fig. 6); the pump physics above them is
+// structural.
+type PowerConfig struct {
+	Program DicksonPump
+	Inhibit DicksonPump
+	Verify  DicksonPump
+
+	// BaselineWatts is the algorithm-independent die power during an
+	// operation: references, logic, sense amps (I/O excluded, as in the
+	// paper's measurement).
+	BaselineWatts float64
+
+	// ProgLoadBaseAmps is the program-pump load at VCG = VStart;
+	// ProgLoadSlopeAmps is the extra load per volt of VCG above VStart
+	// (wordline charging + cell current grow with the pulse amplitude).
+	ProgLoadBaseAmps  float64
+	ProgLoadSlopeAmps float64
+	VStart            float64
+
+	// InhibitLoadAmps loads the inhibit pump during program pulses,
+	// scaled by the inhibited fraction of the page.
+	InhibitLoadAmps float64
+	InhibitTargetV  float64
+
+	// VerifyLoadAmps loads the verify pump during verify phases (the
+	// pass-bias of every unselected wordline plus sensing).
+	VerifyLoadAmps float64
+	VerifyTargetV  float64
+
+	ProgTargetVMax float64 // regulation sanity bound for the program pump
+}
+
+// DefaultPowerConfig returns the calibration reproducing Fig. 6
+// (see DESIGN.md §4).
+func DefaultPowerConfig() PowerConfig {
+	return PowerConfig{
+		Program:           ProgramPump(),
+		Inhibit:           InhibitPump(),
+		Verify:            VerifyPump(),
+		BaselineWatts:     0.118,
+		ProgLoadBaseAmps:  0.65e-3,
+		ProgLoadSlopeAmps: 0.10e-3,
+		VStart:            14.0,
+		InhibitLoadAmps:   0.45e-3,
+		InhibitTargetV:    8.0,
+		VerifyLoadAmps:    5.6e-3,
+		VerifyTargetV:     4.5,
+		ProgTargetVMax:    19.0,
+	}
+}
+
+// PowerReport is the outcome of integrating pump power over an operation
+// timeline.
+type PowerReport struct {
+	Duration time.Duration
+	// Energy split by consumer [J].
+	ProgramPumpJ  float64
+	InhibitPumpJ  float64
+	VerifyPumpJ   float64
+	BaselineJ     float64
+	TotalJ        float64
+	AveragePowerW float64
+}
+
+// Integrate walks a program-operation timeline (from the ISPP engine) and
+// accumulates supply energy per pump, returning the total and the average
+// power — the quantity Fig. 6 plots.
+func (pc PowerConfig) Integrate(timeline []nand.Phase) (PowerReport, error) {
+	var rep PowerReport
+	for _, ph := range timeline {
+		dt := ph.Duration.Seconds()
+		if dt < 0 {
+			return rep, fmt.Errorf("hv: negative phase duration %v", ph.Duration)
+		}
+		rep.Duration += ph.Duration
+		rep.BaselineJ += pc.BaselineWatts * dt
+		switch ph.Kind {
+		case nand.PhaseProgram:
+			load := pc.ProgLoadBaseAmps + pc.ProgLoadSlopeAmps*(ph.VCG-pc.VStart)
+			if load < 0 {
+				load = pc.ProgLoadBaseAmps
+			}
+			// Only the active fraction of the page loads the program
+			// pump; inhibited cells load the inhibit pump instead.
+			pw, err := pc.Program.InputPower(minF(ph.VCG, pc.ProgTargetVMax), load*(0.35+0.65*ph.ActiveFrac))
+			if err != nil {
+				return rep, err
+			}
+			rep.ProgramPumpJ += pw * dt
+			iw, err := pc.Inhibit.InputPower(pc.InhibitTargetV, pc.InhibitLoadAmps*(1-0.5*ph.ActiveFrac))
+			if err != nil {
+				return rep, err
+			}
+			rep.InhibitPumpJ += iw * dt
+		case nand.PhaseVerify:
+			vw, err := pc.Verify.InputPower(pc.VerifyTargetV, pc.VerifyLoadAmps)
+			if err != nil {
+				return rep, err
+			}
+			rep.VerifyPumpJ += vw * dt
+		case nand.PhaseLoad, nand.PhaseErase:
+			// Data load and erase use negligible pump power in this
+			// model (erase power is not part of Fig. 6's comparison).
+		}
+	}
+	rep.TotalJ = rep.ProgramPumpJ + rep.InhibitPumpJ + rep.VerifyPumpJ + rep.BaselineJ
+	if rep.Duration > 0 {
+		rep.AveragePowerW = rep.TotalJ / rep.Duration.Seconds()
+	}
+	return rep, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ProgramPower runs the closed-form program estimator for the given
+// algorithm/pattern/wear and integrates its synthetic timeline: the fast
+// path used by the Fig. 6 sweep (the Monte-Carlo timeline from the array
+// simulator plugs into Integrate directly when cell-accurate waveforms
+// are wanted).
+func (pc PowerConfig) ProgramPower(cal nand.Calibration, alg nand.Algorithm, pattern nand.Level, cycles float64) (PowerReport, error) {
+	tl, err := SyntheticTimeline(cal, alg, pattern, cycles)
+	if err != nil {
+		return PowerReport{}, err
+	}
+	return pc.Integrate(tl)
+}
+
+// SyntheticTimeline builds the expected phase sequence for programming a
+// page whose cells all target `pattern` (the paper's L1/L2/L3 pattern
+// measurements) at the given wear, without running the cell array.
+func SyntheticTimeline(cal nand.Calibration, alg nand.Algorithm, pattern nand.Level, cycles float64) ([]nand.Phase, error) {
+	if pattern == nand.L0 || !pattern.Valid() {
+		return nil, fmt.Errorf("hv: pattern must be a programmed level, got %v", pattern)
+	}
+	aged := cal.Age(cycles)
+	firstLand := cal.VStart - cal.KOffsetMu
+	span := cal.VerifyTarget(pattern) - firstLand + 3*cal.KOffsetSigma + 2*aged.KSlowTail
+	pulses := int(span/cal.DeltaISPP) + 2
+	fine := cal.DeltaISPP * cal.DVStepFactor
+	if alg == nand.ISPPDV {
+		extra := (cal.DVPreOffset/fine - cal.DVPreOffset/cal.DeltaISPP) *
+			(1 + cal.DVAgingTimeCoef*aged.Wear)
+		pulses += int(extra + 0.5)
+	}
+	if mp := cal.MaxPulses(); pulses > mp {
+		pulses = mp
+	}
+	tl := []nand.Phase{{Kind: nand.PhaseLoad, Duration: cal.TLoad}}
+	vcg := cal.VStart
+	for i := 0; i < pulses; i++ {
+		// The active fraction decays as cells verify; approximate with a
+		// linear ramp (the MC timeline carries the exact trajectory).
+		act := 1 - float64(i)/float64(pulses)
+		tl = append(tl, nand.Phase{
+			Kind: nand.PhaseProgram, Duration: cal.TPulse,
+			VCG: vcg, ActiveFrac: 0.25 + 0.75*act,
+		})
+		tl = append(tl, nand.Phase{Kind: nand.PhaseVerify, Duration: cal.TVerify, Level: pattern})
+		if alg == nand.ISPPDV {
+			tl = append(tl, nand.Phase{Kind: nand.PhaseVerify, Duration: cal.TVerify, Level: pattern})
+		}
+		vcg += cal.DeltaISPP
+		if vcg > cal.VEnd {
+			vcg = cal.VEnd
+		}
+	}
+	return tl, nil
+}

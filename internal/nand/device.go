@@ -1,0 +1,273 @@
+package nand
+
+import (
+	"fmt"
+	"time"
+
+	"xlnand/internal/stats"
+)
+
+// Device is the functional NAND flash device the memory controller
+// drives: pages of raw bytes organised in blocks, with erase-before-
+// program discipline, per-block program/erase wear and a fault-injection
+// read path driven by the analytic RBER model. The program algorithm is
+// runtime-selectable per operation — the physical-layer knob this paper
+// introduces (§5: in current devices it is "set at fabrication time and
+// hardwired"; here the code-ROM holds both routines).
+//
+// Device methods are not safe for concurrent use; the controller owns it.
+type Device struct {
+	cal    Calibration
+	stress StressConfig
+	rng    *stats.RNG
+	blocks []block
+
+	// clockHours is the device's retention clock, advanced explicitly by
+	// AdvanceTime so lifetime studies can bake stored data.
+	clockHours float64
+
+	// timing observed by the last operation (for the controller's
+	// busy/ready modelling)
+	lastOpDuration time.Duration
+}
+
+type block struct {
+	cycles float64 // program/erase cycles endured
+	reads  float64 // reads since last erase (read-disturb stress)
+	pages  []page
+}
+
+type page struct {
+	data    []byte // nil until programmed
+	spare   []byte
+	written bool
+	// algorithm used when the page was programmed; determines its RBER
+	alg Algorithm
+	// cycles of the parent block at program time
+	cyclesAtWrite float64
+	// retention clock value at program time
+	writtenAtHours float64
+}
+
+// NewDevice builds a device with the given number of blocks.
+func NewDevice(cal Calibration, blocks int, seed uint64) *Device {
+	d := &Device{cal: cal, stress: DefaultStressConfig(), rng: stats.NewRNG(seed)}
+	d.blocks = make([]block, blocks)
+	for i := range d.blocks {
+		d.blocks[i].pages = make([]page, cal.PagesPerBlock)
+	}
+	return d
+}
+
+// AdvanceTime moves the retention clock forward, baking every stored
+// page (paper §1's data-retention mechanism [4]).
+func (d *Device) AdvanceTime(hours float64) {
+	if hours > 0 {
+		d.clockHours += hours
+	}
+}
+
+// ClockHours returns the retention clock.
+func (d *Device) ClockHours() float64 { return d.clockHours }
+
+// BlockReads returns a block's read count since its last erase.
+func (d *Device) BlockReads(blockIdx int) (float64, error) {
+	if blockIdx < 0 || blockIdx >= len(d.blocks) {
+		return 0, fmt.Errorf("nand: block %d out of range", blockIdx)
+	}
+	return d.blocks[blockIdx].reads, nil
+}
+
+// Calibration returns the device's calibration constants.
+func (d *Device) Calibration() Calibration { return d.cal }
+
+// Blocks returns the number of blocks.
+func (d *Device) Blocks() int { return len(d.blocks) }
+
+// PagesPerBlock returns the pages per block.
+func (d *Device) PagesPerBlock() int { return d.cal.PagesPerBlock }
+
+// Cycles returns the program/erase cycle count of a block.
+func (d *Device) Cycles(blockIdx int) (float64, error) {
+	if blockIdx < 0 || blockIdx >= len(d.blocks) {
+		return 0, fmt.Errorf("nand: block %d out of range", blockIdx)
+	}
+	return d.blocks[blockIdx].cycles, nil
+}
+
+// SetCycles pre-ages a block (lifetime experiments fast-forward wear
+// without replaying a million programs).
+func (d *Device) SetCycles(blockIdx int, cycles float64) error {
+	if blockIdx < 0 || blockIdx >= len(d.blocks) {
+		return fmt.Errorf("nand: block %d out of range", blockIdx)
+	}
+	if cycles < 0 {
+		return fmt.Errorf("nand: negative cycle count %g", cycles)
+	}
+	d.blocks[blockIdx].cycles = cycles
+	return nil
+}
+
+// LastOpDuration returns the modelled duration of the most recent
+// operation (program: full ISPP run; read: array-to-register time tR;
+// erase: block erase time).
+func (d *Device) LastOpDuration() time.Duration { return d.lastOpDuration }
+
+// Erase wipes a block, incrementing its wear.
+func (d *Device) Erase(blockIdx int) error {
+	if blockIdx < 0 || blockIdx >= len(d.blocks) {
+		return fmt.Errorf("nand: block %d out of range", blockIdx)
+	}
+	b := &d.blocks[blockIdx]
+	for i := range b.pages {
+		b.pages[i] = page{}
+	}
+	b.cycles++
+	b.reads = 0 // erase heals read-disturb stress
+	d.lastOpDuration = d.cal.TEraseOp
+	return nil
+}
+
+// pageAt validates and returns a page pointer.
+func (d *Device) pageAt(blockIdx, pageIdx int) (*page, *block, error) {
+	if blockIdx < 0 || blockIdx >= len(d.blocks) {
+		return nil, nil, fmt.Errorf("nand: block %d out of range", blockIdx)
+	}
+	b := &d.blocks[blockIdx]
+	if pageIdx < 0 || pageIdx >= len(b.pages) {
+		return nil, nil, fmt.Errorf("nand: page %d out of range", pageIdx)
+	}
+	return &b.pages[pageIdx], b, nil
+}
+
+// Program writes data+spare into a page using the selected algorithm.
+// The page must be erased (never re-programmed without erase). The
+// modelled duration comes from the ISPP timing statistics for the
+// algorithm at the block's wear.
+func (d *Device) Program(blockIdx, pageIdx int, data, spare []byte, alg Algorithm) (ProgramResult, error) {
+	p, b, err := d.pageAt(blockIdx, pageIdx)
+	if err != nil {
+		return ProgramResult{}, err
+	}
+	if p.written {
+		return ProgramResult{}, fmt.Errorf("nand: page %d.%d programmed twice without erase", blockIdx, pageIdx)
+	}
+	if len(data) > d.cal.PageDataBytes {
+		return ProgramResult{}, fmt.Errorf("nand: data %d bytes exceeds page size %d", len(data), d.cal.PageDataBytes)
+	}
+	if len(spare) > d.cal.PageSpareBytes {
+		return ProgramResult{}, fmt.Errorf("nand: spare %d bytes exceeds spare area %d", len(spare), d.cal.PageSpareBytes)
+	}
+	p.data = append([]byte(nil), data...)
+	p.spare = append([]byte(nil), spare...)
+	p.written = true
+	p.alg = alg
+	p.cyclesAtWrite = b.cycles
+	p.writtenAtHours = d.clockHours
+	res := EstimateProgram(d.cal, alg, d.cal.Age(b.cycles))
+	d.lastOpDuration = res.Duration
+	return res, nil
+}
+
+// WrittenAlgorithm returns the program algorithm a page was written with
+// (controllers key their per-algorithm RBER telemetry on this).
+func (d *Device) WrittenAlgorithm(blockIdx, pageIdx int) (Algorithm, error) {
+	p, _, err := d.pageAt(blockIdx, pageIdx)
+	if err != nil {
+		return 0, err
+	}
+	if !p.written {
+		return 0, fmt.Errorf("nand: page %d.%d not written", blockIdx, pageIdx)
+	}
+	return p.alg, nil
+}
+
+// Read returns the page content with bit errors injected per the analytic
+// RBER of the algorithm the page was written with, at the block's current
+// wear. tR (array-to-register time) is modelled as the paper's 75 µs.
+func (d *Device) Read(blockIdx, pageIdx int) (data, spare []byte, err error) {
+	p, b, err := d.pageAt(blockIdx, pageIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !p.written {
+		return nil, nil, fmt.Errorf("nand: read of unwritten page %d.%d", blockIdx, pageIdx)
+	}
+	b.reads++
+	rber := d.cal.StressedRBER(d.stress, p.alg, b.cycles, b.reads,
+		d.clockHours-p.writtenAtHours)
+	data = corrupt(d.rng, p.data, rber)
+	spare = corrupt(d.rng, p.spare, rber)
+	d.lastOpDuration = PageReadTime
+	return data, spare, nil
+}
+
+// PageReadTime is the array-to-page-register sensing time tR; the paper
+// quotes 75 µs for the Micron MLC part it references [27].
+const PageReadTime = 75 * time.Microsecond
+
+// corrupt flips each bit independently with probability rber: the
+// binomial error count is sampled, then positions drawn uniformly.
+func corrupt(rng *stats.RNG, src []byte, rber float64) []byte {
+	dst := append([]byte(nil), src...)
+	nbits := len(dst) * 8
+	if nbits == 0 {
+		return dst
+	}
+	nerr := rng.Binomial(nbits, rber)
+	for _, pos := range rng.SampleK(nbits, nerr) {
+		dst[pos/8] ^= 1 << uint(7-pos%8)
+	}
+	return dst
+}
+
+// EstimateProgram returns the expected program-operation statistics for
+// the algorithm at the given wear without running the Monte-Carlo array:
+// a deterministic closed-form twin of the ISPP engine used on the fast
+// device path (its constants are validated against the array simulator in
+// the package tests).
+func EstimateProgram(cal Calibration, alg Algorithm, aged AgedParams) ProgramResult {
+	// Pulses to bring the slowest target level (L3) to verify: ramp from
+	// the first landing (VStart - K) to VFY3, plus the slow-cell tail.
+	firstLand := cal.VStart - cal.KOffsetMu
+	span := cal.VFY[2] - firstLand + 3*cal.KOffsetSigma + 2*aged.KSlowTail
+	pulses := int(span/cal.DeltaISPP) + 2
+	// DV: cells cross the last DVPreOffset volts in fine steps, and
+	// wear-induced injection noise makes them dither around the
+	// pre-verify threshold, lengthening the fine phase.
+	fine := cal.DeltaISPP * cal.DVStepFactor
+	dvExtra := (cal.DVPreOffset/fine - cal.DVPreOffset/cal.DeltaISPP) *
+		(1 + cal.DVAgingTimeCoef*aged.Wear)
+	if alg == ISPPDV {
+		pulses += int(dvExtra + 0.5)
+	}
+	if mp := cal.MaxPulses(); pulses > mp {
+		pulses = mp
+	}
+	// Verify ops: levels deactivate as the ramp passes them. Level Li
+	// stays active for roughly (VFYi - firstLand)/Delta pulses.
+	verifies := 0
+	for _, vfy := range cal.VFY {
+		lv := int((vfy-firstLand+3*cal.KOffsetSigma+2*aged.KSlowTail)/cal.DeltaISPP) + 1
+		if alg == ISPPDV {
+			lv += int(dvExtra + 0.5)
+		}
+		if lv > pulses {
+			lv = pulses
+		}
+		verifies += lv
+	}
+	res := ProgramResult{
+		Algorithm: alg,
+		Pulses:    pulses,
+		Verifies:  verifies,
+		MaxVCG:    cal.VStart + float64(pulses-1)*cal.DeltaISPP,
+	}
+	dur := cal.TLoad + time.Duration(pulses)*cal.TPulse + time.Duration(verifies)*cal.TVerify
+	if alg == ISPPDV {
+		res.PreVerifies = verifies
+		dur += time.Duration(verifies) * cal.TVerify
+	}
+	res.Duration = dur
+	return res
+}

@@ -1,0 +1,218 @@
+package nand
+
+import (
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	cal := DefaultCalibration()
+	return NewDevice(cal, 4, 77)
+}
+
+func TestDeviceGeometry(t *testing.T) {
+	d := testDevice(t)
+	if d.Blocks() != 4 || d.PagesPerBlock() != 64 {
+		t.Fatalf("geometry %d blocks x %d pages", d.Blocks(), d.PagesPerBlock())
+	}
+}
+
+func TestDeviceProgramReadRoundTrip(t *testing.T) {
+	d := testDevice(t)
+	r := stats.NewRNG(1)
+	data := make([]byte, 4096)
+	spare := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	for i := range spare {
+		spare[i] = byte(r.Intn(256))
+	}
+	if _, err := d.Program(0, 0, data, spare, ISPPSV); err != nil {
+		t.Fatal(err)
+	}
+	gotData, gotSpare, err := d.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh device RBER 1e-6: with ~33 kbit expect ~0.03 flips, i.e.
+	// almost always byte-identical; tolerate a couple of flipped bits.
+	if diff := bitDiff(gotData, data) + bitDiff(gotSpare, spare); diff > 3 {
+		t.Fatalf("%d bit flips on fresh device read", diff)
+	}
+}
+
+func bitDiff(a, b []byte) int {
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDeviceRejectsDoubleProgram(t *testing.T) {
+	d := testDevice(t)
+	data := make([]byte, 16)
+	if _, err := d.Program(0, 3, data, nil, ISPPSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(0, 3, data, nil, ISPPSV); err == nil {
+		t.Fatal("double program without erase accepted")
+	}
+	if err := d.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(0, 3, data, nil, ISPPSV); err != nil {
+		t.Fatalf("program after erase rejected: %v", err)
+	}
+}
+
+func TestDeviceEraseIncrementsWear(t *testing.T) {
+	d := testDevice(t)
+	c0, _ := d.Cycles(1)
+	if err := d.Erase(1); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := d.Cycles(1)
+	if c1 != c0+1 {
+		t.Fatalf("erase wear %v -> %v", c0, c1)
+	}
+}
+
+func TestDeviceBoundsChecking(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Cycles(-1); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if _, err := d.Cycles(4); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if err := d.Erase(99); err == nil {
+		t.Fatal("erase of bad block accepted")
+	}
+	if _, err := d.Program(0, 64, nil, nil, ISPPSV); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+	if _, _, err := d.Read(0, 0); err == nil {
+		t.Fatal("read of unwritten page accepted")
+	}
+	if err := d.SetCycles(0, -1); err == nil {
+		t.Fatal("negative cycles accepted")
+	}
+	if _, err := d.Program(0, 0, make([]byte, 5000), nil, ISPPSV); err == nil {
+		t.Fatal("oversized data accepted")
+	}
+	if _, err := d.Program(0, 0, nil, make([]byte, 500), ISPPSV); err == nil {
+		t.Fatal("oversized spare accepted")
+	}
+}
+
+func TestDeviceAgedReadsAreNoisier(t *testing.T) {
+	cal := DefaultCalibration()
+	d := NewDevice(cal, 2, 5)
+	data := make([]byte, 4096)
+	if err := d.SetCycles(1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(0, 0, data, nil, ISPPSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(1, 0, data, nil, ISPPSV); err != nil {
+		t.Fatal(err)
+	}
+	freshFlips, agedFlips := 0, 0
+	for i := 0; i < 20; i++ {
+		fd, _, err := d.Read(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ad, _, err := d.Read(1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshFlips += bitDiff(fd, data)
+		agedFlips += bitDiff(ad, data)
+	}
+	// Aged block at RBER 1e-3: ~33 errors/page/read; fresh ~0.03.
+	if agedFlips <= freshFlips {
+		t.Fatalf("aged reads (%d flips) not noisier than fresh (%d)", agedFlips, freshFlips)
+	}
+	if agedFlips < 200 {
+		t.Fatalf("aged flips %d implausibly low for RBER 1e-3", agedFlips)
+	}
+}
+
+func TestDeviceDVReadsCleanerThanSV(t *testing.T) {
+	cal := DefaultCalibration()
+	d := NewDevice(cal, 2, 6)
+	data := make([]byte, 4096)
+	for b := 0; b < 2; b++ {
+		if err := d.SetCycles(b, 1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Program(0, 0, data, nil, ISPPSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(1, 0, data, nil, ISPPDV); err != nil {
+		t.Fatal(err)
+	}
+	sv, dv := 0, 0
+	for i := 0; i < 30; i++ {
+		a, _, _ := d.Read(0, 0)
+		b, _, _ := d.Read(1, 0)
+		sv += bitDiff(a, data)
+		dv += bitDiff(b, data)
+	}
+	if dv*5 > sv {
+		t.Fatalf("DV flips %d not ≈ one order below SV flips %d", dv, sv)
+	}
+}
+
+func TestDeviceOperationDurations(t *testing.T) {
+	d := testDevice(t)
+	data := make([]byte, 4096)
+	if _, err := d.Program(0, 0, data, nil, ISPPDV); err != nil {
+		t.Fatal(err)
+	}
+	prog := d.LastOpDuration()
+	if _, _, err := d.Read(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	read := d.LastOpDuration()
+	if read != PageReadTime {
+		t.Fatalf("read duration %v, want tR=%v", read, PageReadTime)
+	}
+	if prog <= read {
+		t.Fatalf("program %v not slower than read %v", prog, read)
+	}
+}
+
+func TestCorruptStatistics(t *testing.T) {
+	rng := stats.NewRNG(7)
+	src := make([]byte, 4096)
+	const rber = 1e-3
+	total := 0
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		dst := corrupt(rng, src, rber)
+		total += bitDiff(dst, src)
+	}
+	mean := float64(total) / reps
+	want := 4096 * 8 * rber // ≈ 32.8
+	if mean < want*0.7 || mean > want*1.3 {
+		t.Fatalf("corrupt injects %.1f errors/page, want ≈ %.1f", mean, want)
+	}
+}
+
+func TestCorruptEmpty(t *testing.T) {
+	rng := stats.NewRNG(8)
+	if got := corrupt(rng, nil, 0.5); len(got) != 0 {
+		t.Fatal("corrupt of empty slice grew")
+	}
+}

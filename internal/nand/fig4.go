@@ -1,0 +1,79 @@
+package nand
+
+import (
+	"math"
+
+	"xlnand/internal/stats"
+)
+
+// TransferCurve is the ISPP characterisation of Fig. 4: the threshold
+// voltage of a cell tracked pulse by pulse against the staircase control
+// gate voltage (the paper's fit uses 7 µs pulses with ΔISPP = 1 V on a
+// 41 nm device).
+type TransferCurve struct {
+	VCG []float64
+	VTH []float64
+}
+
+// SimulateTransferCurve runs the compact model for a single median cell
+// through an ISPP ramp from vStart to vEnd with the given step, starting
+// at threshold vth0, without verify (pure characterisation mode). The
+// staircase saturates to VTH = VCG - K with unit slope once the overdrive
+// exceeds the starting threshold — the signature Fig. 4 checks.
+func (c Calibration) SimulateTransferCurve(vStart, vEnd, step, vth0 float64) TransferCurve {
+	var tc TransferCurve
+	vth := vth0
+	k := c.KOffsetMu
+	for vcg := vStart; vcg <= vEnd+1e-9; vcg += step {
+		land := vcg - k
+		if land > vth {
+			vth = land
+		}
+		tc.VCG = append(tc.VCG, vcg)
+		tc.VTH = append(tc.VTH, vth)
+	}
+	return tc
+}
+
+// ReferenceTransferCurve synthesises the "experimental" staircase the
+// compact model is fitted against (substituting for the measured 41 nm
+// data of Spessot et al. [26], see DESIGN.md §3): the same physics with
+// a soft turn-on knee and measurement noise.
+func (c Calibration) ReferenceTransferCurve(vStart, vEnd, step, vth0 float64, rng *stats.RNG) TransferCurve {
+	var tc TransferCurve
+	vth := vth0
+	k := c.KOffsetMu
+	const knee = 0.8 // soft transition region width [V]
+	for vcg := vStart; vcg <= vEnd+1e-9; vcg += step {
+		over := vcg - k - vth
+		switch {
+		case over > knee:
+			vth = vcg - k
+		case over > 0:
+			// Sub-exponential approach inside the knee.
+			vth += over * (1 - math.Exp(-over/knee))
+		}
+		noisy := vth + rng.NormMuSigma(0, 0.05)
+		tc.VCG = append(tc.VCG, vcg)
+		tc.VTH = append(tc.VTH, noisy)
+	}
+	return tc
+}
+
+// RMSDiff returns the root-mean-square V_TH difference between two curves
+// sampled on the same VCG grid — the fit-quality metric for Fig. 4.
+func RMSDiff(a, b TransferCurve) float64 {
+	n := len(a.VTH)
+	if len(b.VTH) < n {
+		n = len(b.VTH)
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		d := a.VTH[i] - b.VTH[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}

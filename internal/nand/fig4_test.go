@@ -1,0 +1,74 @@
+package nand
+
+import (
+	"math"
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+func TestTransferCurveStaircase(t *testing.T) {
+	cal := DefaultCalibration()
+	// Paper Fig. 4 setup: 1 V steps, starting threshold -6 V.
+	tc := cal.SimulateTransferCurve(6, 24, 1.0, -6)
+	if len(tc.VCG) != len(tc.VTH) || len(tc.VCG) != 19 {
+		t.Fatalf("curve has %d/%d points", len(tc.VCG), len(tc.VTH))
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(tc.VTH); i++ {
+		if tc.VTH[i] < tc.VTH[i-1] {
+			t.Fatalf("VTH decreased at step %d", i)
+		}
+	}
+	// In the saturated region the slope must be 1 (VTH tracks VCG).
+	last := len(tc.VTH) - 1
+	slope := (tc.VTH[last] - tc.VTH[last-3]) / (tc.VCG[last] - tc.VCG[last-3])
+	if math.Abs(slope-1) > 1e-9 {
+		t.Fatalf("saturated ISPP slope = %v, want 1", slope)
+	}
+	// And the offset is K: VTH = VCG - K.
+	if math.Abs(tc.VTH[last]-(tc.VCG[last]-cal.KOffsetMu)) > 1e-9 {
+		t.Fatalf("saturated VTH %v != VCG - K = %v", tc.VTH[last], tc.VCG[last]-cal.KOffsetMu)
+	}
+}
+
+func TestTransferCurveFlatBeforeTurnOn(t *testing.T) {
+	cal := DefaultCalibration()
+	tc := cal.SimulateTransferCurve(2, 24, 1.0, -2)
+	// While VCG - K < VTH0 the threshold must not move.
+	for i, vcg := range tc.VCG {
+		if vcg-cal.KOffsetMu < -2 && tc.VTH[i] != -2 {
+			t.Fatalf("VTH moved to %v before turn-on at VCG=%v", tc.VTH[i], vcg)
+		}
+	}
+}
+
+func TestCompactModelFitsReference(t *testing.T) {
+	// Fig. 4's claim: the compact model fits the (here: synthetic)
+	// experimental staircase. RMS error must be well under one ISPP step.
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(14)
+	sim := cal.SimulateTransferCurve(6, 24, 1.0, -6)
+	ref := cal.ReferenceTransferCurve(6, 24, 1.0, -6, rng)
+	rms := RMSDiff(sim, ref)
+	if rms > 0.5 {
+		t.Fatalf("compact model RMS error %v V vs reference (> half a 1 V step)", rms)
+	}
+	if rms == 0 {
+		t.Fatal("suspiciously perfect fit: reference noise missing")
+	}
+}
+
+func TestRMSDiffEdgeCases(t *testing.T) {
+	a := TransferCurve{VTH: []float64{1, 2, 3}}
+	if got := RMSDiff(a, a); got != 0 {
+		t.Fatalf("RMS of identical curves = %v", got)
+	}
+	if !math.IsNaN(RMSDiff(TransferCurve{}, TransferCurve{})) {
+		t.Fatal("RMS of empty curves should be NaN")
+	}
+	b := TransferCurve{VTH: []float64{1, 2}}
+	if got := RMSDiff(a, b); math.IsNaN(got) {
+		t.Fatal("RMS should handle length mismatch by truncation")
+	}
+}

@@ -1,0 +1,156 @@
+package nand
+
+import "time"
+
+// ProgramResult summarises one page-program operation: the pulse/verify
+// counts and waveform timeline that the throughput (Fig. 9) and power
+// (Fig. 6) analyses consume.
+type ProgramResult struct {
+	Algorithm   Algorithm
+	Pulses      int
+	Verifies    int // final-verify operations (SV and DV)
+	PreVerifies int // DV pre-verify operations
+	MaxVCG      float64
+	Duration    time.Duration
+	// Failures counts cells still unverified when the pump ceiling was
+	// reached — the program-status-fail path of a real device.
+	Failures int
+	// Timeline is the phase-by-phase waveform for the HV power model.
+	Timeline []Phase
+}
+
+// cellState tracks per-cell progress through one program operation.
+type cellState uint8
+
+const (
+	csInhibited cellState = iota // target reached (or target L0): program-inhibit
+	csCoarse                     // full-step ISPP
+	csFine                       // DV only: passed pre-verify, reduced step
+)
+
+// runISPP executes the pulse/verify loop shared by both algorithms
+// (paper §5): apply a gate pulse to all non-inhibited cells, then verify
+// each still-active level and inhibit cells that reached their target.
+// ISPP-DV adds, per active level, a pre-verify at VFY - DVPreOffset; cells
+// beyond it continue with a bit-line-biased (reduced effective step)
+// pulse, compacting the final distribution.
+func runISPP(p *PageSim, targets []Level, alg Algorithm, aged AgedParams) ProgramResult {
+	cal := p.cal
+	res := ProgramResult{Algorithm: alg}
+
+	state := make([]cellState, len(targets))
+	// Per-operation slow-cell tail: oxide traps make some cells need
+	// more overdrive as the device ages.
+	kEff := make([]float64, len(targets))
+	active := 0
+	for i, tgt := range targets {
+		kEff[i] = p.k[i]
+		if aged.KSlowTail > 0 {
+			tail := p.rng.NormMuSigma(0, aged.KSlowTail)
+			if tail > 0 {
+				kEff[i] += tail
+			}
+		}
+		if tgt == L0 {
+			state[i] = csInhibited
+		} else {
+			state[i] = csCoarse
+			active++
+		}
+	}
+
+	res.Timeline = append(res.Timeline, Phase{Kind: PhaseLoad, Duration: cal.TLoad})
+	res.Duration += cal.TLoad
+	if active == 0 {
+		return res
+	}
+
+	fineStep := cal.DeltaISPP * cal.DVStepFactor
+	vcg := cal.VStart
+	for pulse := 0; pulse < cal.MaxPulses() && active > 0; pulse++ {
+		// --- program pulse ---
+		res.Pulses++
+		res.MaxVCG = vcg
+		res.Timeline = append(res.Timeline, Phase{
+			Kind:       PhaseProgram,
+			Duration:   cal.TPulse,
+			VCG:        vcg,
+			ActiveFrac: float64(active) / float64(len(targets)),
+		})
+		res.Duration += cal.TPulse
+		for i := range targets {
+			switch state[i] {
+			case csCoarse:
+				land := vcg - kEff[i] + p.rng.NormMuSigma(0, aged.InjSigma)
+				if land > p.vth[i] {
+					p.vth[i] = land
+				}
+			case csFine:
+				// Bit-line bias throttles tunnelling: the cell advances
+				// by at most the reduced step regardless of overdrive.
+				land := vcg - kEff[i] + p.rng.NormMuSigma(0, aged.InjSigma)
+				capped := p.vth[i] + fineStep + p.rng.NormMuSigma(0, aged.InjSigma*cal.DVStepFactor)
+				if land > capped {
+					land = capped
+				}
+				if land > p.vth[i] {
+					p.vth[i] = land
+				}
+			}
+		}
+
+		// --- verify phases, per level still holding active cells ---
+		for lvl := L1; lvl <= L3; lvl++ {
+			hasActive := false
+			for i, tgt := range targets {
+				if tgt == lvl && state[i] != csInhibited {
+					hasActive = true
+					break
+				}
+			}
+			if !hasActive {
+				continue
+			}
+			vfy := cal.VerifyTarget(lvl)
+
+			if alg == ISPPDV {
+				// Pre-verify at VFY - DVPreOffset moves coarse cells
+				// beyond it into the fine (bit-line biased) regime.
+				res.PreVerifies++
+				res.Timeline = append(res.Timeline, Phase{
+					Kind: PhaseVerify, Duration: cal.TVerify, Level: lvl,
+				})
+				res.Duration += cal.TVerify
+				pre := vfy - cal.DVPreOffset
+				for i, tgt := range targets {
+					if tgt == lvl && state[i] == csCoarse &&
+						p.vth[i]+p.rng.NormMuSigma(0, aged.ReadNoise) >= pre {
+						state[i] = csFine
+					}
+				}
+			}
+
+			// Final verify: cells at/above VFY are program-inhibited.
+			res.Verifies++
+			res.Timeline = append(res.Timeline, Phase{
+				Kind: PhaseVerify, Duration: cal.TVerify, Level: lvl,
+			})
+			res.Duration += cal.TVerify
+			for i, tgt := range targets {
+				if tgt == lvl && state[i] != csInhibited &&
+					p.vth[i]+p.rng.NormMuSigma(0, aged.ReadNoise) >= vfy {
+					state[i] = csInhibited
+					active--
+				}
+			}
+		}
+
+		vcg += cal.DeltaISPP
+		if vcg > cal.VEnd {
+			break
+		}
+	}
+
+	res.Failures = active
+	return res
+}

@@ -1,0 +1,84 @@
+package nand
+
+// LoadStrategy selects how page data reaches the page buffer and how the
+// two bits per cell are placed (paper footnote 1 and §6.3.3).
+type LoadStrategy int
+
+const (
+	// FullSequence loads both logical pages up front and programs all
+	// target levels in one ISPP run — the strategy the paper simulates.
+	FullSequence LoadStrategy = iota
+	// TwoRound programs the lower page first (a coarse two-level
+	// placement) and the upper page in a second round that refines cells
+	// onto the final four levels. Only the second round needs the
+	// accurate placement, so the double-verify overhead applies to that
+	// round alone — the mitigation §6.3.3 points to for the write-
+	// throughput penalty.
+	TwoRound
+)
+
+// String implements fmt.Stringer.
+func (s LoadStrategy) String() string {
+	switch s {
+	case FullSequence:
+		return "full-sequence"
+	case TwoRound:
+		return "two-round"
+	default:
+		return "load?"
+	}
+}
+
+// EstimateProgramStrategy extends EstimateProgram with the data-load
+// strategy. FullSequence delegates to the standard estimator. TwoRound
+// splits the operation:
+//
+//   - round 1 (lower page): a two-level placement to an intermediate
+//     verify target, always standard ISPP-SV (accuracy is refined later
+//     anyway), covering roughly the lower half of the V_TH span;
+//   - round 2 (upper page): the four-level refinement with the selected
+//     algorithm; only here does ISPP-DV spend its extra verifies.
+//
+// The second round's data load overlaps round 1's programming, hiding
+// TLoad once.
+func EstimateProgramStrategy(cal Calibration, alg Algorithm, strat LoadStrategy, aged AgedParams) ProgramResult {
+	if strat == FullSequence {
+		return EstimateProgram(cal, alg, aged)
+	}
+	// Round 1: SV placement over about half the span (to the L1/L2
+	// boundary region). Model it as an SV program whose slowest target
+	// is VFY1 + half the remaining span.
+	r1cal := cal
+	r1cal.VFY[2] = cal.VFY[0] + 0.5*(cal.VFY[2]-cal.VFY[0])
+	round1 := EstimateProgram(r1cal, ISPPSV, aged)
+
+	// Round 2: refinement from the intermediate placement to the final
+	// levels with the selected algorithm. The ramp is shorter (cells
+	// start near their targets): model with a start voltage raised by
+	// the round-1 span.
+	r2cal := cal
+	r2cal.VStart = cal.VStart + 0.4*(cal.VFY[2]-cal.VFY[0])
+	round2 := EstimateProgram(r2cal, alg, aged)
+
+	total := ProgramResult{
+		Algorithm:   alg,
+		Pulses:      round1.Pulses + round2.Pulses,
+		Verifies:    round1.Verifies + round2.Verifies,
+		PreVerifies: round2.PreVerifies,
+		MaxVCG:      round2.MaxVCG,
+		// The second data load hides behind round 1's pulses.
+		Duration: round1.Duration + round2.Duration - cal.TLoad,
+	}
+	return total
+}
+
+// WriteLossStrategy returns the fractional write-throughput loss of
+// switching SV -> alg under the given load strategy at the given wear —
+// the quantity Fig. 9 plots for FullSequence, and its mitigated variant
+// for TwoRound.
+func WriteLossStrategy(cal Calibration, alg Algorithm, strat LoadStrategy, cycles float64) float64 {
+	aged := cal.Age(cycles)
+	base := EstimateProgramStrategy(cal, ISPPSV, strat, aged)
+	mod := EstimateProgramStrategy(cal, alg, strat, aged)
+	return 1 - base.Duration.Seconds()/mod.Duration.Seconds()
+}

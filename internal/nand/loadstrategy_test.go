@@ -1,0 +1,71 @@
+package nand
+
+import "testing"
+
+func TestLoadStrategyString(t *testing.T) {
+	if FullSequence.String() != "full-sequence" || TwoRound.String() != "two-round" ||
+		LoadStrategy(9).String() != "load?" {
+		t.Fatal("strategy names drifted")
+	}
+}
+
+func TestFullSequenceDelegates(t *testing.T) {
+	cal := DefaultCalibration()
+	aged := cal.Age(1e4)
+	a := EstimateProgram(cal, ISPPDV, aged)
+	b := EstimateProgramStrategy(cal, ISPPDV, FullSequence, aged)
+	if a.Duration != b.Duration || a.Pulses != b.Pulses {
+		t.Fatal("FullSequence strategy does not match the base estimator")
+	}
+}
+
+func TestTwoRoundSlowerInAbsoluteTerms(t *testing.T) {
+	// Two-round is not free: the split placement costs extra pulses and
+	// verifies overall (that is why full-sequence exists).
+	cal := DefaultCalibration()
+	aged := cal.Age(1e3)
+	for _, alg := range []Algorithm{ISPPSV, ISPPDV} {
+		full := EstimateProgramStrategy(cal, alg, FullSequence, aged)
+		two := EstimateProgramStrategy(cal, alg, TwoRound, aged)
+		if two.Duration <= full.Duration {
+			t.Fatalf("%v: two-round %v not slower than full-sequence %v",
+				alg, two.Duration, full.Duration)
+		}
+	}
+}
+
+func TestTwoRoundMitigatesDVPenalty(t *testing.T) {
+	// The paper's §6.3.3 claim: the DV write-throughput loss "can be
+	// mitigated by using a two-round data load strategy". The relative
+	// loss must shrink substantially at every wear level.
+	cal := DefaultCalibration()
+	for _, n := range []float64{1, 1e3, 1e6} {
+		full := WriteLossStrategy(cal, ISPPDV, FullSequence, n)
+		two := WriteLossStrategy(cal, ISPPDV, TwoRound, n)
+		if two >= full {
+			t.Fatalf("N=%g: two-round loss %.1f%% not below full-sequence %.1f%%",
+				n, 100*two, 100*full)
+		}
+		if full-two < 0.08 {
+			t.Fatalf("N=%g: mitigation only %.1f points", n, 100*(full-two))
+		}
+		if two < 0.10 {
+			t.Fatalf("N=%g: two-round loss %.1f%% implausibly small (DV still costs)",
+				n, 100*two)
+		}
+	}
+}
+
+func TestTwoRoundPreVerifiesOnlyInSecondRound(t *testing.T) {
+	cal := DefaultCalibration()
+	aged := cal.Age(1e3)
+	two := EstimateProgramStrategy(cal, ISPPDV, TwoRound, aged)
+	fullDV := EstimateProgramStrategy(cal, ISPPDV, FullSequence, aged)
+	if two.PreVerifies == 0 {
+		t.Fatal("two-round DV lost its pre-verifies")
+	}
+	if two.PreVerifies >= fullDV.PreVerifies {
+		t.Fatalf("two-round pre-verifies %d not below full-sequence %d",
+			two.PreVerifies, fullDV.PreVerifies)
+	}
+}

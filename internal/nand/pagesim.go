@@ -1,0 +1,142 @@
+package nand
+
+import (
+	"fmt"
+
+	"xlnand/internal/stats"
+)
+
+// PageSim is the Monte-Carlo cell array for one flash page: every cell
+// carries a persistent gate-coupling offset K (its manufacturing
+// identity: geometry, oxide and doping variations, paper §5.1) and a
+// current threshold voltage. Programming runs the real ISPP pulse train;
+// reading applies retention shift, cell-to-cell interference and sensing
+// noise before classifying against R1-R3.
+//
+// PageSim is not safe for concurrent use; it owns its RNG stream.
+type PageSim struct {
+	cal Calibration
+	rng *stats.RNG
+
+	k   []float64 // per-cell coupling offset VTH = VCG - K in steady state
+	vth []float64 // current threshold voltage
+	// programmed tracks the level each cell was last programmed to, so
+	// reads can model retention shift proportionally.
+	programmed []Level
+	erased     bool
+}
+
+// NewPageSim builds a page of cells cells with manufacturing variability
+// drawn from the calibration's fresh distributions.
+func NewPageSim(cal Calibration, cells int, rng *stats.RNG) *PageSim {
+	if cells <= 0 {
+		panic("nand: page must have at least one cell")
+	}
+	p := &PageSim{
+		cal:        cal,
+		rng:        rng,
+		k:          make([]float64, cells),
+		vth:        make([]float64, cells),
+		programmed: make([]Level, cells),
+	}
+	for i := range p.k {
+		p.k[i] = rng.NormMuSigma(cal.KOffsetMu, cal.KOffsetSigma)
+	}
+	return p
+}
+
+// Cells returns the number of cells on the page.
+func (p *PageSim) Cells() int { return len(p.k) }
+
+// VTH returns the current threshold voltage of cell i.
+func (p *PageSim) VTH(i int) float64 { return p.vth[i] }
+
+// VTHs returns a copy of all threshold voltages (for distribution
+// inspection and Fig. 4/5 style analysis).
+func (p *PageSim) VTHs() []float64 {
+	return append([]float64(nil), p.vth...)
+}
+
+// Erase returns every cell to the L0 distribution (paper §5: "An Erase
+// operation places all the cells within a block on the L0 level").
+func (p *PageSim) Erase(aged AgedParams) {
+	for i := range p.vth {
+		p.vth[i] = p.rng.NormMuSigma(p.cal.EraseMu, aged.EraseSigma)
+		p.programmed[i] = L0
+	}
+	p.erased = true
+}
+
+// Program runs the ISPP engine for the given per-cell target levels.
+// The page must have been erased since the last Program; programming a
+// non-erased page is a usage error (the controller enforces erase-before-
+// program), reported rather than silently mis-simulated.
+func (p *PageSim) Program(targets []Level, alg Algorithm, aged AgedParams) (ProgramResult, error) {
+	if len(targets) != len(p.k) {
+		return ProgramResult{}, fmt.Errorf("nand: %d targets for %d cells", len(targets), len(p.k))
+	}
+	if !p.erased {
+		return ProgramResult{}, fmt.Errorf("nand: program on non-erased page")
+	}
+	p.erased = false
+	res := runISPP(p, targets, alg, aged)
+	p.applyCCI()
+	for i, tgt := range targets {
+		p.programmed[i] = tgt
+	}
+	return res, nil
+}
+
+// applyCCI models cell-to-cell interference: a fraction of each
+// neighbour's programming swing couples onto the victim's floating gate
+// (paper §5.1 "Cell-to-Cell interference caused by cross-talk between
+// adjacent floating gates").
+func (p *PageSim) applyCCI() {
+	if p.cal.CCICoupling == 0 || len(p.vth) < 3 {
+		return
+	}
+	orig := append([]float64(nil), p.vth...)
+	for i := range p.vth {
+		var swing float64
+		var nb int
+		if i > 0 {
+			swing += orig[i-1] - p.cal.EraseMu
+			nb++
+		}
+		if i < len(orig)-1 {
+			swing += orig[i+1] - p.cal.EraseMu
+			nb++
+		}
+		if nb > 0 {
+			// Coupling is halved per neighbour; only positive swings
+			// (programmed neighbours) disturb.
+			s := swing / float64(nb)
+			if s > 0 {
+				p.vth[i] += p.cal.CCICoupling * s * 0.5 * p.rng.Float64()
+			}
+		}
+	}
+}
+
+// ReadLevels senses every cell and classifies it against R1-R3, applying
+// the aged retention shift (programmed levels drift down) and sensing
+// noise. The stored VTH is not modified: retention is modelled at read
+// time so repeated reads at different ages reuse one programmed state.
+func (p *PageSim) ReadLevels(aged AgedParams) []Level {
+	out := make([]Level, len(p.vth))
+	for i, v := range p.vth {
+		eff := v
+		if p.programmed[i] != L0 {
+			// Higher levels store more charge and leak proportionally more.
+			eff -= aged.RetShift * (1 + 0.5*float64(p.programmed[i]-1))
+		}
+		eff += p.rng.NormMuSigma(0, aged.ReadNoise)
+		out[i] = p.cal.ClassifyVTH(eff)
+	}
+	return out
+}
+
+// ReadBytes reads the page back as data bytes via the Gray mapping.
+func (p *PageSim) ReadBytes(aged AgedParams) []byte {
+	return LevelsToBytes(p.ReadLevels(aged))
+}

@@ -1,0 +1,57 @@
+package nand
+
+import "time"
+
+// PhaseKind labels one interval of the program-operation waveform, the
+// granularity at which the high-voltage subsystem model (internal/hv)
+// integrates charge-pump power.
+type PhaseKind int
+
+const (
+	// PhaseLoad is the page-buffer data load preceding the pulse train.
+	PhaseLoad PhaseKind = iota
+	// PhaseProgram is one ISPP gate pulse driven by the program pump.
+	PhaseProgram
+	// PhaseVerify is one verify read driven by the verify pump.
+	PhaseVerify
+	// PhaseErase is a block-erase interval.
+	PhaseErase
+)
+
+// String implements fmt.Stringer.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseLoad:
+		return "load"
+	case PhaseProgram:
+		return "program"
+	case PhaseVerify:
+		return "verify"
+	case PhaseErase:
+		return "erase"
+	default:
+		return "phase?"
+	}
+}
+
+// Phase is one step of the operation timeline handed to the HV model.
+type Phase struct {
+	Kind     PhaseKind
+	Duration time.Duration
+	// VCG is the control-gate voltage for program phases (pump target).
+	VCG float64
+	// ActiveFrac is the fraction of page cells still being programmed
+	// (inhibited cells load the inhibit pump instead).
+	ActiveFrac float64
+	// Level is the target level for verify phases.
+	Level Level
+}
+
+// TimelineDuration sums the durations of a phase sequence.
+func TimelineDuration(tl []Phase) time.Duration {
+	var d time.Duration
+	for _, p := range tl {
+		d += p.Duration
+	}
+	return d
+}

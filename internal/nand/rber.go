@@ -1,0 +1,99 @@
+package nand
+
+import (
+	"math"
+	"time"
+
+	"xlnand/internal/stats"
+)
+
+// RBER returns the analytic lifetime raw bit error rate for the given
+// program algorithm after `cycles` program/erase cycles — the calibrated
+// reproduction of Fig. 5:
+//
+//   - flat at RBERFresh below RBERRefCyc cycles,
+//   - power-law growth (exponent RBERExp) afterwards,
+//   - ISPP-DV sits one order of magnitude (DVGain) below ISPP-SV across
+//     the whole lifetime,
+//   - clamped at a physical ceiling.
+//
+// The anchors: SV fresh = 1e-6 (the paper's best case, where t=3
+// suffices), SV at 1e6 cycles = 1e-3 (where t=65 is needed), DV at 1e6
+// cycles ≈ 8.4e-5 (t=14).
+func (c Calibration) RBER(alg Algorithm, cycles float64) float64 {
+	base := c.RBERFresh
+	if cycles > c.RBERRefCyc {
+		base *= math.Pow(cycles/c.RBERRefCyc, c.RBERExp)
+	}
+	if alg == ISPPDV {
+		base /= c.DVGain
+	}
+	return math.Min(base, c.RBERCeiling)
+}
+
+// RBERMeasurement is the outcome of a Monte-Carlo RBER estimation run.
+type RBERMeasurement struct {
+	Pages     int
+	Bits      int
+	BitErrors int
+	// RBER is BitErrors/Bits; zero errors yields the upper-bound
+	// estimate 1/Bits flagged by UpperBound.
+	RBER       float64
+	UpperBound bool
+	// AvgProgram is the mean page-program result across the run, used by
+	// throughput and power analyses.
+	AvgProgram ProgramResult
+}
+
+// MeasureRBER estimates the raw bit error rate by Monte-Carlo array
+// simulation: erase, program a random data page with the chosen
+// algorithm at age N, read back, count Gray-mapped bit errors. It runs
+// until minErrors errors have been observed or maxPages pages simulated.
+//
+// At low true RBER the estimate is noise-limited (use the analytic model
+// there); at the aged, high-RBER corners this measurement validates the
+// model's shape.
+func MeasureRBER(cal Calibration, alg Algorithm, cycles float64, cells, minErrors, maxPages int, rng *stats.RNG) RBERMeasurement {
+	aged := cal.Age(cycles)
+	var m RBERMeasurement
+	var totalDur time.Duration
+	var totalPulses, totalVerifies, totalPre int
+	sim := NewPageSim(cal, cells, rng.Split())
+	data := make([]byte, cells/4)
+	for m.Pages = 0; m.Pages < maxPages && m.BitErrors < minErrors; m.Pages++ {
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		targets := TargetLevels(data)
+		sim.Erase(aged)
+		res, err := sim.Program(targets, alg, aged)
+		if err != nil {
+			panic("nand: MeasureRBER internal misuse: " + err.Error())
+		}
+		got := sim.ReadLevels(aged)
+		for i, tgt := range targets {
+			m.BitErrors += BitErrors(tgt, got[i])
+		}
+		m.Bits += 2 * len(targets)
+		totalDur += res.Duration
+		totalPulses += res.Pulses
+		totalVerifies += res.Verifies
+		totalPre += res.PreVerifies
+	}
+	if m.Pages > 0 {
+		m.AvgProgram = ProgramResult{
+			Algorithm:   alg,
+			Pulses:      totalPulses / m.Pages,
+			Verifies:    totalVerifies / m.Pages,
+			PreVerifies: totalPre / m.Pages,
+			Duration:    totalDur / time.Duration(m.Pages),
+		}
+	}
+	if m.BitErrors == 0 {
+		m.RBER = 1 / float64(m.Bits)
+		m.UpperBound = true
+	} else {
+		m.RBER = float64(m.BitErrors) / float64(m.Bits)
+	}
+	return m
+}

@@ -1,0 +1,149 @@
+package nand
+
+import (
+	"math"
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+func TestRBERAnchorsFig5(t *testing.T) {
+	cal := DefaultCalibration()
+	// Paper anchors: SV fresh 1e-6; SV at 1e6 cycles 1e-3; DV one order
+	// of magnitude below SV across the lifetime.
+	if got := cal.RBER(ISPPSV, 0); math.Abs(got-1e-6)/1e-6 > 1e-9 {
+		t.Fatalf("SV fresh RBER = %g, want 1e-6", got)
+	}
+	if got := cal.RBER(ISPPSV, 1e6); math.Abs(got-1e-3)/1e-3 > 1e-6 {
+		t.Fatalf("SV EOL RBER = %g, want 1e-3", got)
+	}
+	dv := cal.RBER(ISPPDV, 1e6)
+	if dv < 7e-5 || dv > 1e-4 {
+		t.Fatalf("DV EOL RBER = %g, want ≈ 8.4e-5", dv)
+	}
+}
+
+func TestRBEROneOrderImprovementEverywhere(t *testing.T) {
+	cal := DefaultCalibration()
+	for _, n := range []float64{0, 1e2, 1e3, 1e4, 1e5, 1e6} {
+		ratio := cal.RBER(ISPPSV, n) / cal.RBER(ISPPDV, n)
+		if ratio < 8 || ratio > 16 {
+			t.Fatalf("SV/DV ratio at N=%g is %v, want ≈ one order of magnitude", n, ratio)
+		}
+	}
+}
+
+func TestRBERMonotoneInCycles(t *testing.T) {
+	cal := DefaultCalibration()
+	for _, alg := range []Algorithm{ISPPSV, ISPPDV} {
+		prev := 0.0
+		for n := 1.0; n <= 1e7; n *= 3 {
+			cur := cal.RBER(alg, n)
+			if cur < prev {
+				t.Fatalf("%v: RBER decreased at N=%g", alg, n)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestRBERCeiling(t *testing.T) {
+	cal := DefaultCalibration()
+	if got := cal.RBER(ISPPSV, 1e12); got > cal.RBERCeiling {
+		t.Fatalf("RBER %g exceeded ceiling %g", got, cal.RBERCeiling)
+	}
+}
+
+func TestMeasureRBERAgedSVWithinOrderOfModel(t *testing.T) {
+	// At the aged, high-RBER corner the Monte-Carlo array and the
+	// analytic model must agree within an order of magnitude — this is
+	// the bridge between the two fidelity layers.
+	if testing.Short() {
+		t.Skip("Monte-Carlo RBER validation skipped in -short mode")
+	}
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(42)
+	m := MeasureRBER(cal, ISPPSV, 1e6, 4096, 50, 60, rng)
+	if m.UpperBound {
+		t.Fatalf("no errors observed at EOL SV; MC model far off (pages=%d)", m.Pages)
+	}
+	model := cal.RBER(ISPPSV, 1e6)
+	ratio := m.RBER / model
+	if ratio < 0.05 || ratio > 20 {
+		t.Fatalf("MC RBER %g vs model %g: ratio %v outside order-of-magnitude band",
+			m.RBER, model, ratio)
+	}
+}
+
+func TestMeasureRBEROrderingDVBelowSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo ordering check skipped in -short mode")
+	}
+	cal := DefaultCalibration()
+	sv := MeasureRBER(cal, ISPPSV, 1e6, 4096, 40, 40, stats.NewRNG(43))
+	dv := MeasureRBER(cal, ISPPDV, 1e6, 4096, 40, 40, stats.NewRNG(43))
+	// DV may well see zero errors (upper bound); its estimate must in
+	// any case sit below the SV measurement.
+	if dv.RBER >= sv.RBER {
+		t.Fatalf("MC: DV RBER %g not below SV %g", dv.RBER, sv.RBER)
+	}
+}
+
+func TestMeasureRBERProgressivelyWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo aging check skipped in -short mode")
+	}
+	cal := DefaultCalibration()
+	mid := MeasureRBER(cal, ISPPSV, 1e4, 4096, 30, 30, stats.NewRNG(44))
+	eol := MeasureRBER(cal, ISPPSV, 1e6, 4096, 30, 30, stats.NewRNG(44))
+	if eol.RBER <= mid.RBER {
+		t.Fatalf("MC RBER not growing with wear: 1e4->%g, 1e6->%g", mid.RBER, eol.RBER)
+	}
+}
+
+func TestEstimateProgramTracksMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("estimator-vs-MC comparison skipped in -short mode")
+	}
+	cal := DefaultCalibration()
+	for _, alg := range []Algorithm{ISPPSV, ISPPDV} {
+		for _, cycles := range []float64{0, 1e6} {
+			m := MeasureRBER(cal, alg, cycles, 4096, 1, 12, stats.NewRNG(45))
+			est := EstimateProgram(cal, alg, cal.Age(cycles))
+			ratio := float64(est.Duration) / float64(m.AvgProgram.Duration)
+			if ratio < 0.7 || ratio > 1.4 {
+				t.Fatalf("%v N=%g: estimator %v vs MC %v (ratio %.2f)",
+					alg, cycles, est.Duration, m.AvgProgram.Duration, ratio)
+			}
+		}
+	}
+}
+
+func TestEstimateProgramWriteLossBand(t *testing.T) {
+	// Fig. 9's envelope: loss ≈ 40% fresh growing to ≈ 48% at end of
+	// life (we accept 35-55% with strict monotone growth in wear).
+	cal := DefaultCalibration()
+	prevLoss := 0.0
+	for _, cycles := range []float64{1, 1e3, 1e6} {
+		sv := EstimateProgram(cal, ISPPSV, cal.Age(cycles))
+		dv := EstimateProgram(cal, ISPPDV, cal.Age(cycles))
+		loss := 1 - float64(sv.Duration)/float64(dv.Duration)
+		if loss < 0.35 || loss > 0.55 {
+			t.Fatalf("write loss %.1f%% at N=%g outside band", 100*loss, cycles)
+		}
+		if loss < prevLoss-0.03 {
+			t.Fatalf("write loss shrank materially with age at N=%g", cycles)
+		}
+		prevLoss = loss
+	}
+}
+
+func TestDVProgramNearPaperDuration(t *testing.T) {
+	// Paper §6.3.3: ISPP-DV program time ≈ 1.5 ms.
+	cal := DefaultCalibration()
+	dv := EstimateProgram(cal, ISPPDV, cal.Age(1e4))
+	ms := dv.Duration.Seconds() * 1e3
+	if ms < 1.1 || ms > 2.1 {
+		t.Fatalf("DV program time %.2f ms, paper says ≈ 1.5 ms", ms)
+	}
+}

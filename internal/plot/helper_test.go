@@ -1,0 +1,5 @@
+package plot
+
+import "xlnand/internal/sim"
+
+func envForPlot() sim.Env { return sim.DefaultEnv() }

@@ -1,0 +1,188 @@
+// Package rs implements a Reed-Solomon codec over GF(2^8) — the
+// alternative ECC family the paper's related work cites for MLC NAND
+// (Chen et al. [14]). It serves as a comparison baseline against the
+// adaptive BCH codec: RS corrects symbol (byte) errors, which favours
+// clustered bit errors but costs more parity for the sparse, independent
+// errors typical of NAND (paper §4: "errors in flash memories are in
+// general non-correlated and BCH codes are particularly efficient in
+// this situation").
+//
+// The decoder is the classic chain: syndromes, Berlekamp-Massey (shared
+// with the BCH package), Chien search over symbol positions, and Forney's
+// algorithm for error magnitudes.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/gf"
+)
+
+// ErrUncorrectable reports an error pattern beyond the code's capability.
+var ErrUncorrectable = errors.New("rs: uncorrectable error pattern")
+
+// Code is an RS(n, k) code over GF(2^8): n total symbols (bytes), k data
+// symbols, correcting t = (n-k)/2 symbol errors.
+type Code struct {
+	N, K, T int
+	field   *gf.Field
+	gen     gf.PolyM // generator polynomial, degree 2t
+}
+
+// New constructs RS(n, k) over GF(2^8). n must fit the field (n <= 255)
+// and n-k must be even and positive.
+func New(n, k int) (*Code, error) {
+	if n < 3 || n > 255 {
+		return nil, fmt.Errorf("rs: n=%d outside [3, 255]", n)
+	}
+	if k <= 0 || k >= n {
+		return nil, fmt.Errorf("rs: k=%d outside (0, n)", k)
+	}
+	if (n-k)%2 != 0 {
+		return nil, fmt.Errorf("rs: n-k=%d must be even", n-k)
+	}
+	f := gf.NewField(8)
+	// g(x) = prod_{i=1..2t} (x - alpha^i)
+	g := gf.NewPolyM(f, 1)
+	for i := 1; i <= n-k; i++ {
+		g = g.MulXPlusConst(f.Alpha(i))
+	}
+	return &Code{N: n, K: k, T: (n - k) / 2, field: f, gen: g}, nil
+}
+
+// Field returns the symbol field.
+func (c *Code) Field() *gf.Field { return c.field }
+
+// ParityBytes returns n-k.
+func (c *Code) ParityBytes() int { return c.N - c.K }
+
+// Encode computes the 2t parity symbols for a k-byte message
+// (systematic: codeword = msg ++ parity).
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	if len(msg) != c.K {
+		return nil, fmt.Errorf("rs: message is %d bytes, want %d", len(msg), c.K)
+	}
+	// Polynomial long division: remainder of msg(x)·x^(2t) mod g(x).
+	// Message symbol msg[0] is the highest-degree coefficient.
+	r2t := c.N - c.K
+	rem := make([]uint32, r2t)
+	for _, mb := range msg {
+		factor := uint32(mb) ^ rem[r2t-1]
+		copy(rem[1:], rem[:r2t-1])
+		rem[0] = 0
+		if factor != 0 {
+			for i := 0; i < r2t; i++ {
+				if gc := c.gen.Coeff(i); gc != 0 {
+					rem[i] ^= c.field.Mul(factor, gc)
+				}
+			}
+		}
+	}
+	parity := make([]byte, r2t)
+	for i := 0; i < r2t; i++ {
+		parity[i] = byte(rem[r2t-1-i])
+	}
+	return parity, nil
+}
+
+// EncodeCodeword returns msg ++ parity.
+func (c *Code) EncodeCodeword(msg []byte) ([]byte, error) {
+	parity, err := c.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, c.N)
+	out = append(out, msg...)
+	return append(out, parity...), nil
+}
+
+// syndromes evaluates the received word at alpha^1..alpha^2t.
+// Codeword symbol cw[0] carries degree n-1.
+func (c *Code) syndromes(cw []byte) []uint32 {
+	syn := make([]uint32, c.N-c.K)
+	for j := range syn {
+		a := c.field.Alpha(j + 1)
+		var acc uint32
+		for _, b := range cw {
+			acc = c.field.Mul(acc, a) ^ uint32(b)
+		}
+		syn[j] = acc
+	}
+	return syn
+}
+
+// Decode corrects the codeword in place, returning the number of symbol
+// errors repaired or ErrUncorrectable (codeword untouched).
+func (c *Code) Decode(cw []byte) (int, error) {
+	if len(cw) != c.N {
+		return 0, fmt.Errorf("rs: codeword is %d bytes, want %d", len(cw), c.N)
+	}
+	syn := c.syndromes(cw)
+	if bch.AllZero(syn) {
+		return 0, nil
+	}
+	lambda, L := bch.BerlekampMassey(c.field, syn)
+	if L > c.T || len(lambda)-1 != L {
+		return 0, ErrUncorrectable
+	}
+	// Chien search over symbol positions: an error at polynomial degree
+	// d has locator X = alpha^d; positions returned are symbol indices
+	// (0 = first transmitted symbol = degree n-1).
+	positions, ok := bch.ChienSearch(c.field, lambda, c.N)
+	if !ok {
+		return 0, ErrUncorrectable
+	}
+	// Forney: with S(x) = S_1 + S_2·x + ... + S_2t·x^(2t-1) and
+	// Omega(x) = [S(x)·Lambda(x)] mod x^(2t), the magnitude at locator
+	// X_i is e_i = Omega(X_i^-1) / Lambda'(X_i^-1) (characteristic-2
+	// form of the b=1 convention).
+	sPoly := gf.NewPolyM(c.field, syn...)
+	lPoly := gf.NewPolyM(c.field, lambda...)
+	omega := sPoly.Mul(lPoly)
+	if omega.Degree() >= c.N-c.K {
+		omega = gf.NewPolyM(c.field, omega.Coeffs[:c.N-c.K]...)
+	}
+	lDeriv := lPoly.Derivative()
+
+	type fix struct {
+		idx int
+		val byte
+	}
+	fixes := make([]fix, 0, len(positions))
+	for _, pos := range positions {
+		d := c.N - 1 - pos // polynomial degree of the symbol
+		xInv := c.field.Alpha(-d)
+		denom := lDeriv.Eval(xInv)
+		if denom == 0 {
+			return 0, ErrUncorrectable
+		}
+		num := omega.Eval(xInv)
+		mag := c.field.Div(num, denom)
+		if mag == 0 {
+			return 0, ErrUncorrectable // located an error of magnitude zero
+		}
+		fixes = append(fixes, fix{idx: pos, val: byte(mag)})
+	}
+	for _, fx := range fixes {
+		cw[fx.idx] ^= fx.val
+	}
+	// Verify; roll back a miscorrection.
+	if !bch.AllZero(c.syndromes(cw)) {
+		for _, fx := range fixes {
+			cw[fx.idx] ^= fx.val
+		}
+		return 0, ErrUncorrectable
+	}
+	return len(fixes), nil
+}
+
+// SymbolErrorRate converts a raw bit error rate into the probability that
+// an 8-bit symbol is corrupted (any of its bits flipped).
+func SymbolErrorRate(rber float64) float64 {
+	q := 1 - rber
+	q2 := q * q
+	q4 := q2 * q2
+	return 1 - q4*q4
+}

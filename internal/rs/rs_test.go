@@ -1,0 +1,237 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+func mkRS(t *testing.T, n, k int) *Code {
+	t.Helper()
+	c, err := New(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randBytes(r *stats.RNG, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Intn(256))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := [][2]int{{2, 1}, {256, 200}, {255, 0}, {255, 255}, {255, 250}} // last: n-k odd
+	for _, nk := range bad {
+		if _, err := New(nk[0], nk[1]); err == nil {
+			t.Errorf("New(%d, %d) accepted", nk[0], nk[1])
+		}
+	}
+	if _, err := New(255, 223); err != nil {
+		t.Fatalf("classic RS(255,223) rejected: %v", err)
+	}
+}
+
+func TestGeneratorRoots(t *testing.T) {
+	c := mkRS(t, 255, 223)
+	for i := 1; i <= 32; i++ {
+		if got := c.gen.Eval(c.field.Alpha(i)); got != 0 {
+			t.Fatalf("g(alpha^%d) = %d", i, got)
+		}
+	}
+	if c.gen.Degree() != 32 {
+		t.Fatalf("deg g = %d, want 32", c.gen.Degree())
+	}
+}
+
+func TestEncodedCodewordHasZeroSyndromes(t *testing.T) {
+	c := mkRS(t, 255, 223)
+	r := stats.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		cw, err := c.EncodeCodeword(randBytes(r, c.K))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, s := range c.syndromes(cw) {
+			if s != 0 {
+				t.Fatalf("trial %d: S_%d = %d", trial, j+1, s)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsBadLength(t *testing.T) {
+	c := mkRS(t, 255, 223)
+	if _, err := c.Encode(make([]byte, 10)); err == nil {
+		t.Fatal("short message accepted")
+	}
+	if _, err := c.Decode(make([]byte, 10)); err == nil {
+		t.Fatal("short codeword accepted")
+	}
+}
+
+func TestRoundTripAllSymbolErrorCounts(t *testing.T) {
+	c := mkRS(t, 255, 223) // t = 16
+	r := stats.NewRNG(2)
+	for e := 0; e <= c.T; e++ {
+		msg := randBytes(r, c.K)
+		cw, err := c.EncodeCodeword(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), cw...)
+		// Corrupt e distinct symbols with random nonzero garbage.
+		for _, pos := range r.SampleK(c.N, e) {
+			cw[pos] ^= byte(1 + r.Intn(255))
+		}
+		n, err := c.Decode(cw)
+		if err != nil {
+			t.Fatalf("e=%d: %v", e, err)
+		}
+		if n != e || !bytes.Equal(cw, want) {
+			t.Fatalf("e=%d: corrected %d, match=%v", e, n, bytes.Equal(cw, want))
+		}
+	}
+}
+
+func TestSymbolBurstTolerance(t *testing.T) {
+	// The RS selling point: a fully clobbered run of t symbols (up to
+	// 8·t contiguous bit errors) is still correctable.
+	c := mkRS(t, 255, 223)
+	r := stats.NewRNG(3)
+	msg := randBytes(r, c.K)
+	cw, _ := c.EncodeCodeword(msg)
+	want := append([]byte(nil), cw...)
+	start := 100
+	for i := 0; i < c.T; i++ {
+		cw[start+i] = byte(r.Intn(256)) // may coincide; fix below
+		if cw[start+i] == want[start+i] {
+			cw[start+i] ^= 0xff
+		}
+	}
+	n, err := c.Decode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != c.T || !bytes.Equal(cw, want) {
+		t.Fatalf("burst of %d symbols: corrected %d", c.T, n)
+	}
+}
+
+func TestErrorsInParitySymbols(t *testing.T) {
+	c := mkRS(t, 255, 223)
+	r := stats.NewRNG(4)
+	msg := randBytes(r, c.K)
+	cw, _ := c.EncodeCodeword(msg)
+	want := append([]byte(nil), cw...)
+	cw[c.K] ^= 0x5a   // first parity symbol
+	cw[c.N-1] ^= 0x11 // last parity symbol
+	cw[0] ^= 0x01     // first data symbol
+	n, err := c.Decode(cw)
+	if err != nil || n != 3 {
+		t.Fatalf("parity-region errors: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(cw, want) {
+		t.Fatal("not restored")
+	}
+}
+
+func TestUncorrectableDetectedRS(t *testing.T) {
+	c := mkRS(t, 255, 223)
+	r := stats.NewRNG(5)
+	detected := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		cw, _ := c.EncodeCodeword(randBytes(r, c.K))
+		dirty := append([]byte(nil), cw...)
+		for _, pos := range r.SampleK(c.N, 2*c.T+3) {
+			cw[pos] ^= byte(1 + r.Intn(255))
+		}
+		if _, err := c.Decode(cw); errors.Is(err, ErrUncorrectable) {
+			detected++
+			_ = dirty
+		}
+	}
+	if detected < trials/2 {
+		t.Fatalf("only %d/%d gross corruptions detected", detected, trials)
+	}
+}
+
+func TestUncorrectableLeavesCodewordIntactRS(t *testing.T) {
+	c := mkRS(t, 64, 32) // t=16, small code
+	r := stats.NewRNG(6)
+	for trial := 0; trial < 50; trial++ {
+		cw, _ := c.EncodeCodeword(randBytes(r, c.K))
+		for _, pos := range r.SampleK(c.N, 2*c.T+5) {
+			cw[pos] ^= byte(1 + r.Intn(255))
+		}
+		dirty := append([]byte(nil), cw...)
+		if _, err := c.Decode(cw); errors.Is(err, ErrUncorrectable) {
+			if !bytes.Equal(cw, dirty) {
+				t.Fatal("uncorrectable decode modified codeword")
+			}
+		}
+	}
+}
+
+func TestShortenedRS(t *testing.T) {
+	// Shortened RS(64, 32): still corrects 16 symbol errors.
+	c := mkRS(t, 64, 32)
+	r := stats.NewRNG(7)
+	msg := randBytes(r, c.K)
+	cw, err := c.EncodeCodeword(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), cw...)
+	for _, pos := range r.SampleK(c.N, c.T) {
+		cw[pos] ^= byte(1 + r.Intn(255))
+	}
+	n, err := c.Decode(cw)
+	if err != nil || n != c.T {
+		t.Fatalf("shortened decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(cw, want) {
+		t.Fatal("shortened codeword not restored")
+	}
+}
+
+func TestSymbolErrorRate(t *testing.T) {
+	if got := SymbolErrorRate(0); got != 0 {
+		t.Fatalf("SER(0) = %v", got)
+	}
+	// Small p: SER ≈ 8p.
+	p := 1e-6
+	if got := SymbolErrorRate(p); got < 7.9e-6 || got > 8.1e-6 {
+		t.Fatalf("SER(1e-6) = %v, want ≈ 8e-6", got)
+	}
+	// Monotone and bounded.
+	prev := 0.0
+	for _, p := range []float64{1e-6, 1e-4, 1e-2, 0.5, 1} {
+		cur := SymbolErrorRate(p)
+		if cur < prev || cur > 1 {
+			t.Fatalf("SER not monotone/bounded at %v", p)
+		}
+		prev = cur
+	}
+}
+
+func TestDecodeIdempotentRS(t *testing.T) {
+	c := mkRS(t, 255, 223)
+	r := stats.NewRNG(8)
+	cw, _ := c.EncodeCodeword(randBytes(r, c.K))
+	for _, pos := range r.SampleK(c.N, 5) {
+		cw[pos] ^= byte(1 + r.Intn(255))
+	}
+	if n, err := c.Decode(cw); err != nil || n != 5 {
+		t.Fatalf("first decode: %d, %v", n, err)
+	}
+	if n, err := c.Decode(cw); err != nil || n != 0 {
+		t.Fatalf("second decode: %d, %v", n, err)
+	}
+}

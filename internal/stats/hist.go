@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval, used to
+// inspect simulated threshold-voltage distributions.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	under  uint64
+	over   uint64
+	n      uint64
+}
+
+// NewHistogram creates a histogram of bins equal-width bins on [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard FP edge at x == Hi-epsilon
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the number of recorded observations (including out-of-range).
+func (h *Histogram) N() uint64 { return h.n }
+
+// OutOfRange returns the counts that fell below Lo and at/above Hi.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// BinCenter returns the center x of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// String renders a compact ASCII bar view for debugging.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := uint64(1)
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := int(40 * float64(c) / float64(max))
+		fmt.Fprintf(&b, "%8.3f |%s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Summary holds the first two moments and extrema of a sample.
+type Summary struct {
+	N          int
+	Mean, Std  float64
+	Min, Max   float64
+	P01, P99   float64 // 1st and 99th percentiles
+	P001, P999 float64 // 0.1 and 99.9 percentiles
+}
+
+// Summarize computes moments and tail percentiles of xs. It sorts a copy;
+// xs is not modified. Returns the zero Summary for an empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sum2 float64
+	for _, x := range xs {
+		sum += x
+		sum2 += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	v := sum2/n - s.Mean*s.Mean
+	if v < 0 {
+		v = 0
+	}
+	s.Std = math.Sqrt(v)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P01 = Percentile(sorted, 0.01)
+	s.P99 = Percentile(sorted, 0.99)
+	s.P001 = Percentile(sorted, 0.001)
+	s.P999 = Percentile(sorted, 0.999)
+	return s
+}
+
+// Percentile returns the q-quantile (q in [0,1]) of an ascending-sorted
+// slice using linear interpolation between closest ranks.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// LogSpace returns n points logarithmically spaced from lo to hi inclusive.
+// It panics unless lo, hi > 0 and n >= 2.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 || n < 2 {
+		panic("stats: LogSpace needs positive bounds and n >= 2")
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = math.Pow(10, llo+(lhi-llo)*f)
+	}
+	return out
+}
+
+// LinSpace returns n points linearly spaced from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: LinSpace needs n >= 2")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.N() != 10 {
+		t.Fatalf("N = %d, want 10", h.N())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(2)
+	h.Add(0.5)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", under, over)
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d, want 3", h.N())
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on hi <= lo")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestHistogramModeOfGaussian(t *testing.T) {
+	r := NewRNG(61)
+	h := NewHistogram(-1, 7, 80)
+	for i := 0; i < 100000; i++ {
+		h.Add(r.NormMuSigma(3, 0.5))
+	}
+	if mode := h.Mode(); math.Abs(mode-3) > 0.2 {
+		t.Fatalf("mode = %v, want ~3", mode)
+	}
+}
+
+func TestHistogramStringRenders(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Fatalf("render missing bars: %q", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 2 {
+		t.Fatalf("want 2 lines, got %q", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	wantStd := math.Sqrt(2) // population std of 1..5
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary N = %d", s.N)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	sort.Float64s(xs)
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("percentile of empty slice should be NaN")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(1e2, 1e6, 5)
+	want := []float64{1e2, 1e3, 1e4, 1e5, 1e6}
+	for i := range xs {
+		if !approxEq(xs[i], want[i], 1e-12) {
+			t.Fatalf("LogSpace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestLogSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-positive bound")
+		}
+	}()
+	LogSpace(0, 10, 3)
+}
+
+func TestLinSpace(t *testing.T) {
+	xs := LinSpace(0, 1, 3)
+	want := []float64{0, 0.5, 1}
+	for i := range xs {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("LinSpace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}

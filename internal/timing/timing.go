@@ -1,0 +1,52 @@
+// Package timing holds the shared timing substrate of the memory
+// sub-system: the flash interface bus model and the datasheet constants
+// the paper quotes (Micron MT29F64G08 [27]). The controller and the
+// throughput analyses consume these so that every figure uses one set of
+// numbers.
+package timing
+
+import (
+	"fmt"
+	"time"
+)
+
+// FlashBus models the asynchronous 8-bit flash interface between the
+// controller and the NAND die.
+type FlashBus struct {
+	WidthBits int     // data width (8 for the modelled part)
+	ClockHz   float64 // cycle rate of the interface
+}
+
+// DefaultFlashBus returns the 8-bit, 33 MHz interface used throughout the
+// reproduction (≈ 33 MB/s, the class of interface contemporary to the
+// paper's referenced parts).
+func DefaultFlashBus() FlashBus {
+	return FlashBus{WidthBits: 8, ClockHz: 33e6}
+}
+
+// Transfer returns the time to move n bytes across the bus.
+func (b FlashBus) Transfer(n int) time.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("timing: negative transfer size %d", n))
+	}
+	if b.WidthBits <= 0 || b.ClockHz <= 0 {
+		panic("timing: uninitialised bus")
+	}
+	bytesPerCycle := float64(b.WidthBits) / 8
+	cycles := float64(n) / bytesPerCycle
+	return time.Duration(cycles / b.ClockHz * float64(time.Second))
+}
+
+// BandwidthMBps returns the raw bus bandwidth in MB/s.
+func (b FlashBus) BandwidthMBps() float64 {
+	return b.ClockHz * float64(b.WidthBits) / 8 / 1e6
+}
+
+// Throughput converts a payload size and total operation time into MB/s
+// (decimal megabytes, the unit convention of the paper's figures).
+func Throughput(payloadBytes int, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(payloadBytes) / total.Seconds() / 1e6
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, err := Generate(Mixed(200, 2, 16), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Seed != orig.Seed {
+		t.Fatalf("metadata lost: %q/%d", back.Name, back.Seed)
+	}
+	if len(back.Requests) != len(orig.Requests) {
+		t.Fatalf("length %d vs %d", len(back.Requests), len(orig.Requests))
+	}
+	for i := range back.Requests {
+		if back.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, back.Requests[i], orig.Requests[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"#name,x\n",
+		"#name,x\n#seed,notanumber\nop,block,page\n",
+		"#name,x\n#seed,5\nop,block,page\nfly,0,0\n",
+		"#name,x\n#seed,5\nop,block,page\nwrite,zero,0\n",
+		"#name,x\n#seed,5\nop,block,page\nwrite,0,zero\n",
+		"#seed,5\n#name,x\nop,block,page\n", // swapped metadata
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage trace accepted", i)
+		}
+	}
+}
+
+func TestReadTraceMinimal(t *testing.T) {
+	const raw = "#name,tiny\n#seed,7\nop,block,page\nwrite,1,2\nread,1,2\nerase,1,0\n"
+	tr, err := ReadTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 3 {
+		t.Fatalf("%d requests", len(tr.Requests))
+	}
+	want := []Request{
+		{Kind: OpWrite, Block: 1, Page: 2},
+		{Kind: OpRead, Block: 1, Page: 2},
+		{Kind: OpErase, Block: 1, Page: 0},
+	}
+	for i := range want {
+		if tr.Requests[i] != want[i] {
+			t.Fatalf("request %d: %+v", i, tr.Requests[i])
+		}
+	}
+}
