@@ -10,6 +10,7 @@ import (
 
 	"xlnand/internal/bch"
 	"xlnand/internal/controller"
+	"xlnand/internal/dispatch"
 	"xlnand/internal/ftl"
 	"xlnand/internal/hv"
 	"xlnand/internal/nand"
@@ -19,16 +20,15 @@ import (
 func newBenchFTL(b *testing.B) *ftl.FTL {
 	b.Helper()
 	env := sim.DefaultEnv()
-	dev := nand.NewDevice(env.Cal, 6, 555)
-	codec, err := bch.NewPageCodec()
+	d, err := dispatch.New(dispatch.Config{
+		Dies: 1, BlocksPerDie: 6, Seed: 555,
+		Env: env, Controller: controller.DefaultConfig(),
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	f, err := ftl.New(ctrl, env, []ftl.PartitionSpec{
+	b.Cleanup(func() { d.Close() })
+	f, err := ftl.New(d, env, []ftl.PartitionSpec{
 		{Name: "data", Blocks: 6, Mode: sim.ModeMaxRead},
 	})
 	if err != nil {

@@ -1,17 +1,20 @@
 // Command nandtrace replays a synthetic workload trace against the full
-// simulated sub-system (controller + adaptive codec + NAND device) and
-// reports throughput and reliability statistics per service level.
+// simulated sub-system (multi-die dispatcher + controller + adaptive
+// codec + NAND devices) through the batched queue API and reports
+// throughput and reliability statistics per service level.
 //
 // Usage:
 //
 //	nandtrace -profile read -ops 400 -cycles 1e5 -mode max-read
-//	nandtrace -profile mixed -ops 300 -mode nominal
+//	nandtrace -profile mixed -ops 300 -mode nominal -dies 4 -batch 64
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xlnand"
 	"xlnand/internal/workload"
@@ -24,19 +27,28 @@ func main() {
 		cycles  = flag.Float64("cycles", 0, "pre-age every block to this wear")
 		mode    = flag.String("mode", "nominal", "service level: nominal, min-uber or max-read")
 		seed    = flag.Uint64("seed", 11, "trace seed")
-		blocks  = flag.Int("blocks", 4, "flash blocks")
+		blocks  = flag.Int("blocks", 4, "flash blocks per die")
+		dies    = flag.Int("dies", 1, "NAND dies behind the controller")
+		batch   = flag.Int("batch", 32, "requests per queue submission")
 		record  = flag.String("record", "", "write the generated trace to this CSV file and exit")
 		replay  = flag.String("replay", "", "replay a trace CSV instead of generating one")
 	)
 	flag.Parse()
 
-	s, err := xlnand.Open(xlnand.Options{Blocks: *blocks, Seed: *seed})
+	s, err := xlnand.Open(
+		xlnand.WithBlocks(*blocks),
+		xlnand.WithDies(*dies),
+		xlnand.WithSeed(*seed),
+	)
 	if err != nil {
 		fatal(err)
 	}
-	for b := 0; b < *blocks; b++ {
-		if err := s.AgeBlock(b, *cycles); err != nil {
-			fatal(err)
+	defer s.Close()
+	for d := 0; d < *dies; d++ {
+		for b := 0; b < *blocks; b++ {
+			if err := s.AgeDieBlock(d, b, *cycles); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	var m xlnand.Mode
@@ -54,6 +66,9 @@ func main() {
 		fatal(err)
 	}
 
+	// The trace addresses a flat block space; the queue stripes it
+	// round-robin across the dies.
+	totalBlocks := *blocks * *dies
 	pages := s.PagesPerBlock()
 	var tr workload.Trace
 	if *replay != "" {
@@ -70,11 +85,11 @@ func main() {
 		var prof workload.Profile
 		switch *profile {
 		case "read":
-			prof = workload.ReadIntensive(*ops, *blocks, pages)
+			prof = workload.ReadIntensive(*ops, totalBlocks, pages)
 		case "write":
-			prof = workload.WriteIntensive(*ops, *blocks, pages)
+			prof = workload.WriteIntensive(*ops, totalBlocks, pages)
 		case "mixed":
-			prof = workload.Mixed(*ops, *blocks, pages)
+			prof = workload.Mixed(*ops, totalBlocks, pages)
 		default:
 			fatal(fmt.Errorf("unknown profile %q", *profile))
 		}
@@ -98,19 +113,111 @@ func main() {
 		fmt.Printf("recorded %d requests to %s\n", len(tr.Requests), *record)
 		return
 	}
-	st, err := workload.Run(s.Controller(), tr)
+
+	st, err := replayTrace(s, tr, *dies, *batch)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("trace %q, %d requests, mode %s, wear %.0f cycles, %d die(s), batch %d\n",
+		tr.Name, len(tr.Requests), m, *cycles, *dies, *batch)
+	fmt.Printf("  reads:  %6d   (mean service latency %v, queueing included)\n", st.reads, st.meanRead)
+	fmt.Printf("  writes: %6d   (mean service latency %v, queueing included)\n", st.writes, st.meanWrite)
+	fmt.Printf("  erases: %6d\n", st.erases)
+	fmt.Printf("  corrected bit errors: %d\n", st.corrected)
+	fmt.Printf("  uncorrectable pages:  %d\n", st.uncorrectable)
+	fmt.Printf("  modelled wall time:   %v\n", st.makespan)
+	fmt.Printf("  aggregate throughput: %.2f MB/s\n", st.aggregateMBps)
+}
 
-	fmt.Printf("trace %q, %d requests, mode %s, wear %.0f cycles\n",
-		tr.Name, len(tr.Requests), m, *cycles)
-	fmt.Printf("  reads:  %6d   (%.2f MB/s, %v total)\n", st.Reads, st.ReadMBps, st.ReadTime)
-	fmt.Printf("  writes: %6d   (%.2f MB/s, %v total)\n", st.Writes, st.WriteMBps, st.WriteTime)
-	fmt.Printf("  erases: %6d   (%v total)\n", st.Erases, st.EraseTime)
-	fmt.Printf("  corrected bit errors: %d\n", st.BitErrorsCorrected)
-	fmt.Printf("  uncorrectable pages:  %d\n", st.Uncorrectable)
-	fmt.Printf("  modelled wall time:   %v\n", st.TotalTime())
+type traceStats struct {
+	reads, writes, erases int
+	corrected             int
+	uncorrectable         int
+	readTime, writeTime   time.Duration
+	meanRead, meanWrite   time.Duration
+	makespan              time.Duration
+	aggregateMBps         float64
+}
+
+// replayTrace drives the trace through the queue in batches, preserving
+// per-block ordering (a block always maps to the same die, and per-die
+// execution is FIFO).
+func replayTrace(s *xlnand.Subsystem, tr workload.Trace, dies, batch int) (traceStats, error) {
+	var st traceStats
+	if batch < 1 {
+		batch = 1
+	}
+	q := s.NewQueue()
+	ctx := context.Background()
+	page := make([]byte, s.PageSize())
+	for i := range page {
+		page[i] = byte(i * 131)
+	}
+	toRequest := func(r workload.Request) xlnand.Request {
+		die, block := r.Block%dies, r.Block/dies
+		switch r.Kind {
+		case workload.OpWrite:
+			return xlnand.WriteRequest(die, block, r.Page, page)
+		case workload.OpErase:
+			return xlnand.EraseRequest(die, block)
+		default:
+			return xlnand.ReadRequest(die, block, r.Page)
+		}
+	}
+	var first, last time.Duration
+	started := false
+	for lo := 0; lo < len(tr.Requests); lo += batch {
+		hi := lo + batch
+		if hi > len(tr.Requests) {
+			hi = len(tr.Requests)
+		}
+		reqs := make([]xlnand.Request, 0, hi-lo)
+		for _, r := range tr.Requests[lo:hi] {
+			reqs = append(reqs, toRequest(r))
+		}
+		comps, err := q.Submit(ctx, reqs)
+		if err != nil {
+			return st, err
+		}
+		for i, c := range comps {
+			if !started || c.Start < first {
+				first = c.Start
+				started = true
+			}
+			if c.Finish > last {
+				last = c.Finish
+			}
+			switch c.Op {
+			case xlnand.OpRead:
+				st.reads++
+				st.corrected += c.Corrected
+				st.readTime += c.Latency()
+			case xlnand.OpWrite:
+				st.writes++
+				st.writeTime += c.Latency()
+			case xlnand.OpErase:
+				st.erases++
+			}
+			if c.Err != nil {
+				if c.Op == xlnand.OpRead && c.Read != nil {
+					st.uncorrectable++
+					continue
+				}
+				return st, fmt.Errorf("op %d (%v): %w", lo+i, c.Op, c.Err)
+			}
+		}
+	}
+	st.makespan = last - first
+	if st.reads > 0 {
+		st.meanRead = st.readTime / time.Duration(st.reads)
+	}
+	if st.writes > 0 {
+		st.meanWrite = st.writeTime / time.Duration(st.writes)
+	}
+	if st.makespan > 0 {
+		st.aggregateMBps = float64(st.reads+st.writes) * float64(s.PageSize()) / st.makespan.Seconds() / 1e6
+	}
+	return st, nil
 }
 
 func fatal(err error) {

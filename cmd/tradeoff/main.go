@@ -24,10 +24,11 @@ func main() {
 	)
 	flag.Parse()
 
-	s, err := xlnand.Open(xlnand.Options{})
+	s, err := xlnand.Open()
 	if err != nil {
 		fatal(err)
 	}
+	defer s.Close()
 
 	fmt.Printf("Cross-layer operating points at %.0f P/E cycles (target UBER 1e-11)\n\n", *cycles)
 	header := fmt.Sprintf("%-8s %4s  %10s  %10s  %9s  %9s  %8s  %8s  %8s",

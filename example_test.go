@@ -63,10 +63,11 @@ func ExampleNewPageCodec() {
 // Evaluating the paper's service levels at end of life shows the
 // cross-layer trade-off: max-read relaxes the codec from t=65 to t=14.
 func ExampleSubsystem_EvaluateMode() {
-	sys, err := xlnand.Open(xlnand.Options{})
+	sys, err := xlnand.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	nom, err := sys.EvaluateMode(xlnand.ModeNominal, 1e6)
 	if err != nil {
 		log.Fatal(err)

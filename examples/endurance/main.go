@@ -12,10 +12,11 @@ import (
 )
 
 func main() {
-	sys, err := xlnand.Open(xlnand.Options{Blocks: 1, Seed: 5})
+	sys, err := xlnand.Open(xlnand.WithBlocks(1), xlnand.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 
 	grid := []float64{1, 1e2, 1e3, 1e4, 1e5, 3e5, 1e6}
 	points, err := sys.LifetimeSweep(grid)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -13,10 +14,11 @@ import (
 )
 
 func main() {
-	sys, err := xlnand.Open(xlnand.Options{Blocks: 2, Seed: 13})
+	sys, err := xlnand.Open(xlnand.WithBlocks(2), xlnand.WithSeed(13))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 
 	fmt.Println("UBER minimisation for critical data (OS images, secure transactions)")
 	fmt.Println()
@@ -48,22 +50,25 @@ func main() {
 		(1-crit.WriteMBps/nom.WriteMBps)*100,
 		(crit.ProgramPowerW-nom.ProgramPowerW)*1e3)
 
-	// Store a critical payload in min-UBER mode and verify integrity.
+	// Store a critical payload with a per-request min-UBER override — no
+	// global mode switch, so surrounding traffic keeps its own level —
+	// and verify integrity.
 	if err := sys.AgeBlock(0, 1e4); err != nil {
-		log.Fatal(err)
-	}
-	if err := sys.SelectMode(xlnand.ModeMinUBER); err != nil {
 		log.Fatal(err)
 	}
 	image := make([]byte, sys.PageSize())
 	for i := range image {
 		image[i] = byte(i>>3 ^ i)
 	}
-	wr, err := sys.WritePage(0, 0, image)
+	q := sys.NewQueue()
+	ctx := context.Background()
+	req := xlnand.WriteRequest(0, 0, 0, image)
+	req.Mode = xlnand.ModeMinUBER.Ptr()
+	wr, err := q.Do(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rd, err := sys.ReadPage(0, 0)
+	rd, err := q.Do(ctx, xlnand.ReadRequest(0, 0, 0))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,9 @@
-// Partitioned storage (paper §7 future work): one device exposing three
-// differentiated storage services, each running at its own cross-layer
-// operating point — min-UBER for the OS image, max-read for media,
-// nominal for scratch data — with garbage collection and wear levelling
-// underneath.
+// Partitioned storage (paper §7 future work): one three-die array
+// exposing three differentiated storage services, each running at its
+// own cross-layer operating point — min-UBER for the OS image, max-read
+// for media, nominal for scratch data — with garbage collection and
+// wear levelling underneath, and every partition's blocks striped
+// across the dies.
 package main
 
 import (
@@ -13,10 +14,15 @@ import (
 )
 
 func main() {
-	sys, err := xlnand.Open(xlnand.Options{Blocks: 9, Seed: 21})
+	sys, err := xlnand.Open(
+		xlnand.WithDies(3),
+		xlnand.WithBlocks(3),
+		xlnand.WithSeed(21),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	st, err := sys.NewStorage([]xlnand.PartitionSpec{
 		{Name: "system", Blocks: 2, Mode: xlnand.ModeMinUBER},
 		{Name: "media", Blocks: 4, Mode: xlnand.ModeMaxRead},

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,10 +13,11 @@ import (
 )
 
 func main() {
-	sys, err := xlnand.Open(xlnand.Options{Blocks: 2, Seed: 7})
+	sys, err := xlnand.Open(xlnand.WithBlocks(2), xlnand.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	const wear = 1e6 // end of life, where the gain peaks
 	for b := 0; b < sys.Blocks(); b++ {
 		if err := sys.AgeBlock(b, wear); err != nil {
@@ -48,39 +50,51 @@ func main() {
 		"paying %.0f%% write throughput\n", gain*100, loss*100)
 
 	// Demonstrate it on real traffic: stream a media file through both
-	// modes and compare modelled service times.
+	// modes via the batched queue — the mode rides on each write request,
+	// so no global reconfiguration separates the two streams.
 	pages := 24
 	payload := make([]byte, sys.PageSize())
-	for m, label := range map[xlnand.Mode]string{
-		xlnand.ModeNominal: "nominal", xlnand.ModeMaxRead: "max-read",
+	q := sys.NewQueue()
+	ctx := context.Background()
+	for _, svc := range []struct {
+		label string
+		mode  xlnand.Mode
+		block int
+	}{
+		{"nominal", xlnand.ModeNominal, 0},
+		{"max-read", xlnand.ModeMaxRead, 1},
 	} {
-		if err := sys.SelectMode(m); err != nil {
-			log.Fatal(err)
+		var writes []xlnand.Request
+		for p := 0; p < pages; p++ {
+			r := xlnand.WriteRequest(0, svc.block, p, payload)
+			r.Mode = svc.mode.Ptr()
+			writes = append(writes, r)
 		}
-		block := 0
-		if m == xlnand.ModeMaxRead {
-			block = 1
+		if _, err := q.Submit(ctx, writes); err != nil {
+			log.Fatal(err)
 		}
 		var totalRead, corrected int
 		var readTime float64
-		for p := 0; p < pages; p++ {
-			if _, err := sys.WritePage(block, p, payload); err != nil {
+		for rep := 0; rep < 4; rep++ { // each page streamed 4 times
+			var reads []xlnand.Request
+			for p := 0; p < pages; p++ {
+				reads = append(reads, xlnand.ReadRequest(0, svc.block, p))
+			}
+			comps, err := q.Submit(ctx, reads)
+			if err != nil {
 				log.Fatal(err)
 			}
-		}
-		for rep := 0; rep < 4; rep++ { // each page streamed 4 times
-			for p := 0; p < pages; p++ {
-				rd, err := sys.ReadPage(block, p)
-				if err != nil {
-					log.Fatal(err)
+			for _, c := range comps {
+				if c.Err != nil {
+					log.Fatal(c.Err)
 				}
 				totalRead++
-				corrected += rd.Corrected
-				readTime += rd.Latency.Total().Seconds()
+				corrected += c.Corrected
+				readTime += c.Read.Latency.Total().Seconds()
 			}
 		}
 		mbps := float64(totalRead*sys.PageSize()) / readTime / 1e6
 		fmt.Printf("  %-9s streamed %3d page reads: %6.2f MB/s, %d bit errors corrected\n",
-			label, totalRead, mbps, corrected)
+			svc.label, totalRead, mbps, corrected)
 	}
 }

@@ -1,0 +1,3 @@
+module xlnand
+
+go 1.24

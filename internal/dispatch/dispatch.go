@@ -1,0 +1,522 @@
+// Package dispatch makes multi-die execution real: it fans queued I/O
+// requests out across N NAND dies with one worker goroutine per die,
+// while serialising the two resources the dies share — the flash bus and
+// the adaptive BCH codec — on a modelled timeline that follows the
+// internal/timing constants. The analytic multi-die pipeline of
+// internal/sim (ScaleDies: array operations parallel across dies, bus
+// and codec shared) thereby becomes measurable behaviour: a batch's
+// completions carry virtual start/finish stamps whose makespan
+// reproduces the model's steady-state throughput.
+//
+// Concurrency model: each die owns its device and controller exclusively
+// through its worker goroutine, so device state (page arrays, wear,
+// fault-injection RNG) is never shared. The BCH codec instance is shared
+// across dies — it is safe for concurrent use and mirrors the single
+// hardware codec of the paper's controller — and its serialisation, like
+// the bus's, is modelled by a mutex-guarded virtual clock rather than by
+// actual lock-step execution.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/controller"
+	"xlnand/internal/nand"
+	"xlnand/internal/sim"
+)
+
+// vclock is a monotone virtual-time resource: acquire reserves dur
+// starting no earlier than earliest, after any prior reservation has
+// drained. It models a strictly FIFO unit — each die's command queue.
+type vclock struct {
+	mu     sync.Mutex
+	freeAt time.Duration
+}
+
+func (v *vclock) acquire(earliest, dur time.Duration) (start, end time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	start = earliest
+	if v.freeAt > start {
+		start = v.freeAt
+	}
+	end = start + dur
+	v.freeAt = end
+	return start, end
+}
+
+// span is one busy interval on a calendar resource.
+type span struct {
+	start, end time.Duration
+}
+
+// maxCalendarSpans bounds calendar memory: beyond it the oldest half is
+// coalesced into one span, which only forfeits backfill opportunities
+// (more serialisation, never double-booking).
+const maxCalendarSpans = 4096
+
+// calendar is a shared virtual-time resource with arbitration: acquire
+// places dur into the earliest gap at or after earliest. Unlike vclock,
+// reservation order does not bias the timeline — a worker racing ahead
+// in real time cannot push other dies' earlier-readiness transfers
+// behind its own future ones, which is how a fair bus or codec arbiter
+// behaves. Busy intervals are kept sorted and coalesced.
+type calendar struct {
+	mu   sync.Mutex
+	busy []span
+}
+
+func (c *calendar) acquire(earliest, dur time.Duration) (start, end time.Duration) {
+	if dur <= 0 {
+		return earliest, earliest
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start = earliest
+	idx := len(c.busy)
+	for i, s := range c.busy {
+		if s.end <= start {
+			continue // entirely before the candidate; no constraint
+		}
+		if start+dur <= s.start {
+			idx = i // fits in the gap before this span
+			break
+		}
+		start = s.end // collides; try after this span
+	}
+	end = start + dur
+	// Insert [start, end) at idx, coalescing with abutting neighbours.
+	if idx > 0 && c.busy[idx-1].end == start {
+		c.busy[idx-1].end = end
+		if idx < len(c.busy) && c.busy[idx].start == end {
+			c.busy[idx-1].end = c.busy[idx].end
+			c.busy = append(c.busy[:idx], c.busy[idx+1:]...)
+		}
+	} else if idx < len(c.busy) && c.busy[idx].start == end {
+		c.busy[idx].start = start
+	} else {
+		c.busy = append(c.busy, span{})
+		copy(c.busy[idx+1:], c.busy[idx:])
+		c.busy[idx] = span{start, end}
+	}
+	if len(c.busy) > maxCalendarSpans {
+		half := len(c.busy) / 2
+		c.busy[half-1] = span{c.busy[0].start, c.busy[half-1].end}
+		c.busy = c.busy[half-1:]
+	}
+	return start, end
+}
+
+// die bundles one NAND die with its controller, worker inbox and array
+// clock. Only the die's worker goroutine touches ctrl and its device.
+type die struct {
+	idx   int
+	ctrl  *controller.Controller
+	jobs  chan *job
+	clock vclock // array occupancy (sensing / program / erase)
+}
+
+// job carries either one Request or a control function through a die's
+// worker, which owns the controller.
+type job struct {
+	ctx     context.Context
+	req     Request
+	arrival time.Duration
+	deliver func(Completion)
+
+	// Control path: fn runs on the worker with exclusive controller
+	// access; done is closed afterwards.
+	fn   func(*controller.Controller)
+	done chan struct{}
+}
+
+// Config parametrises dispatcher construction.
+type Config struct {
+	Dies         int
+	BlocksPerDie int
+	Seed         uint64
+	Env          sim.Env
+	Controller   controller.Config
+}
+
+// Dispatcher drives N dies behind shared bus and codec clocks.
+type Dispatcher struct {
+	env   sim.Env
+	codec *bch.Codec
+	dies  []*die
+
+	bus      calendar
+	codecClk calendar
+
+	// policy holds the sub-system-wide defaults a request may override.
+	policyMu    sync.Mutex
+	defaultMode sim.Mode
+	pinnedT     int // 0 = adaptive (reliability manager in charge)
+	algOverride *nand.Algorithm
+
+	// vnow is the high-water mark of the modelled timeline; submissions
+	// arrive at the current mark so synchronous callers never pipeline
+	// with operations they already waited for.
+	nowMu sync.Mutex
+	vnow  time.Duration
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// dieSeedStride decorrelates the per-die fault-injection RNG streams;
+// die 0 adds 0·stride, so legacy single-die seeds reproduce the exact
+// same fault-injection behaviour.
+const dieSeedStride = 0x9e3779b97f4a7c15
+
+// New builds a dispatcher: one device + controller per die sharing a
+// single adaptive codec, workers started.
+func New(cfg Config) (*Dispatcher, error) {
+	if cfg.Dies < 1 {
+		return nil, fmt.Errorf("dispatch: die count %d < 1", cfg.Dies)
+	}
+	if cfg.BlocksPerDie < 0 {
+		return nil, fmt.Errorf("dispatch: negative block count %d", cfg.BlocksPerDie)
+	}
+	codec, err := bch.NewCodec(cfg.Env.M, cfg.Env.K, cfg.Env.TMin, cfg.Env.TMax)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{env: cfg.Env, codec: codec, defaultMode: sim.ModeNominal}
+	for i := 0; i < cfg.Dies; i++ {
+		dev := nand.NewDevice(cfg.Env.Cal, cfg.BlocksPerDie, cfg.Seed+uint64(i)*dieSeedStride)
+		ctrl, err := controller.New(dev, codec, cfg.Controller)
+		if err != nil {
+			return nil, err
+		}
+		w := &die{idx: i, ctrl: ctrl, jobs: make(chan *job, 128)}
+		d.dies = append(d.dies, w)
+	}
+	for _, w := range d.dies {
+		d.wg.Add(1)
+		go d.worker(w)
+	}
+	return d, nil
+}
+
+// Close stops every worker. Submissions after Close fail with ErrClosed;
+// in-flight operations complete first.
+func (d *Dispatcher) Close() error {
+	d.closeMu.Lock()
+	if d.closed {
+		d.closeMu.Unlock()
+		return nil
+	}
+	d.closed = true
+	for _, w := range d.dies {
+		close(w.jobs)
+	}
+	d.closeMu.Unlock()
+	d.wg.Wait()
+	return nil
+}
+
+// enqueue routes a job to its die, failing with ErrClosed after Close.
+func (d *Dispatcher) enqueue(dieIdx int, j *job) error {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.dies[dieIdx].jobs <- j
+	return nil
+}
+
+// Geometry reports the driven configuration.
+func (d *Dispatcher) Geometry() Geometry {
+	cal := d.dies[0].ctrl.Device().Calibration()
+	return Geometry{
+		Dies:          len(d.dies),
+		BlocksPerDie:  d.dies[0].ctrl.Device().Blocks(),
+		PagesPerBlock: cal.PagesPerBlock,
+		PageDataBytes: cal.PageDataBytes,
+	}
+}
+
+// Env returns the analytic environment the dispatcher resolves modes
+// against.
+func (d *Dispatcher) Env() sim.Env { return d.env }
+
+// Now returns the high-water mark of the modelled timeline.
+func (d *Dispatcher) Now() time.Duration {
+	d.nowMu.Lock()
+	defer d.nowMu.Unlock()
+	return d.vnow
+}
+
+func (d *Dispatcher) bumpNow(t time.Duration) {
+	d.nowMu.Lock()
+	if t > d.vnow {
+		d.vnow = t
+	}
+	d.nowMu.Unlock()
+}
+
+// SetDefaultMode installs the sub-system default service level. A
+// capability pinned via PinCapability survives mode switches (the
+// manual-ECC contract); an expert algorithm override does not.
+func (d *Dispatcher) SetDefaultMode(m sim.Mode) {
+	d.policyMu.Lock()
+	d.defaultMode = m
+	d.algOverride = nil
+	d.policyMu.Unlock()
+}
+
+// DefaultMode returns the current default service level.
+func (d *Dispatcher) DefaultMode() sim.Mode {
+	d.policyMu.Lock()
+	defer d.policyMu.Unlock()
+	return d.defaultMode
+}
+
+// PinCapability fixes the write capability (manual ECC), silencing the
+// reliability manager until Unpin. t is clamped to the codec range.
+func (d *Dispatcher) PinCapability(t int) {
+	d.policyMu.Lock()
+	d.pinnedT = d.codec.ClampT(t)
+	d.policyMu.Unlock()
+}
+
+// Unpin returns capability selection to the reliability manager.
+func (d *Dispatcher) Unpin() {
+	d.policyMu.Lock()
+	d.pinnedT = 0
+	d.policyMu.Unlock()
+}
+
+// PinnedT reports the manual capability (0 when adaptive).
+func (d *Dispatcher) PinnedT() int {
+	d.policyMu.Lock()
+	defer d.policyMu.Unlock()
+	return d.pinnedT
+}
+
+// SetAlgorithmOverride pins the program algorithm regardless of the
+// default mode (expert path). Cleared by SetDefaultMode.
+func (d *Dispatcher) SetAlgorithmOverride(alg nand.Algorithm) {
+	d.policyMu.Lock()
+	a := alg
+	d.algOverride = &a
+	d.policyMu.Unlock()
+}
+
+func (d *Dispatcher) policySnapshot() (mode sim.Mode, pinnedT int, algOv *nand.Algorithm) {
+	d.policyMu.Lock()
+	defer d.policyMu.Unlock()
+	return d.defaultMode, d.pinnedT, d.algOverride
+}
+
+// validate range-checks a request against the geometry.
+func (d *Dispatcher) validate(req *Request) error {
+	if req.Die < 0 || req.Die >= len(d.dies) {
+		return fmt.Errorf("%w: die %d of %d", ErrBadAddress, req.Die, len(d.dies))
+	}
+	dev := d.dies[req.Die].ctrl.Device()
+	if req.Block < 0 || req.Block >= dev.Blocks() {
+		return fmt.Errorf("%w: block %d of %d", ErrBadAddress, req.Block, dev.Blocks())
+	}
+	if req.Op != OpErase && (req.Page < 0 || req.Page >= dev.PagesPerBlock()) {
+		return fmt.Errorf("%w: page %d of %d", ErrBadAddress, req.Page, dev.PagesPerBlock())
+	}
+	return nil
+}
+
+// worker is the per-die execution loop: it owns the die's controller and
+// device, executes jobs in FIFO order, and stamps each completion onto
+// the shared modelled timeline.
+func (d *Dispatcher) worker(w *die) {
+	defer d.wg.Done()
+	for j := range w.jobs {
+		if j.fn != nil {
+			j.fn(w.ctrl)
+			close(j.done)
+			continue
+		}
+		c := d.execute(w, j)
+		d.bumpNow(c.Finish)
+		j.deliver(c)
+	}
+}
+
+// resolveWrite turns policy + request overrides into the (algorithm,
+// capability) pair for one write, per the paper's three service levels:
+//
+//   - explicit Request.T pins t for this write;
+//   - a subsystem-wide pinned capability (manual ECC) comes next;
+//   - min-UBER keeps the SV-sized capability while programming with DV;
+//   - otherwise the die's reliability manager picks t for the wear.
+func (d *Dispatcher) resolveWrite(w *die, req Request) (nand.Algorithm, int) {
+	mode, pinnedT, algOv := d.policySnapshot()
+	if req.Mode != nil {
+		mode = *req.Mode
+		algOv = nil // per-request mode is authoritative
+	}
+	alg := nand.ISPPSV
+	if mode != sim.ModeNominal {
+		alg = nand.ISPPDV
+	}
+	if algOv != nil {
+		alg = *algOv
+	}
+	cycles, err := w.ctrl.Device().Cycles(req.Block)
+	if err != nil {
+		cycles = 0
+	}
+	var t int
+	switch {
+	case req.T > 0:
+		t = req.T
+	case pinnedT > 0:
+		t = pinnedT
+	case mode == sim.ModeMinUBER:
+		t = d.env.RequiredT(nand.ISPPSV, cycles)
+	default:
+		t = w.ctrl.Manager().SelectT(alg, cycles)
+	}
+	return alg, t
+}
+
+// execute runs one request on the worker's die and books its pipeline
+// stages onto the modelled timeline:
+//
+//	write: codec encode -> bus transfer -> die program
+//	read:  die sensing (tR) -> bus transfer -> codec decode
+//	erase: die occupancy only
+//
+// The die stage is private to the worker; bus and codec stages contend
+// with every other die, which is exactly the serialisation ScaleDies
+// assumes.
+func (d *Dispatcher) execute(w *die, j *job) Completion {
+	req := j.req
+	comp := Completion{Tag: req.Tag, Op: req.Op, Die: req.Die, Block: req.Block, Page: req.Page}
+	if err := j.ctx.Err(); err != nil {
+		comp.Err = opErr(req, err)
+		comp.Start, comp.Finish = j.arrival, j.arrival
+		return comp
+	}
+	switch req.Op {
+	case OpWrite:
+		alg, t := d.resolveWrite(w, req)
+		w.ctrl.SetAlgorithm(alg)
+		w.ctrl.SetCapability(t)
+		res, err := w.ctrl.WritePage(req.Block, req.Page, req.Data)
+		comp.Write = &res
+		comp.T, comp.Alg, comp.ParityBytes = res.T, res.Alg, res.ParityBy
+		encS, encE := d.codecClk.acquire(j.arrival, res.Latency.Encode)
+		_, busE := d.bus.acquire(encE, res.Latency.Transfer)
+		_, progE := w.clock.acquire(busE, res.Latency.Program)
+		comp.Start, comp.Finish = encS, progE
+		if err != nil {
+			comp.Err = opErr(req, err)
+		}
+	case OpRead:
+		res, err := w.ctrl.ReadPage(req.Block, req.Page)
+		comp.Read = &res
+		comp.Data, comp.T, comp.Alg, comp.Corrected = res.Data, res.T, res.Alg, res.Corrected
+		senseS, senseE := w.clock.acquire(j.arrival, res.Latency.TR)
+		_, busE := d.bus.acquire(senseE, res.Latency.Transfer)
+		_, decE := d.codecClk.acquire(busE, res.Latency.Decode)
+		comp.Start, comp.Finish = senseS, decE
+		if err != nil {
+			comp.Err = opErr(req, err)
+		}
+	case OpErase:
+		err := w.ctrl.EraseBlock(req.Block)
+		var dur time.Duration
+		if err == nil {
+			dur = w.ctrl.Device().LastOpDuration()
+		}
+		s, e := w.clock.acquire(j.arrival, dur)
+		comp.Start, comp.Finish = s, e
+		if err != nil {
+			comp.Err = opErr(req, err)
+		}
+	default:
+		comp.Err = opErr(req, fmt.Errorf("unknown op %d", int(req.Op)))
+		comp.Start, comp.Finish = j.arrival, j.arrival
+	}
+	return comp
+}
+
+// control runs fn on the die's worker goroutine with exclusive access to
+// its controller and device (the race-free path for wear manipulation
+// and statistics while traffic may be in flight).
+func (d *Dispatcher) control(dieIdx int, fn func(*controller.Controller)) error {
+	if dieIdx < 0 || dieIdx >= len(d.dies) {
+		return fmt.Errorf("%w: die %d of %d", ErrBadAddress, dieIdx, len(d.dies))
+	}
+	j := &job{fn: fn, done: make(chan struct{})}
+	if err := d.enqueue(dieIdx, j); err != nil {
+		return err
+	}
+	<-j.done
+	return nil
+}
+
+// Cycles returns a block's program/erase wear.
+func (d *Dispatcher) Cycles(dieIdx, block int) (float64, error) {
+	var cycles float64
+	var cerr error
+	err := d.control(dieIdx, func(c *controller.Controller) {
+		cycles, cerr = c.Device().Cycles(block)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return cycles, cerr
+}
+
+// SetCycles fast-forwards a block's wear (lifetime studies).
+func (d *Dispatcher) SetCycles(dieIdx, block int, cycles float64) error {
+	var cerr error
+	err := d.control(dieIdx, func(c *controller.Controller) {
+		cerr = c.Device().SetCycles(block, cycles)
+	})
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// AdvanceTime moves every die's retention clock forward.
+func (d *Dispatcher) AdvanceTime(hours float64) error {
+	for i := range d.dies {
+		if err := d.control(i, func(c *controller.Controller) {
+			c.Device().AdvanceTime(hours)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Uncorrectables sums the decode failures observed across all dies. It
+// keeps working after Close: the managers are internally locked, so
+// once the workers are gone they are read directly.
+func (d *Dispatcher) Uncorrectables() int {
+	total := 0
+	for i := range d.dies {
+		if err := d.control(i, func(c *controller.Controller) {
+			total += c.Manager().Uncorrectables()
+		}); err != nil {
+			total += d.dies[i].ctrl.Manager().Uncorrectables()
+		}
+	}
+	return total
+}
+
+// Controller exposes a die's controller for register-level access. The
+// caller must ensure no traffic is in flight on the die.
+func (d *Dispatcher) Controller(dieIdx int) *controller.Controller {
+	return d.dies[dieIdx].ctrl
+}

@@ -1,0 +1,225 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xlnand/internal/controller"
+	"xlnand/internal/sim"
+	"xlnand/internal/stats"
+)
+
+func newTestDispatcher(t testing.TB, dies, blocks int, seed uint64) *Dispatcher {
+	t.Helper()
+	d, err := New(Config{
+		Dies: dies, BlocksPerDie: blocks, Seed: seed,
+		Env: sim.DefaultEnv(), Controller: controller.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func testPage(seed uint64, size int) []byte {
+	r := stats.NewRNG(seed)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	return data
+}
+
+func TestVClockSerialises(t *testing.T) {
+	var v vclock
+	s1, e1 := v.acquire(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first acquire [%d, %d]", s1, e1)
+	}
+	s2, e2 := v.acquire(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("overlapping acquire did not queue: [%d, %d]", s2, e2)
+	}
+	s3, e3 := v.acquire(100, 5)
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("idle-gap acquire shifted: [%d, %d]", s3, e3)
+	}
+}
+
+func TestSingleReadPipelineStamps(t *testing.T) {
+	d := newTestDispatcher(t, 1, 2, 5)
+	q := d.NewQueue()
+	page := testPage(1, d.Geometry().PageDataBytes)
+	ctx := context.Background()
+	if _, err := q.Do(ctx, Request{Op: OpWrite, Block: 0, Page: 0, Data: page}); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := q.Do(ctx, Request{Op: OpRead, Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := comp.Read.Latency
+	want := lat.TR + lat.Transfer + lat.Decode
+	if got := comp.Finish - comp.Start; got != want {
+		t.Fatalf("unloaded read pipeline %v, controller total %v", got, want)
+	}
+}
+
+// TestSharedBusSerialisesAcrossDies: two dies sense in parallel but their
+// transfers share the bus, so the two-read makespan must sit strictly
+// between one full read and two sequential reads.
+func TestSharedBusSerialisesAcrossDies(t *testing.T) {
+	d := newTestDispatcher(t, 2, 1, 6)
+	q := d.NewQueue()
+	page := testPage(2, d.Geometry().PageDataBytes)
+	ctx := context.Background()
+	if _, err := q.Submit(ctx, []Request{
+		{Op: OpWrite, Die: 0, Block: 0, Page: 0, Data: page},
+		{Op: OpWrite, Die: 1, Block: 0, Page: 0, Data: page},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Now()
+	comps, err := q.Submit(ctx, []Request{
+		{Op: OpRead, Die: 0, Block: 0, Page: 0},
+		{Op: OpRead, Die: 1, Block: 0, Page: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oneRead, makespan time.Duration
+	for _, c := range comps {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if c.Start != base {
+			t.Fatalf("die %d sense did not start at batch arrival: %v vs %v", c.Die, c.Start, base)
+		}
+		total := c.Read.Latency.TR + c.Read.Latency.Transfer + c.Read.Latency.Decode
+		if total > oneRead {
+			oneRead = total
+		}
+		if c.Finish-base > makespan {
+			makespan = c.Finish - base
+		}
+	}
+	if makespan <= oneRead {
+		t.Fatalf("two reads as fast as one (%v <= %v): bus not serialising", makespan, oneRead)
+	}
+	if makespan >= 2*oneRead {
+		t.Fatalf("two-die reads fully sequential (%v >= 2x%v): dies not interleaving", makespan, oneRead)
+	}
+}
+
+func TestBadAddressTyped(t *testing.T) {
+	d := newTestDispatcher(t, 2, 2, 7)
+	q := d.NewQueue()
+	ctx := context.Background()
+	for _, req := range []Request{
+		{Op: OpRead, Die: 2, Block: 0, Page: 0},
+		{Op: OpRead, Die: 0, Block: 9, Page: 0},
+		{Op: OpRead, Die: 0, Block: 0, Page: 99},
+		{Op: OpErase, Die: -1, Block: 0},
+	} {
+		_, err := q.Do(ctx, req)
+		if !errors.Is(err, ErrBadAddress) {
+			t.Fatalf("%+v: want ErrBadAddress, got %v", req, err)
+		}
+		var oe *OpError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%+v: error %v is not an *OpError", req, err)
+		}
+	}
+	// Erase ignores the page field.
+	if _, err := q.Do(ctx, Request{Op: OpErase, Die: 0, Block: 0, Page: 1 << 20}); err != nil {
+		t.Fatalf("erase rejected its ignored page field: %v", err)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	d := newTestDispatcher(t, 2, 2, 8)
+	q := d.NewQueue()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal("second Close not idempotent:", err)
+	}
+	if _, err := q.Submit(context.Background(), []Request{{Op: OpRead}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: want ErrClosed, got %v", err)
+	}
+	if _, err := q.SubmitAsync(context.Background(), []Request{{Op: OpRead}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitAsync after Close: want ErrClosed, got %v", err)
+	}
+	if _, err := d.Cycles(0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("control op after Close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestEraseAdvancesWear(t *testing.T) {
+	d := newTestDispatcher(t, 1, 1, 9)
+	q := d.NewQueue()
+	ctx := context.Background()
+	comp, err := q.Do(ctx, Request{Op: OpErase, Block: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Finish <= comp.Start {
+		t.Fatal("erase took no modelled time")
+	}
+	c, err := d.Cycles(0, 0)
+	if err != nil || c != 1 {
+		t.Fatalf("wear after erase: %v, %v", c, err)
+	}
+}
+
+func TestControlOpsRouteThroughWorker(t *testing.T) {
+	d := newTestDispatcher(t, 2, 2, 10)
+	if err := d.SetCycles(1, 1, 5e4); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Cycles(1, 1)
+	if err != nil || c != 5e4 {
+		t.Fatalf("cycles round trip: %v, %v", c, err)
+	}
+	if err := d.AdvanceTime(100); err != nil {
+		t.Fatal(err)
+	}
+	if d.Uncorrectables() != 0 {
+		t.Fatal("phantom uncorrectables")
+	}
+}
+
+func TestPerDieSeedsDecorrelated(t *testing.T) {
+	d := newTestDispatcher(t, 2, 1, 11)
+	q := d.NewQueue()
+	ctx := context.Background()
+	page := testPage(3, d.Geometry().PageDataBytes)
+	// Age both dies to a wear where reads see many raw errors, then
+	// compare the injected error patterns.
+	for die := 0; die < 2; die++ {
+		if err := d.SetCycles(die, 0, 1e5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Do(ctx, Request{Op: OpWrite, Die: die, Block: 0, Page: 0, Data: page}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c0, err := q.Do(ctx, Request{Op: OpRead, Die: 0, Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := q.Do(ctx, Request{Op: OpRead, Die: 1, Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Corrected == 0 && c1.Corrected == 0 {
+		t.Skip("no raw errors at this wear/seed; cannot compare streams")
+	}
+	if c0.Corrected == c1.Corrected {
+		t.Logf("note: dies corrected identical counts (%d); acceptable but unexpected", c0.Corrected)
+	}
+}

@@ -1,20 +1,23 @@
 // Package ftl implements a flash translation layer over the cross-layer
-// memory controller — the paper's §7 future work ("expose differentiated
+// memory sub-system — the paper's §7 future work ("expose differentiated
 // storage services to applications") made concrete. The physical block
-// space is split into named partitions, each bound to one of the paper's
-// service levels (nominal / min-UBER / max-read); the FTL gives every
-// partition a logical-page address space with out-of-place writes,
-// garbage collection and wear-aware victim selection, reconfiguring the
-// controller's two knobs per operation according to the owning
-// partition's mode.
+// space, striped across every die behind the dispatcher, is split into
+// named partitions, each bound to one of the paper's service levels
+// (nominal / min-UBER / max-read); the FTL gives every partition a
+// logical-page address space with out-of-place writes, garbage
+// collection and wear-aware victim selection. Each operation is
+// submitted through the dispatcher with the owning partition's mode as a
+// per-request override, so heterogeneous partitions never fight over
+// global controller state.
 package ftl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"xlnand/internal/controller"
-	"xlnand/internal/nand"
+	"xlnand/internal/dispatch"
 	"xlnand/internal/sim"
 )
 
@@ -39,7 +42,7 @@ const invalidPPA = -1
 
 // blockState tracks one physical block inside a partition.
 type blockState struct {
-	id        int // global block index
+	id        int // global block index (striped across dies)
 	writePtr  int // next free page (pages are programmed in order)
 	livePages int
 	// lbaOf maps page index -> logical page (or -1), for GC relocation.
@@ -71,18 +74,19 @@ type Partition struct {
 	scrubMarks map[int]bool
 }
 
-// FTL is the translation layer over one controller.
+// FTL is the translation layer over one multi-die dispatcher.
 type FTL struct {
-	ctrl  *controller.Controller
+	q     *dispatch.Queue
 	env   sim.Env
+	geo   dispatch.Geometry
 	parts []*Partition
 }
 
-// New builds an FTL over the controller, carving the device's blocks into
-// the declared partitions. Every partition needs at least two blocks (one
-// of them stays free for garbage collection) and the total must fit the
-// device.
-func New(ctrl *controller.Controller, env sim.Env, specs []PartitionSpec) (*FTL, error) {
+// New builds an FTL over the dispatcher, carving the device's blocks
+// (striped across dies) into the declared partitions. Every partition
+// needs at least two blocks (one of them stays free for garbage
+// collection) and the total must fit the device.
+func New(d *dispatch.Dispatcher, env sim.Env, specs []PartitionSpec) (*FTL, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("ftl: no partitions declared")
 	}
@@ -93,13 +97,14 @@ func New(ctrl *controller.Controller, env sim.Env, specs []PartitionSpec) (*FTL,
 		}
 		total += s.Blocks
 	}
-	dev := ctrl.Device()
-	if total > dev.Blocks() {
-		return nil, fmt.Errorf("ftl: partitions need %d blocks, device has %d", total, dev.Blocks())
+	geo := d.Geometry()
+	if total > geo.Dies*geo.BlocksPerDie {
+		return nil, fmt.Errorf("ftl: partitions need %d blocks, device has %d",
+			total, geo.Dies*geo.BlocksPerDie)
 	}
-	f := &FTL{ctrl: ctrl, env: env}
+	f := &FTL{q: d.NewQueue(), env: env, geo: geo}
 	next := 0
-	pages := dev.PagesPerBlock()
+	pages := geo.PagesPerBlock
 	for _, s := range specs {
 		p := &Partition{
 			Name:      s.Name,
@@ -129,6 +134,52 @@ func New(ctrl *controller.Controller, env sim.Env, specs []PartitionSpec) (*FTL,
 	return f, nil
 }
 
+// addr maps a global block id onto its (die, block) pair. Consecutive
+// ids stripe round-robin across dies so every partition's blocks spread
+// over the array and its traffic interleaves.
+func (f *FTL) addr(global int) (die, block int) {
+	return global % f.geo.Dies, global / f.geo.Dies
+}
+
+// writePhys programs one physical page under the partition's service
+// level (the dispatcher resolves algorithm and capability per request).
+func (f *FTL) writePhys(p *Partition, global, page int, data []byte) (*controller.WriteResult, error) {
+	die, block := f.addr(global)
+	mode := p.Mode
+	comp, err := f.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpWrite, Die: die, Block: block, Page: page,
+		Data: data, Mode: &mode,
+	})
+	if err != nil {
+		return comp.Write, err
+	}
+	return comp.Write, nil
+}
+
+// readPhys reads one physical page through the ECC path.
+func (f *FTL) readPhys(global, page int) (*controller.ReadResult, error) {
+	die, block := f.addr(global)
+	comp, err := f.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
+	})
+	return comp.Read, err
+}
+
+// erasePhys erases one physical block.
+func (f *FTL) erasePhys(global int) error {
+	die, block := f.addr(global)
+	_, err := f.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpErase, Die: die, Block: block,
+	})
+	return err
+}
+
+// cyclesOf returns a global block's program/erase wear.
+func (f *FTL) cyclesOf(global int) (float64, error) {
+	die, block := f.addr(global)
+	return f.q.Dispatcher().Cycles(die, block)
+}
+
 // Partitions returns the declared services.
 func (f *FTL) Partitions() []*Partition { return f.parts }
 
@@ -144,28 +195,6 @@ func (f *FTL) Partition(name string) (*Partition, error) {
 
 // Capacity returns the exported size of a partition in logical pages.
 func (p *Partition) Capacity() int { return p.userPages }
-
-// configure drives the controller's two knobs for the partition's mode
-// before an operation on the given physical block (paper §6.3's three
-// service levels).
-func (f *FTL) configure(p *Partition, physBlock int) {
-	switch p.Mode {
-	case sim.ModeNominal:
-		f.ctrl.SetAlgorithm(nand.ISPPSV)
-		f.ctrl.SetAdaptive(true)
-	case sim.ModeMaxRead:
-		f.ctrl.SetAlgorithm(nand.ISPPDV)
-		f.ctrl.SetAdaptive(true)
-	case sim.ModeMinUBER:
-		f.ctrl.SetAlgorithm(nand.ISPPDV)
-		cycles, err := f.ctrl.Device().Cycles(physBlock)
-		if err != nil {
-			cycles = 0
-		}
-		// Keep the SV-sized capability while programming with DV.
-		f.ctrl.SetCapability(f.env.RequiredT(nand.ISPPSV, cycles))
-	}
-}
 
 // Write stores one logical page into the partition, superseding any
 // previous version (out-of-place update). The old copy is invalidated
@@ -191,8 +220,7 @@ func (f *FTL) Write(part string, lpa int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	f.configure(p, bs.id)
-	wr, err := f.ctrl.WritePage(bs.id, page, data)
+	wr, err := f.writePhys(p, bs.id, page, data)
 	if err != nil {
 		return fmt.Errorf("ftl: program %d.%d: %w", bs.id, page, err)
 	}
@@ -228,13 +256,13 @@ func (f *FTL) Read(part string, lpa int) ([]byte, *controller.ReadResult, error)
 		return nil, nil, fmt.Errorf("ftl: lpa %d of %q never written", lpa, part)
 	}
 	bs := p.blocks[enc/p.pages]
-	res, err := f.ctrl.ReadPage(bs.id, enc%p.pages)
+	res, err := f.readPhys(bs.id, enc%p.pages)
 	if err != nil {
-		return nil, &res, err
+		return nil, res, err
 	}
 	p.HostReads++
 	p.ServiceTime += res.Latency.Total()
-	return res.Data, &res, nil
+	return res.Data, res, nil
 }
 
 // Trim drops a logical page's mapping, freeing its physical copy for GC.
@@ -327,12 +355,11 @@ func (f *FTL) collect(p *Partition) error {
 		if lpa == invalidPPA {
 			continue
 		}
-		res, err := f.ctrl.ReadPage(vb.id, page)
+		res, err := f.readPhys(vb.id, page)
 		if err != nil {
 			return fmt.Errorf("ftl: GC read %d.%d: %w", vb.id, page, err)
 		}
-		f.configure(p, dest.id)
-		if _, err := f.ctrl.WritePage(dest.id, dest.writePtr, res.Data); err != nil {
+		if _, err := f.writePhys(p, dest.id, dest.writePtr, res.Data); err != nil {
 			return fmt.Errorf("ftl: GC program: %w", err)
 		}
 		vb.livePages--
@@ -343,7 +370,7 @@ func (f *FTL) collect(p *Partition) error {
 		dest.writePtr++
 		p.GCMoves++
 	}
-	if err := f.ctrl.EraseBlock(vb.id); err != nil {
+	if err := f.erasePhys(vb.id); err != nil {
 		return err
 	}
 	vb.writePtr = 0
@@ -364,8 +391,8 @@ func (f *FTL) betterVictim(p *Partition, a, b int) bool {
 	if ba.livePages != bb.livePages {
 		return ba.livePages < bb.livePages
 	}
-	ca, _ := f.ctrl.Device().Cycles(ba.id)
-	cb, _ := f.ctrl.Device().Cycles(bb.id)
+	ca, _ := f.cyclesOf(ba.id)
+	cb, _ := f.cyclesOf(bb.id)
 	return ca < cb
 }
 
@@ -386,7 +413,7 @@ func (f *FTL) WearSpread(part string) (min, max float64, err error) {
 		return 0, 0, err
 	}
 	for i, bs := range p.blocks {
-		c, err := f.ctrl.Device().Cycles(bs.id)
+		c, err := f.cyclesOf(bs.id)
 		if err != nil {
 			return 0, 0, err
 		}

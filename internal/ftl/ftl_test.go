@@ -4,28 +4,34 @@ import (
 	"bytes"
 	"testing"
 
-	"xlnand/internal/bch"
 	"xlnand/internal/controller"
+	"xlnand/internal/dispatch"
 	"xlnand/internal/nand"
 	"xlnand/internal/sim"
 	"xlnand/internal/stats"
 )
 
+// newDispatcher builds a single-die dispatcher for FTL tests.
+func newDispatcher(t *testing.T, dies, blocks int, seed uint64) *dispatch.Dispatcher {
+	t.Helper()
+	env := sim.DefaultEnv()
+	d, err := dispatch.New(dispatch.Config{
+		Dies: dies, BlocksPerDie: blocks, Seed: seed,
+		Env: env, Controller: controller.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
 // newFTL builds an FTL over a small device with the three paper service
 // levels as partitions.
 func newFTL(t *testing.T, blocksPerPart int) *FTL {
 	t.Helper()
-	env := sim.DefaultEnv()
-	dev := nand.NewDevice(env.Cal, 3*blocksPerPart, 321)
-	codec, err := bch.NewPageCodec()
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := New(ctrl, env, []PartitionSpec{
+	d := newDispatcher(t, 1, 3*blocksPerPart, 321)
+	f, err := New(d, sim.DefaultEnv(), []PartitionSpec{
 		{Name: "system", Blocks: blocksPerPart, Mode: sim.ModeMinUBER},
 		{Name: "media", Blocks: blocksPerPart, Mode: sim.ModeMaxRead},
 		{Name: "scratch", Blocks: blocksPerPart, Mode: sim.ModeNominal},
@@ -47,20 +53,54 @@ func pagePattern(seed uint64, size int) []byte {
 
 func TestNewValidation(t *testing.T) {
 	env := sim.DefaultEnv()
-	dev := nand.NewDevice(env.Cal, 4, 1)
-	codec, _ := bch.NewPageCodec()
-	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
+	d := newDispatcher(t, 1, 4, 1)
+	if _, err := New(d, env, nil); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+	if _, err := New(d, env, []PartitionSpec{{Name: "x", Blocks: 1}}); err == nil {
+		t.Fatal("1-block partition accepted")
+	}
+	if _, err := New(d, env, []PartitionSpec{{Name: "x", Blocks: 8}}); err == nil {
+		t.Fatal("oversubscribed device accepted")
+	}
+}
+
+// TestMultiDieStriping verifies that a partition's global block ids
+// stripe round-robin across dies and that round trips work on every die.
+func TestMultiDieStriping(t *testing.T) {
+	d := newDispatcher(t, 2, 4, 99)
+	f, err := New(d, sim.DefaultEnv(), []PartitionSpec{
+		{Name: "data", Blocks: 6, Mode: sim.ModeMaxRead},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(ctrl, env, nil); err == nil {
-		t.Fatal("no partitions accepted")
+	p, _ := f.Partition("data")
+	seen := map[int]bool{}
+	for _, bs := range p.blocks {
+		die, blk := f.addr(bs.id)
+		if blk >= 4 || die >= 2 {
+			t.Fatalf("block %d mapped outside geometry: die %d block %d", bs.id, die, blk)
+		}
+		seen[die] = true
 	}
-	if _, err := New(ctrl, env, []PartitionSpec{{Name: "x", Blocks: 1}}); err == nil {
-		t.Fatal("1-block partition accepted")
+	if !seen[0] || !seen[1] {
+		t.Fatal("partition blocks did not spread across both dies")
 	}
-	if _, err := New(ctrl, env, []PartitionSpec{{Name: "x", Blocks: 8}}); err == nil {
-		t.Fatal("oversubscribed device accepted")
+	data := pagePattern(7, 4096)
+	for lpa := 0; lpa < 2*p.pages; lpa++ { // spans >1 physical block
+		if err := f.Write("data", lpa, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, lpa := range []int{0, p.pages, 2*p.pages - 1} {
+		got, _, err := f.Read("data", lpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("lpa %d corrupted across dies", lpa)
+		}
 	}
 }
 

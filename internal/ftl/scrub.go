@@ -94,7 +94,7 @@ func (f *FTL) Scrub(part string) (ScrubReport, error) {
 		}
 		moved := 0
 		for _, le := range live {
-			res, err := f.ctrl.ReadPage(bs.id, le.page)
+			res, err := f.readPhys(bs.id, le.page)
 			if err != nil {
 				if errors.Is(err, controller.ErrUncorrectable) {
 					rep.Uncorrectable++
@@ -118,7 +118,7 @@ func (f *FTL) Scrub(part string) (ScrubReport, error) {
 		// A fully-dead non-frontier victim would strand outside the free
 		// pool (GC only collects sealed blocks): erase and reclaim it now.
 		if bs.livePages == 0 && blk != p.active && bs.writePtr > 0 {
-			if err := f.ctrl.EraseBlock(bs.id); err != nil {
+			if err := f.erasePhys(bs.id); err != nil {
 				return rep, err
 			}
 			bs.writePtr = 0

@@ -57,10 +57,13 @@ func TestDegradedReadsMarkAndScrubHeals(t *testing.T) {
 	// thins (the page was written at t=3; a couple of raw errors per
 	// read is a 2/3 margin burn) and add a mild bake.
 	physBlock := p.blocks[p.mapping[0]/p.pages].id
-	if err := f.ctrl.Device().SetCycles(physBlock, 1e4); err != nil {
+	die, blk := f.addr(physBlock)
+	if err := f.q.Dispatcher().SetCycles(die, blk, 1e4); err != nil {
 		t.Fatal(err)
 	}
-	f.ctrl.Device().AdvanceTime(1e3)
+	if err := f.q.Dispatcher().AdvanceTime(1e3); err != nil {
+		t.Fatal(err)
+	}
 
 	// Read until the health check trips (corrected errors vs t=3-ish
 	// margin at that wear; use an aggressive threshold to be

@@ -163,6 +163,10 @@ const (
 	ModeMaxRead
 )
 
+// Ptr returns a pointer to m — the shape per-request service-level
+// overrides take (a nil Mode pointer means "use the default").
+func (m Mode) Ptr() *Mode { return &m }
+
 // String implements fmt.Stringer.
 func (m Mode) String() string {
 	switch m {

@@ -21,11 +21,12 @@ type Storage struct {
 	f *ftl.FTL
 }
 
-// NewStorage carves the sub-system's blocks into partitions. Every
-// partition needs at least 2 blocks (one is over-provisioning for
-// garbage collection); the total must fit the device.
+// NewStorage carves the sub-system's blocks (striped across its dies)
+// into partitions. Every partition needs at least 2 blocks (one is
+// over-provisioning for garbage collection); the total must fit the
+// device.
 func (s *Subsystem) NewStorage(specs []PartitionSpec) (*Storage, error) {
-	f, err := ftl.New(s.ctrl, s.env, specs)
+	f, err := ftl.New(s.disp, s.env, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -89,10 +90,10 @@ func (st *Storage) Stats() ([]PartitionStats, error) {
 	return out, nil
 }
 
-// AdvanceTime moves the device's retention clock forward (hours), baking
+// AdvanceTime moves every die's retention clock forward (hours), baking
 // every stored page — lifetime studies combine this with AgeBlock.
 func (s *Subsystem) AdvanceTime(hours float64) {
-	s.ctrl.Device().AdvanceTime(hours)
+	_ = s.disp.AdvanceTime(hours)
 }
 
 // ScrubPolicy configures background refresh: reads whose corrected-error

@@ -2,9 +2,10 @@
 // reliability/performance trade-offs in MLC NAND flash memories,
 // reproducing Zambelli et al., "A Cross-Layer Approach for New
 // Reliability-Performance Trade-Offs in MLC NAND Flash Memories"
-// (DATE 2012).
+// (DATE 2012), grown into an asynchronous, batched, multi-die storage
+// sub-system.
 //
-// The library models the full memory sub-system: a 2-bit/cell NAND device
+// The library models the full memory sub-system: 2-bit/cell NAND dies
 // with runtime-selectable program algorithm (standard ISPP-SV vs
 // double-verify ISPP-DV), an adaptive BCH codec protecting 4 KB pages
 // with correction capability t programmable in [3, 65] over GF(2^16), the
@@ -23,19 +24,62 @@
 //
 // Both cross-layer modes pay ≈40-48% write throughput (paper §6.3.3).
 //
-// Open a simulated sub-system, select a mode, and use WritePage/ReadPage;
-// or evaluate operating points analytically with Evaluate/EvaluateMode.
-// The experiment harness regenerating every figure of the paper is
-// exposed through RunExperiment and the cmd/flashsim binary.
+// # The queue API
+//
+// The primary I/O surface is asynchronous and batched, in the
+// submission/completion-queue style of modern flash stacks. Open a
+// sub-system with functional options, create a Queue, and submit
+// batches of requests; the dispatcher fans them out across the dies
+// with one worker per die while the shared flash bus and BCH codec
+// serialise on a modelled timeline, so multi-die interleaving follows
+// the same pipeline model the analytic ScaleDies evaluation predicts:
+//
+//	sys, _ := xlnand.Open(xlnand.WithDies(4), xlnand.WithBlocks(8))
+//	defer sys.Close()
+//	q := sys.NewQueue()
+//	comps, err := q.Submit(ctx, []xlnand.Request{
+//		{Op: xlnand.OpWrite, Die: 0, Block: 0, Page: 0, Data: page},
+//		{Op: xlnand.OpRead, Die: 1, Block: 0, Page: 0},
+//	})
+//
+// Every request may carry its own service level (Request.Mode) or pin
+// an explicit ECC capability (Request.T), so heterogeneous traffic —
+// critical min-UBER writes next to max-read streaming — shares one
+// batch without any global mode toggling. Completions carry typed
+// errors: errors.Is against ErrUncorrectable, ErrBadAddress and
+// ErrClosed, with the full context in *OpError.
+//
+// # Migrating from WritePage/ReadPage
+//
+// The blocking single-page calls remain as convenience wrappers over
+// the queue and keep their exact semantics on die 0:
+//
+//	wr, err := sys.WritePage(b, p, data)   ≡   q.Do(ctx, Request{Op: OpWrite, Block: b, Page: p, Data: data})
+//	rd, err := sys.ReadPage(b, p)          ≡   q.Do(ctx, Request{Op: OpRead, Block: b, Page: p})
+//
+// SelectMode still installs the sub-system default level, but per-request
+// Mode overrides replace the old register toggle dance; a capability
+// pinned with SetCapability now survives SelectMode and the min-UBER
+// write path (previously both silently re-enabled the reliability
+// manager).
+//
+// Open's old Options struct is deprecated but still accepted: it
+// implements Option, so Open(Options{Blocks: 4}) keeps compiling.
+//
+// Evaluate operating points analytically with Evaluate/EvaluateMode; the
+// experiment harness regenerating every figure of the paper is exposed
+// through RunExperiment and the cmd/flashsim binary.
 package xlnand
 
 import (
+	"context"
 	"fmt"
 
-	"xlnand/internal/bch"
 	"xlnand/internal/controller"
+	"xlnand/internal/dispatch"
 	"xlnand/internal/nand"
 	"xlnand/internal/sim"
+	"xlnand/internal/timing"
 )
 
 // Algorithm selects the NAND program algorithm (the physical-layer knob).
@@ -57,11 +101,86 @@ const (
 	ModeMaxRead = sim.ModeMaxRead
 )
 
-// ErrUncorrectable is returned by ReadPage when the error pattern exceeds
-// the configured correction capability.
-var ErrUncorrectable = controller.ErrUncorrectable
+// config collects Open's resolved parameters.
+type config struct {
+	blocks        int
+	dies          int
+	seed          uint64
+	targetUBERExp uint32
+	manualECC     bool
+	bus           *timing.FlashBus
+	hw            *codecHW
+}
+
+type codecHW struct {
+	parallelismP int
+	chienH       int
+	clockHz      float64
+}
+
+// Option configures Open.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithBlocks sets the flash blocks per die (default 8).
+func WithBlocks(n int) Option { return optionFunc(func(c *config) { c.blocks = n }) }
+
+// WithDies sets the number of NAND dies behind the controller (default
+// 1). Array operations proceed in parallel across dies; the flash bus
+// and the adaptive codec are shared and serialise.
+func WithDies(n int) Option { return optionFunc(func(c *config) { c.dies = n }) }
+
+// WithSeed drives all simulation randomness (default 1). Each die
+// derives a decorrelated stream; die 0 matches the single-die behaviour
+// for the same seed.
+func WithSeed(seed uint64) Option { return optionFunc(func(c *config) { c.seed = seed }) }
+
+// WithTargetUBER sets the reliability target as 10^-exp (default 11, the
+// paper's 1e-11).
+func WithTargetUBER(exp uint32) Option {
+	return optionFunc(func(c *config) { c.targetUBERExp = exp })
+}
+
+// WithManualECC disables the reliability manager; use SetCapability to
+// pick t explicitly (the capability starts pinned at the worst case).
+func WithManualECC() Option { return optionFunc(func(c *config) { c.manualECC = true }) }
+
+// BusConfig describes the flash interface between controller and dies.
+type BusConfig struct {
+	WidthBits int     // data width (8 in the paper's asynchronous interface)
+	ClockHz   float64 // interface cycle rate
+}
+
+// WithBus replaces the default 8-bit 33 MHz flash interface — e.g. an
+// ONFI-style DDR bus for configurations where die interleaving should
+// not saturate on transfers. The analytic evaluations (EvaluateMode,
+// ScaleDies) follow the same bus.
+func WithBus(b BusConfig) Option {
+	return optionFunc(func(c *config) {
+		c.bus = &timing.FlashBus{WidthBits: b.WidthBits, ClockHz: b.ClockHz}
+	})
+}
+
+// WithCodecHW rescales the adaptive codec's micro-architecture: datapath
+// width p (bits/cycle), Chien-search parallelism h and clock rate. The
+// default is the paper's p=8, h=32 at 80 MHz; wider/faster instances
+// keep the shared decoder from bounding multi-die read interleaving.
+func WithCodecHW(p, h int, clockHz float64) Option {
+	return optionFunc(func(c *config) {
+		c.hw = &codecHW{parallelismP: p, chienH: h, clockHz: clockHz}
+	})
+}
 
 // Options configures Open.
+//
+// Deprecated: use the functional options (WithBlocks, WithSeed,
+// WithTargetUBER, WithManualECC, ...). Options implements Option, so
+// existing Open(Options{...}) calls keep working.
 type Options struct {
 	// Blocks is the number of simulated flash blocks (default 8).
 	Blocks int
@@ -76,115 +195,139 @@ type Options struct {
 	ManualECC bool
 }
 
-func (o Options) withDefaults() Options {
-	if o.Blocks == 0 {
-		o.Blocks = 8
+func (o Options) apply(c *config) {
+	if o.Blocks != 0 {
+		c.blocks = o.Blocks
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
+	if o.Seed != 0 {
+		c.seed = o.Seed
 	}
-	if o.TargetUBERExp == 0 {
-		o.TargetUBERExp = 11
+	if o.TargetUBERExp != 0 {
+		c.targetUBERExp = o.TargetUBERExp
 	}
-	return o
+	if o.ManualECC {
+		c.manualECC = true
+	}
 }
 
-// Subsystem is an open simulated NAND memory sub-system: device,
-// controller, adaptive codec and reliability manager.
+// Subsystem is an open simulated NAND memory sub-system: one or more
+// dies behind a controller with adaptive codec, reliability manager and
+// the multi-die dispatcher.
 type Subsystem struct {
-	ctrl *controller.Controller
+	disp *dispatch.Dispatcher
+	q    *dispatch.Queue // internal queue backing the blocking wrappers
 	env  sim.Env
-	mode Mode
 }
 
-// Open builds a simulated sub-system. The zero Options value gives the
-// paper's baseline configuration.
-func Open(o Options) (*Subsystem, error) {
-	o = o.withDefaults()
-	if o.Blocks < 0 {
-		return nil, fmt.Errorf("xlnand: negative block count %d", o.Blocks)
+// Open builds a simulated sub-system. With no options it gives the
+// paper's baseline configuration (one die, 8 blocks, adaptive ECC,
+// UBER target 1e-11).
+func Open(opts ...Option) (*Subsystem, error) {
+	cfg := config{blocks: 8, dies: 1, seed: 1, targetUBERExp: 11}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.blocks < 0 {
+		return nil, fmt.Errorf("xlnand: negative block count %d", cfg.blocks)
+	}
+	if cfg.dies < 1 {
+		return nil, fmt.Errorf("xlnand: die count %d < 1", cfg.dies)
 	}
 	env := sim.DefaultEnv()
-	dev := nand.NewDevice(env.Cal, o.Blocks, o.Seed)
-	codec, err := bch.NewCodec(env.M, env.K, env.TMin, env.TMax)
-	if err != nil {
-		return nil, err
+	if cfg.bus != nil {
+		if cfg.bus.WidthBits <= 0 || cfg.bus.ClockHz <= 0 {
+			return nil, fmt.Errorf("xlnand: invalid bus config %+v", *cfg.bus)
+		}
+		env.Bus = *cfg.bus
 	}
-	cfg := controller.DefaultConfig()
-	cfg.TargetUBERExp = o.TargetUBERExp
-	cfg.Adaptive = !o.ManualECC
-	ctrl, err := controller.New(dev, codec, cfg)
-	if err != nil {
-		return nil, err
+	if cfg.hw != nil {
+		if cfg.hw.parallelismP <= 0 || cfg.hw.chienH <= 0 || cfg.hw.clockHz <= 0 {
+			return nil, fmt.Errorf("xlnand: invalid codec hardware config %+v", *cfg.hw)
+		}
+		env.HW.ParallelismP = cfg.hw.parallelismP
+		env.HW.ChienParallelismH = cfg.hw.chienH
+		env.HW.ClockHz = cfg.hw.clockHz
 	}
 	target := 1.0
-	for i := uint32(0); i < o.TargetUBERExp; i++ {
+	for i := uint32(0); i < cfg.targetUBERExp; i++ {
 		target /= 10
 	}
 	env.TargetUBER = target
-	return &Subsystem{ctrl: ctrl, env: env, mode: ModeNominal}, nil
+
+	ctrlCfg := controller.DefaultConfig()
+	ctrlCfg.TargetUBERExp = cfg.targetUBERExp
+	ctrlCfg.Adaptive = !cfg.manualECC
+	ctrlCfg.Bus = env.Bus
+	ctrlCfg.HW = env.HW
+
+	disp, err := dispatch.New(dispatch.Config{
+		Dies:         cfg.dies,
+		BlocksPerDie: cfg.blocks,
+		Seed:         cfg.seed,
+		Env:          env,
+		Controller:   ctrlCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.manualECC {
+		disp.PinCapability(env.TMax)
+	}
+	return &Subsystem{disp: disp, q: disp.NewQueue(), env: env}, nil
 }
+
+// Close stops the per-die workers. Submissions after Close fail with
+// ErrClosed; in-flight operations complete first. Close is idempotent.
+func (s *Subsystem) Close() error { return s.disp.Close() }
 
 // PageSize returns the user payload per page in bytes (4096).
 func (s *Subsystem) PageSize() int { return s.env.Cal.PageDataBytes }
 
-// Blocks returns the number of flash blocks.
-func (s *Subsystem) Blocks() int { return s.ctrl.Device().Blocks() }
+// Dies returns the number of NAND dies.
+func (s *Subsystem) Dies() int { return s.disp.Geometry().Dies }
+
+// Blocks returns the number of flash blocks per die.
+func (s *Subsystem) Blocks() int { return s.disp.Geometry().BlocksPerDie }
 
 // PagesPerBlock returns the pages per block.
-func (s *Subsystem) PagesPerBlock() int { return s.ctrl.Device().PagesPerBlock() }
+func (s *Subsystem) PagesPerBlock() int { return s.disp.Geometry().PagesPerBlock }
 
-// SelectMode switches the sub-system to one of the paper's service
-// levels, reconfiguring both layers (program algorithm register and ECC
-// policy) at runtime.
+// SelectMode installs one of the paper's service levels as the
+// sub-system default; per-request Mode values override it. A capability
+// pinned with SetCapability survives mode switches — call
+// SetAdaptive(true) to hand control back to the reliability manager.
 func (s *Subsystem) SelectMode(m Mode) error {
 	switch m {
-	case ModeNominal:
-		s.ctrl.SetAlgorithm(nand.ISPPSV)
-		s.ctrl.SetAdaptive(true)
-	case ModeMinUBER:
-		// DV physical layer, ECC kept at the nominal (SV-sized)
-		// schedule: the manager would relax t for DV's better RBER, so
-		// min-UBER pins the SV schedule through the manual register.
-		s.ctrl.SetAlgorithm(nand.ISPPDV)
-		s.ctrl.SetAdaptive(true)
-	case ModeMaxRead:
-		s.ctrl.SetAlgorithm(nand.ISPPDV)
-		s.ctrl.SetAdaptive(true)
+	case ModeNominal, ModeMinUBER, ModeMaxRead:
+		s.disp.SetDefaultMode(m)
+		return nil
 	default:
 		return fmt.Errorf("xlnand: unknown mode %d", int(m))
 	}
-	s.mode = m
-	return nil
 }
 
-// Mode returns the currently selected service level.
-func (s *Subsystem) Mode() Mode { return s.mode }
+// Mode returns the currently selected default service level.
+func (s *Subsystem) Mode() Mode { return s.disp.DefaultMode() }
 
-// SetAlgorithm drives the program-algorithm register directly (expert
-// path; SelectMode covers the paper's use cases).
-func (s *Subsystem) SetAlgorithm(alg Algorithm) { s.ctrl.SetAlgorithm(alg) }
+// SetAlgorithm pins the program algorithm regardless of the default mode
+// (expert path; SelectMode covers the paper's use cases). Cleared by the
+// next SelectMode.
+func (s *Subsystem) SetAlgorithm(alg Algorithm) { s.disp.SetAlgorithmOverride(alg) }
 
 // SetCapability pins the ECC correction capability, disabling the
-// reliability manager until SelectMode or SetAdaptive re-enables it.
-func (s *Subsystem) SetCapability(t int) { s.ctrl.SetCapability(t) }
+// reliability manager until SetAdaptive(true) re-enables it. The pin
+// survives SelectMode and the min-UBER write path.
+func (s *Subsystem) SetCapability(t int) { s.disp.PinCapability(t) }
 
-// SetAdaptive toggles the reliability manager.
-func (s *Subsystem) SetAdaptive(on bool) { s.ctrl.SetAdaptive(on) }
-
-// resolveT returns the capability the controller will use for a write to
-// the given block under the current mode (min-UBER pins the SV schedule).
-func (s *Subsystem) prepare(blockIdx int) {
-	if s.mode != ModeMinUBER {
-		return
+// SetAdaptive toggles the reliability manager: true releases any pinned
+// capability; false freezes capability selection — at the already-pinned
+// value if SetCapability chose one, otherwise at the worst case.
+func (s *Subsystem) SetAdaptive(on bool) {
+	if on {
+		s.disp.Unpin()
+	} else if s.disp.PinnedT() == 0 {
+		s.disp.PinCapability(s.env.TMax)
 	}
-	cycles, err := s.ctrl.Device().Cycles(blockIdx)
-	if err != nil {
-		return
-	}
-	// min-UBER: capability follows the *SV* requirement even though the
-	// physical layer runs DV.
-	s.ctrl.SetCapability(s.env.RequiredT(nand.ISPPSV, cycles))
 }
 
 // WriteResult reports a page write.
@@ -193,42 +336,70 @@ type WriteResult = controller.WriteResult
 // ReadResult reports a page read.
 type ReadResult = controller.ReadResult
 
-// WritePage encodes and programs one page (data must be PageSize bytes).
+// WritePage encodes and programs one page on die 0 (data must be
+// PageSize bytes) at the default service level. It is a blocking
+// wrapper over the queue; batch or cross-die traffic should use Submit.
 func (s *Subsystem) WritePage(block, page int, data []byte) (WriteResult, error) {
-	s.prepare(block)
-	res, err := s.ctrl.WritePage(block, page, data)
-	if s.mode == ModeMinUBER {
-		s.ctrl.SetAdaptive(true) // restore manager for other paths
+	comp, err := s.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpWrite, Block: block, Page: page, Data: data,
+	})
+	if comp.Write == nil {
+		return WriteResult{}, err
 	}
-	return res, err
+	return *comp.Write, err
 }
 
-// ReadPage reads, transfers and decodes one page.
+// ReadPage reads, transfers and decodes one page on die 0.
 func (s *Subsystem) ReadPage(block, page int) (ReadResult, error) {
-	return s.ctrl.ReadPage(block, page)
+	comp, err := s.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpRead, Block: block, Page: page,
+	})
+	if comp.Read == nil {
+		return ReadResult{}, err
+	}
+	return *comp.Read, err
 }
 
-// EraseBlock erases a block (incrementing its wear).
-func (s *Subsystem) EraseBlock(block int) error { return s.ctrl.EraseBlock(block) }
+// EraseBlock erases a block on die 0 (incrementing its wear).
+func (s *Subsystem) EraseBlock(block int) error {
+	_, err := s.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpErase, Block: block,
+	})
+	return err
+}
 
-// AgeBlock fast-forwards a block's program/erase wear to the given cycle
-// count, so lifetime behaviour can be studied without replaying millions
-// of operations.
+// AgeBlock fast-forwards a die-0 block's program/erase wear to the given
+// cycle count, so lifetime behaviour can be studied without replaying
+// millions of operations. For other dies use AgeDieBlock.
 func (s *Subsystem) AgeBlock(block int, cycles float64) error {
-	return s.ctrl.Device().SetCycles(block, cycles)
+	return s.disp.SetCycles(0, block, cycles)
 }
 
-// BlockCycles returns a block's wear.
+// AgeDieBlock fast-forwards any die's block wear.
+func (s *Subsystem) AgeDieBlock(die, block int, cycles float64) error {
+	return s.disp.SetCycles(die, block, cycles)
+}
+
+// BlockCycles returns a die-0 block's wear.
 func (s *Subsystem) BlockCycles(block int) (float64, error) {
-	return s.ctrl.Device().Cycles(block)
+	return s.disp.Cycles(0, block)
 }
 
-// Uncorrectables returns the number of decode failures observed since
-// Open.
-func (s *Subsystem) Uncorrectables() int {
-	return s.ctrl.Manager().Uncorrectables()
+// Uncorrectables returns the number of decode failures observed across
+// all dies since Open.
+func (s *Subsystem) Uncorrectables() int { return s.disp.Uncorrectables() }
+
+// Controller exposes die 0's controller for advanced use (register-level
+// access, reliability-manager inspection). The caller must ensure no
+// queue traffic is in flight.
+func (s *Subsystem) Controller() *controller.Controller { return s.disp.Controller(0) }
+
+// DieController exposes any die's controller under the same quiescence
+// contract as Controller.
+func (s *Subsystem) DieController(die int) *controller.Controller {
+	return s.disp.Controller(die)
 }
 
-// Controller exposes the underlying controller for advanced use
-// (register-level access, reliability-manager inspection).
-func (s *Subsystem) Controller() *controller.Controller { return s.ctrl }
+// Dispatcher exposes the multi-die dispatcher (geometry, virtual
+// timeline, control-plane operations).
+func (s *Subsystem) Dispatcher() *dispatch.Dispatcher { return s.disp }
