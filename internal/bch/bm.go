@@ -13,48 +13,86 @@ import "xlnand/internal/gf"
 // length L = assumed number of errors. Callers must reject L > t and
 // deg(lambda) != L as uncorrectable.
 func BerlekampMassey(f *gf.Field, syn []uint32) (lambda []uint32, L int) {
+	var sc bmScratch
+	sc.grow(len(syn))
+	lam, L := berlekampMasseyInto(f, syn, &sc)
+	return append([]uint32(nil), lam...), L
+}
+
+// bmScratch holds the three polynomial buffers the iteration rotates
+// through (lambda, the stashed pre-update copy B, and the update target),
+// sized once for the largest syndrome sequence a decoder can see.
+type bmScratch struct {
+	a, b, c []uint32
+}
+
+func (sc *bmScratch) grow(n2t int) {
+	// A buffer can grow to len(prev)+shift <= 2t + 1 coefficients.
+	want := n2t + 2
+	if cap(sc.a) < want {
+		sc.a = make([]uint32, want)
+		sc.b = make([]uint32, want)
+		sc.c = make([]uint32, want)
+	}
+}
+
+// berlekampMasseyInto is the allocation-free kernel behind BerlekampMassey:
+// the returned lambda aliases one of the scratch buffers and is only valid
+// until the scratch is reused.
+func berlekampMasseyInto(f *gf.Field, syn []uint32, sc *bmScratch) (lambda []uint32, L int) {
 	n2t := len(syn)
-	lambda = make([]uint32, 1, n2t/2+2)
-	lambda[0] = 1
-	prev := []uint32{1} // B(x): copy of lambda before the last length change
-	b := uint32(1)      // discrepancy at the last length change
-	shift := 1          // x^shift multiplier applied to B
+	sc.grow(n2t)
+	lam := sc.a[:1]
+	lam[0] = 1
+	prev := sc.b[:1] // B(x): copy of lambda before the last length change
+	prev[0] = 1
+	spare := sc.c
+	b := uint32(1) // discrepancy at the last length change
+	shift := 1     // x^shift multiplier applied to B
 
 	for r := 1; r <= n2t; r++ {
 		// Discrepancy d = S_r + sum_{i=1..L} lambda_i * S_{r-i}.
 		var d uint32
-		for i := 0; i <= L && i < len(lambda); i++ {
+		for i := 0; i <= L && i < len(lam); i++ {
 			if r-i >= 1 {
-				d ^= f.Mul(lambda[i], syn[r-i-1])
+				d ^= f.Mul(lam[i], syn[r-i-1])
 			}
 		}
 		if d == 0 {
 			shift++
 			continue
 		}
-		// lambda' = lambda - (d/b) x^shift B(x)
+		// lambda' = lambda - (d/b) x^shift B(x), built in the spare buffer.
 		coef := f.Div(d, b)
-		next := make([]uint32, max(len(lambda), len(prev)+shift))
-		copy(next, lambda)
+		nlen := max(len(lam), len(prev)+shift)
+		next := spare[:nlen]
+		n := copy(next, lam)
+		for i := n; i < nlen; i++ {
+			next[i] = 0
+		}
 		for i, pb := range prev {
 			next[i+shift] ^= f.Mul(coef, pb)
 		}
 		if 2*L <= r-1 {
-			// Length change: stash the pre-update lambda.
-			prev = lambda
+			// Length change: stash the pre-update lambda; the old B's
+			// buffer becomes the new spare. The three buffers stay a
+			// permutation of (lambda, B, spare) — never aliased.
+			spare = prev[:cap(prev)]
+			prev = lam
 			b = d
 			L = r - L
 			shift = 1
 		} else {
+			spare = lam[:cap(lam)]
 			shift++
 		}
-		lambda = next
+		lam = next
 	}
 	// Trim trailing zeros for a well-defined degree.
-	for len(lambda) > 1 && lambda[len(lambda)-1] == 0 {
-		lambda = lambda[:len(lambda)-1]
+	for len(lam) > 1 && lam[len(lam)-1] == 0 {
+		lam = lam[:len(lam)-1]
 	}
-	return lambda, L
+	return lam, L
 }
 
 func max(a, b int) int {

@@ -20,58 +20,168 @@ import "xlnand/internal/gf"
 // lambda at alpha^0 (d = 0) and alpha^j for j = N-nbits+1 .. N-1
 // (d = N - j), i.e. exactly nbits candidate exponents.
 func ChienSearch(f *gf.Field, lambda []uint32, nbits int) (positions []int, ok bool) {
+	var sc chienScratch
+	sc.grow(len(lambda))
+	return chienSearchInto(f, lambda, nbits, nil, &sc)
+}
+
+// chienBlock is the position-tile width of the strided kernel: the
+// partial-sum tile (2 bytes per position) stays L1-resident while each
+// locator term sweeps it as a single constant-stride stream through the
+// antilog table — the access pattern hardware prefetchers track, unlike
+// the textbook per-position loop whose deg(lambda) interleaved streams
+// exceed any prefetcher's capacity.
+const chienBlock = 4096
+
+// chienScratch holds the reusable kernel state: the nonzero locator terms
+// in log domain, their per-position exponent steps, and the partial-sum
+// tile.
+type chienScratch struct {
+	ltm   []int32  // log of term i's value at the current tile base
+	steps []int32  // exponent advance of term i per position (its degree)
+	sums  []uint16 // lambda evaluations for one tile of positions
+}
+
+func (sc *chienScratch) grow(n int) {
+	if cap(sc.ltm) < n {
+		sc.ltm = make([]int32, n)
+		sc.steps = make([]int32, n)
+	}
+	if sc.sums == nil {
+		sc.sums = make([]uint16, chienBlock)
+	}
+}
+
+// chienSearchInto is the allocation-free kernel behind ChienSearch.
+// Found positions are appended to pos (pass a reusable pos[:0] slice).
+//
+// The scan is restructured against the textbook form for speed:
+//
+//   - a degree-1 locator is solved in closed form (d = log lambda_1 -
+//     log lambda_0), so the dominant single-error page never scans at all;
+//   - zero coefficients are compacted away, and the survivors are kept in
+//     log domain: evaluating a term is one antilog lookup, advancing it
+//     one add and one conditional subtract;
+//   - positions are processed in L1-sized tiles with the loops
+//     interchanged — each term streams through the antilog table at a
+//     constant stride, accumulating into the tile — rather than evaluating
+//     every term per position;
+//   - the early exits of the adaptable hardware block are preserved at
+//     tile granularity: the scan stops once deg(lambda) roots are found or
+//     the positions left cannot host the roots still missing.
+func chienSearchInto(f *gf.Field, lambda []uint32, nbits int, pos []int, sc *chienScratch) (positions []int, ok bool) {
 	degLam := len(lambda) - 1
 	for degLam > 0 && lambda[degLam] == 0 {
 		degLam--
 	}
 	if degLam == 0 {
-		return nil, true // no errors located
+		return pos, true // no errors located
 	}
 	N := f.N()
 	if nbits > N {
-		return nil, false
+		return pos, false
 	}
-	positions = make([]int, 0, degLam)
+	positions = pos
 
-	// terms[i] = lambda_i * alpha^(i*j), updated incrementally as j
-	// advances by one. Start at j0 = N - nbits + 1, after first testing
-	// j = 0 (position d = 0) directly.
+	// Position d = 0 (exponent j = 0): lambda(alpha^0) = sum of coeffs.
 	var sum0 uint32
 	for i := 0; i <= degLam; i++ {
 		sum0 ^= lambda[i]
 	}
 	if sum0 == 0 {
 		positions = append(positions, nbits-1) // d = 0 -> last bit index
+		if len(positions) == degLam {
+			return positions, true
+		}
+	}
+	log, exp := f.Tables()
+
+	// Single error: lambda_0 + lambda_1 x has the lone root x =
+	// lambda_0/lambda_1 = alpha^-d, i.e. d = log lambda_1 - log lambda_0.
+	if degLam == 1 && lambda[0] != 0 {
+		d := (int(log[lambda[1]]) - int(log[lambda[0]]) + N) % N
+		if d == 0 || d >= nbits {
+			return positions, false // root outside the shortened codeword
+		}
+		return append(positions, nbits-1-d), true
 	}
 
+	// Compact the nonzero terms of degree >= 1 into log domain at the
+	// scan start j0; the degree-0 term is a constant folded into the
+	// tile initialisation.
 	j0 := N - nbits + 1
-	terms := make([]uint32, degLam+1)
-	for i := 0; i <= degLam; i++ {
+	sc.grow(degLam + 1)
+	ltm, steps := sc.ltm[:0], sc.steps[:0]
+	for i := 1; i <= degLam; i++ {
 		if lambda[i] != 0 {
-			terms[i] = f.MulAlpha(lambda[i], i*j0%N)
+			ltm = append(ltm, int32((int(log[lambda[i]])+i*j0)%N))
+			steps = append(steps, int32(i%N))
 		}
 	}
-	for j := j0; j < N; j++ {
-		var sum uint32
-		for _, tm := range terms {
-			sum ^= tm
+	cst := uint16(lambda[0])
+
+	n32 := int32(N)
+	for j := j0; j < N; {
+		width := N - j
+		if width > chienBlock {
+			width = chienBlock
 		}
-		if sum == 0 {
-			d := N - j
-			positions = append(positions, nbits-1-d)
-			if len(positions) == degLam {
-				break
+		tile := sc.sums[:width]
+		for u := range tile {
+			tile[u] = cst
+		}
+		// Sweep the tile four terms at a time: each term is one
+		// constant-stride stream through the antilog table (prefetcher
+		// friendly), and sharing the sweep amortises the tile update.
+		k := 0
+		for ; k+3 < len(ltm); k += 4 {
+			l0, l1, l2, l3 := ltm[k], ltm[k+1], ltm[k+2], ltm[k+3]
+			s0, s1, s2, s3 := steps[k], steps[k+1], steps[k+2], steps[k+3]
+			for u := range tile {
+				tile[u] ^= exp[l0] ^ exp[l1] ^ exp[l2] ^ exp[l3]
+				l0 += s0
+				if l0 >= n32 {
+					l0 -= n32
+				}
+				l1 += s1
+				if l1 >= n32 {
+					l1 -= n32
+				}
+				l2 += s2
+				if l2 >= n32 {
+					l2 -= n32
+				}
+				l3 += s3
+				if l3 >= n32 {
+					l3 -= n32
+				}
+			}
+			ltm[k], ltm[k+1], ltm[k+2], ltm[k+3] = l0, l1, l2, l3
+		}
+		for ; k < len(ltm); k++ {
+			l, st := ltm[k], steps[k]
+			for u := range tile {
+				tile[u] ^= exp[l]
+				l += st
+				if l >= n32 {
+					l -= n32
+				}
+			}
+			ltm[k] = l
+		}
+		for u, s := range tile {
+			if s == 0 {
+				d := N - (j + u)
+				positions = append(positions, nbits-1-d)
+				if len(positions) == degLam {
+					return positions, true
+				}
 			}
 		}
-		// Advance: terms[i] *= alpha^i.
-		for i := 1; i <= degLam; i++ {
-			if terms[i] != 0 {
-				terms[i] = f.MulAlpha(terms[i], i)
-			}
+		j += width
+		if degLam-len(positions) > N-j {
+			break // not enough candidates left to find the missing roots
 		}
 	}
-	if len(positions) != degLam {
-		return positions, false
-	}
-	return positions, true
+	return positions, false
 }

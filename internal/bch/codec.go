@@ -3,6 +3,7 @@ package bch
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xlnand/internal/gf"
 )
@@ -15,7 +16,11 @@ import (
 // lazily on first use — the software analogue of the characteristic-
 // polynomial ROM feeding the programmable LFSR.
 //
-// Codec is safe for concurrent use.
+// Codec is safe for concurrent use and, past first use of a capability,
+// lock-free: per-t codes, encoders and decoders are published through
+// atomic slots indexed by t, so dies hammering the shared codec never
+// serialise on a codec-level mutex. The construction mutex is only taken
+// the first time a capability is touched (or during Warm).
 type Codec struct {
 	M    int // field degree
 	K    int // protected message bits per codeword
@@ -26,10 +31,10 @@ type Codec struct {
 	mpt   *gf.MinPolyTable
 	syn   *SyndromeCalc
 
-	mu       sync.Mutex
-	codes    map[int]*Code
-	encoders map[int]*Encoder
-	decoders map[int]*Decoder
+	mu       sync.Mutex // serialises slot construction only
+	codes    []atomic.Pointer[Code]
+	encoders []atomic.Pointer[Encoder]
+	decoders []atomic.Pointer[Decoder]
 }
 
 // PageCodecParams returns the paper's instantiation: GF(2^16), k = 4 KB
@@ -51,9 +56,9 @@ func NewCodec(m, k, tmin, tmax int) (*Codec, error) {
 		field:    f,
 		mpt:      gf.MinPolyCache(f),
 		syn:      NewSyndromeCalc(f),
-		codes:    make(map[int]*Code),
-		encoders: make(map[int]*Encoder),
-		decoders: make(map[int]*Decoder),
+		codes:    make([]atomic.Pointer[Code], tmax-tmin+1),
+		encoders: make([]atomic.Pointer[Encoder], tmax-tmin+1),
+		decoders: make([]atomic.Pointer[Decoder], tmax-tmin+1),
 	}, nil
 }
 
@@ -79,51 +84,76 @@ func (c *Codec) ClampT(t int) int {
 	return t
 }
 
+func (c *Codec) slot(t int) (int, error) {
+	if t < c.TMin || t > c.TMax {
+		return 0, fmt.Errorf("bch: t=%d outside supported range [%d, %d]", t, c.TMin, c.TMax)
+	}
+	return t - c.TMin, nil
+}
+
 // Code returns (building if needed) the code instance for capability t.
 func (c *Codec) Code(t int) (*Code, error) {
-	if t < c.TMin || t > c.TMax {
-		return nil, fmt.Errorf("bch: t=%d outside supported range [%d, %d]", t, c.TMin, c.TMax)
+	i, err := c.slot(t)
+	if err != nil {
+		return nil, err
+	}
+	if code := c.codes[i].Load(); code != nil {
+		return code, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if code, ok := c.codes[t]; ok {
+	if code := c.codes[i].Load(); code != nil {
 		return code, nil
 	}
 	code, err := newCodeWith(Params{M: c.M, K: c.K, T: t}, c.field, c.mpt)
 	if err != nil {
 		return nil, err
 	}
-	c.codes[t] = code
+	c.codes[i].Store(code)
 	return code, nil
 }
 
 func (c *Codec) encoder(t int) (*Encoder, error) {
+	i, err := c.slot(t)
+	if err != nil {
+		return nil, err
+	}
+	if e := c.encoders[i].Load(); e != nil {
+		return e, nil
+	}
 	code, err := c.Code(t)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.encoders[t]; ok {
+	if e := c.encoders[i].Load(); e != nil {
 		return e, nil
 	}
 	e := NewEncoder(code)
-	c.encoders[t] = e
+	c.encoders[i].Store(e)
 	return e, nil
 }
 
 func (c *Codec) decoder(t int) (*Decoder, error) {
+	i, err := c.slot(t)
+	if err != nil {
+		return nil, err
+	}
+	if d := c.decoders[i].Load(); d != nil {
+		return d, nil
+	}
 	code, err := c.Code(t)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if d, ok := c.decoders[t]; ok {
+	if d := c.decoders[i].Load(); d != nil {
 		return d, nil
 	}
 	d := NewDecoder(code, c.syn)
-	c.decoders[t] = d
+	c.decoders[i].Store(d)
 	return d, nil
 }
 
@@ -145,6 +175,17 @@ func (c *Codec) Encode(t int, msg []byte) ([]byte, error) {
 	return e.Encode(msg)
 }
 
+// EncodeInto computes the parity block for msg at capability t into
+// parity (exactly ParityBytes(t) bytes). It is the allocation-free
+// steady-state write path.
+func (c *Codec) EncodeInto(t int, parity, msg []byte) error {
+	e, err := c.encoder(t)
+	if err != nil {
+		return err
+	}
+	return e.EncodeInto(parity, msg)
+}
+
 // EncodeCodeword returns msg ++ parity at capability t.
 func (c *Codec) EncodeCodeword(t int, msg []byte) ([]byte, error) {
 	e, err := c.encoder(t)
@@ -164,8 +205,9 @@ func (c *Codec) Decode(t int, codeword []byte) (int, error) {
 	return d.Decode(codeword)
 }
 
-// Warm pre-builds the code, encoder and decoder for capability t so that
-// first use in a latency-sensitive path needs no construction work.
+// Warm pre-builds the code, encoder and decoder for capability t — plus
+// the shared syndrome lookup tables — so that first use in a
+// latency-sensitive path needs no construction work and takes no lock.
 func (c *Codec) Warm(t int) error {
 	if _, err := c.encoder(t); err != nil {
 		return err

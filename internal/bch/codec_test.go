@@ -124,11 +124,7 @@ func TestCodecWarm(t *testing.T) {
 	if err := c.Warm(6); err != nil {
 		t.Fatal(err)
 	}
-	c.mu.Lock()
-	_, hasEnc := c.encoders[6]
-	_, hasDec := c.decoders[6]
-	c.mu.Unlock()
-	if !hasEnc || !hasDec {
+	if c.encoders[6-c.TMin].Load() == nil || c.decoders[6-c.TMin].Load() == nil {
 		t.Fatal("Warm did not populate caches")
 	}
 }

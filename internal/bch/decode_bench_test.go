@@ -1,0 +1,182 @@
+package bch
+
+// Decode-pipeline micro-benchmarks: the error-count × capability matrix
+// the ISSUE's perf-tracking job consumes (BENCH_decode.json). All
+// benchmarks report allocs/op; the steady-state encode and decode paths
+// must stay at 0.
+
+import (
+	"fmt"
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+// benchCodec builds the paper's page codec warmed at capability t.
+func benchCodec(b *testing.B, t int) *Codec {
+	b.Helper()
+	codec, err := NewPageCodec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := codec.Warm(t); err != nil {
+		b.Fatal(err)
+	}
+	return codec
+}
+
+func benchPage(r *stats.RNG, n int) []byte {
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(r.Intn(256))
+	}
+	return msg
+}
+
+// dedupeCounts drops repeated error counts (e.g. t/2 == 1 at t = 3) so
+// benchmark and test matrices emit one stably-named series per count.
+func dedupeCounts(counts ...int) []int {
+	out := counts[:0]
+	for _, c := range counts {
+		dup := false
+		for _, o := range out {
+			if o == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenchmarkDecode measures the full decode pipeline (fused syndromes ->
+// BM -> Chien -> in-place correction -> incremental re-check) at error
+// counts {0, 1, t/2, t} for t in {3, 16, 65}. The same error pattern is
+// re-applied before every iteration: decoding corrects it in place, so
+// each iteration starts from an identically corrupted page without a
+// 4KB copy inside the timed loop.
+func BenchmarkDecode(b *testing.B) {
+	for _, tcap := range []int{3, 16, 65} {
+		codec := benchCodec(b, tcap)
+		code, err := codec.Code(tcap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := stats.NewRNG(0xdec0de + uint64(tcap))
+		msg := benchPage(r, codec.K/8)
+		cw, err := codec.EncodeCodeword(tcap, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, nerr := range dedupeCounts(0, 1, tcap/2, tcap) {
+			positions := r.SampleK(code.CodewordBits(), nerr)
+			b.Run(fmt.Sprintf("t=%d/errs=%d", tcap, nerr), func(b *testing.B) {
+				b.SetBytes(int64(codec.K / 8))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, p := range positions {
+						cw[p/8] ^= 1 << uint(7-p%8)
+					}
+					n, err := codec.Decode(tcap, cw)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if n != nerr {
+						b.Fatalf("corrected %d of %d errors", n, nerr)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEncode measures the steady-state parity computation through
+// the allocation-free EncodeInto path.
+func BenchmarkEncode(b *testing.B) {
+	for _, tcap := range []int{3, 16, 65} {
+		codec := benchCodec(b, tcap)
+		r := stats.NewRNG(0xe6c0de + uint64(tcap))
+		msg := benchPage(r, codec.K/8)
+		pb, err := codec.ParityBytes(tcap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parity := make([]byte, pb)
+		b.Run(fmt.Sprintf("t=%d", tcap), func(b *testing.B) {
+			b.SetBytes(int64(len(msg)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := codec.EncodeInto(tcap, parity, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSyndromes isolates the fused single-pass syndrome kernel.
+func BenchmarkSyndromes(b *testing.B) {
+	for _, tcap := range []int{3, 16, 65} {
+		codec := benchCodec(b, tcap)
+		r := stats.NewRNG(0x517d + uint64(tcap))
+		msg := benchPage(r, codec.K/8)
+		cw, err := codec.EncodeCodeword(tcap, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syn := make([]uint32, 2*tcap)
+		b.Run(fmt.Sprintf("t=%d", tcap), func(b *testing.B) {
+			b.SetBytes(int64(len(cw)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				codec.syn.SyndromesInto(syn, cw, tcap)
+			}
+		})
+	}
+}
+
+// BenchmarkChien isolates the strided log-domain Chien kernel on a
+// worst-ish-case locator: t errors spread over the page.
+func BenchmarkChien(b *testing.B) {
+	for _, tcap := range []int{3, 16, 65} {
+		codec := benchCodec(b, tcap)
+		code, err := codec.Code(tcap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := stats.NewRNG(0xc41e + uint64(tcap))
+		msg := benchPage(r, codec.K/8)
+		cw, err := codec.EncodeCodeword(tcap, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.SampleK(code.CodewordBits(), tcap) {
+			cw[p/8] ^= 1 << uint(7-p%8)
+		}
+		syn := codec.syn.Syndromes(cw, tcap)
+		lambda, L := BerlekampMassey(code.Field, syn)
+		if L != tcap {
+			b.Fatalf("locator degree %d, want %d", L, tcap)
+		}
+		var sc chienScratch
+		sc.grow(len(lambda))
+		var pos []int
+		b.Run(fmt.Sprintf("t=%d", tcap), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, ok := chienSearchInto(code.Field, lambda, code.CodewordBits(), pos[:0], &sc)
+				if !ok || len(p) != tcap {
+					b.Fatalf("chien found %d roots (ok=%v), want %d", len(p), ok, tcap)
+				}
+				pos = p
+			}
+		})
+	}
+}

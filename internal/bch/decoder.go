@@ -3,6 +3,7 @@ package bch
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"xlnand/internal/gf"
 )
@@ -15,18 +16,50 @@ var ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
 // Decoder runs the three-stage BCH decoding flow of the paper's Fig. 2:
 // syndrome computation, Berlekamp-Massey, Chien search. One Decoder is
 // bound to one code (one t); the adaptive Codec multiplexes between them.
+//
+// Decoder is safe for concurrent use: all mutable per-decode state lives
+// in pooled scratch contexts, so concurrent dies sharing one codec never
+// contend on a lock or allocate in steady state.
 type Decoder struct {
 	code *Code
 	syn  *SyndromeCalc
+	pool sync.Pool // of *decodeScratch
+}
+
+// decodeScratch is the reusable working set of one in-flight Decode: the
+// syndrome vector, the Berlekamp-Massey polynomial buffers, the Chien
+// lane arrays and the found-position list. One scratch serves decodes of
+// any capability up to the decoder's t.
+type decodeScratch struct {
+	syn   []uint32
+	delta []uint32 // re-check accumulator, one entry per odd syndrome
+	bm    bmScratch
+	chien chienScratch
+	pos   []int
 }
 
 // NewDecoder creates a decoder for the code, sharing the given syndrome
-// calculator (pass nil to create a private one).
+// calculator (pass nil to create a private one). The calculator's lookup
+// tables for the code's capability are built eagerly here, so the first
+// Decode on a latency-sensitive path does table lookups only.
 func NewDecoder(c *Code, syn *SyndromeCalc) *Decoder {
 	if syn == nil {
 		syn = NewSyndromeCalc(c.Field)
 	}
-	return &Decoder{code: c, syn: syn}
+	syn.Prepare(c.T)
+	d := &Decoder{code: c, syn: syn}
+	t := c.T
+	d.pool.New = func() any {
+		sc := &decodeScratch{
+			syn:   make([]uint32, 2*t),
+			delta: make([]uint32, t),
+			pos:   make([]int, 0, t+1),
+		}
+		sc.bm.grow(2 * t)
+		sc.chien.grow(t + 2)
+		return sc
+	}
+	return d
 }
 
 // Code returns the code this decoder was built for.
@@ -36,6 +69,12 @@ func (d *Decoder) Code() *Code { return d.code }
 // Encoder.EncodeCodeword) in place. It returns the number of bit errors
 // corrected, or ErrUncorrectable (codeword untouched) when the pattern
 // exceeds the code's capability in a detectable way.
+//
+// The steady-state hot path allocates nothing and walks the codeword
+// exactly once: all odd syndromes advance together in one fused pass,
+// and the post-correction verification updates the syndromes
+// algebraically from the flipped positions (O(errors·t)) instead of
+// re-reading the page.
 func (d *Decoder) Decode(codeword []byte) (int, error) {
 	nbits := d.code.CodewordBits()
 	if nbits%8 != 0 {
@@ -44,15 +83,21 @@ func (d *Decoder) Decode(codeword []byte) (int, error) {
 	if len(codeword) != nbits/8 {
 		return 0, fmt.Errorf("bch: codeword is %d bytes, want %d", len(codeword), nbits/8)
 	}
-	syn := d.syn.Syndromes(codeword, d.code.T)
+	sc := d.pool.Get().(*decodeScratch)
+	defer d.pool.Put(sc)
+	f := d.code.Field
+	t := d.code.T
+
+	syn := d.syn.SyndromesInto(sc.syn, codeword, t)
 	if AllZero(syn) {
 		return 0, nil
 	}
-	lambda, L := BerlekampMassey(d.code.Field, syn)
-	if L > d.code.T || len(lambda)-1 != L {
+	lambda, L := berlekampMasseyInto(f, syn, &sc.bm)
+	if L > t || len(lambda)-1 != L {
 		return 0, ErrUncorrectable
 	}
-	positions, ok := ChienSearch(d.code.Field, lambda, nbits)
+	positions, ok := chienSearchInto(f, lambda, nbits, sc.pos[:0], &sc.chien)
+	sc.pos = positions[:0]
 	if !ok {
 		return 0, ErrUncorrectable
 	}
@@ -61,14 +106,48 @@ func (d *Decoder) Decode(codeword []byte) (int, error) {
 	}
 	// Defensive re-check: a miscorrection beyond capability can leave
 	// nonzero syndromes; verify and roll back rather than hand corrupted
-	// data upward.
-	if !AllZero(d.syn.Syndromes(codeword, d.code.T)) {
+	// data upward. Syndromes are linear in the codeword, so instead of
+	// re-walking the page the flips are applied to the syndromes directly:
+	// an error at polynomial degree p contributes alpha^(j·p) to S_j. Only
+	// odd syndromes need checking — for a binary word S_2j = S_j^2, so
+	// every even syndrome vanishes whenever all odd ones do.
+	if !d.recheckOK(syn, positions, nbits, sc.delta) {
 		for _, p := range positions {
 			codeword[p/8] ^= 1 << uint(7-p%8)
 		}
 		return 0, ErrUncorrectable
 	}
 	return len(positions), nil
+}
+
+// recheckOK reports whether the odd syndromes, updated algebraically with
+// the corrected bit positions, all vanish: each corrected error's
+// contribution alpha^(j·deg) is accumulated per odd j into delta (scratch,
+// >= t entries), stepping j -> j+2 with one MulAlphaN by alpha^(2·deg),
+// and the correction is sound iff delta_j == S_j for every odd j.
+func (d *Decoder) recheckOK(syn []uint32, positions []int, nbits int, delta []uint32) bool {
+	f := d.code.Field
+	N := f.N()
+	t := d.code.T
+	dl := delta[:t] // dl[i] accumulates the flips' contribution to S_{2i+1}
+	for i := range dl {
+		dl[i] = 0
+	}
+	for _, p := range positions {
+		deg := nbits - 1 - p
+		cur := f.Alpha(deg)       // alpha^(1·deg)
+		step := (deg + deg) % N   // j advances by 2 between odd syndromes
+		for i := 0; i < t; i++ {
+			dl[i] ^= cur
+			cur = f.MulAlphaN(cur, step)
+		}
+	}
+	for i := 0; i < t; i++ {
+		if syn[2*i] != dl[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // DecodePoly is the polynomial-level reference decoder used for

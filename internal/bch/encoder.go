@@ -2,6 +2,7 @@ package bch
 
 import (
 	"fmt"
+	"sync"
 
 	"xlnand/internal/gf"
 )
@@ -12,11 +13,15 @@ import (
 // byte at a time through a 256-entry remainder table (the equivalent of a
 // p = 8 parallel LFSR network with its XOR taps selected by the ROM of
 // characteristic polynomials).
+//
+// Encoder is safe for concurrent use; the remainder register lives in a
+// pooled scratch so steady-state encoding does not allocate.
 type Encoder struct {
 	code *Code
 	r    int           // parity bits = deg(g)
 	rw   int           // words in the remainder register
 	tbl  [256][]uint64 // tbl[v] = v(x)·x^r mod g(x)
+	regs sync.Pool     // of *[]uint64 remainder registers, len rw
 }
 
 // NewEncoder builds the remainder table for the code's generator
@@ -25,6 +30,7 @@ type Encoder struct {
 // codes use the polynomial API (EncodePoly).
 func NewEncoder(c *Code) *Encoder {
 	e := &Encoder{code: c, r: c.GenDegree, rw: (c.GenDegree + 63) / 64}
+	e.regs.New = func() any { p := make([]uint64, e.rw); return &p }
 	// Seed single-bit entries: x^(r+u) mod g for u = 0..7.
 	var single [8]gf.Poly2
 	p := gf.NewPoly2FromCoeffs(c.GenDegree) // x^r
@@ -66,22 +72,55 @@ func (e *Encoder) ParityBytes() int {
 	return e.r / 8
 }
 
+// checkGeometry validates the byte-wise fast-path preconditions.
+func (e *Encoder) checkGeometry(msg []byte) error {
+	k, r := e.code.K, e.r
+	if k%8 != 0 || r%8 != 0 {
+		return fmt.Errorf("bch: code geometry k=%d r=%d not byte aligned", k, r)
+	}
+	if len(msg) != k/8 {
+		return fmt.Errorf("bch: message is %d bytes, want %d", len(msg), k/8)
+	}
+	if r < 8 {
+		return fmt.Errorf("bch: r=%d too small for byte-wise encoder", r)
+	}
+	return nil
+}
+
 // Encode computes the parity block for msg, which must be exactly k/8
 // bytes (k must be byte-aligned). The returned slice has r/8 bytes with
 // the coefficient of x^(r-1) in the MSB of byte 0, matching the spare-area
 // layout used by the controller.
 func (e *Encoder) Encode(msg []byte) ([]byte, error) {
-	k, r := e.code.K, e.r
-	if k%8 != 0 || r%8 != 0 {
-		return nil, fmt.Errorf("bch: code geometry k=%d r=%d not byte aligned", k, r)
+	if err := e.checkGeometry(msg); err != nil {
+		return nil, err
 	}
-	if len(msg) != k/8 {
-		return nil, fmt.Errorf("bch: message is %d bytes, want %d", len(msg), k/8)
+	out := make([]byte, e.r/8)
+	e.encodeInto(out, msg)
+	return out, nil
+}
+
+// EncodeInto computes the parity block for msg into parity, which must be
+// exactly r/8 bytes. It is the allocation-free steady-state write path.
+func (e *Encoder) EncodeInto(parity, msg []byte) error {
+	if err := e.checkGeometry(msg); err != nil {
+		return err
 	}
-	if r < 8 {
-		return nil, fmt.Errorf("bch: r=%d too small for byte-wise encoder", r)
+	if len(parity) != e.r/8 {
+		return fmt.Errorf("bch: parity buffer is %d bytes, want %d", len(parity), e.r/8)
 	}
-	reg := make([]uint64, e.rw)
+	e.encodeInto(parity, msg)
+	return nil
+}
+
+// encodeInto runs the byte-wise LFSR over msg and serialises the
+// remainder register MSB-first into out (validated, len r/8).
+func (e *Encoder) encodeInto(out, msg []byte) {
+	regp := e.regs.Get().(*[]uint64)
+	reg := *regp
+	for i := range reg {
+		reg[i] = 0
+	}
 	for _, b := range msg {
 		top := e.topByte(reg)
 		e.shiftLeft8(reg)
@@ -90,16 +129,19 @@ func (e *Encoder) Encode(msg []byte) ([]byte, error) {
 			reg[i] ^= w
 		}
 	}
-	// Serialise the register MSB-first: parity byte 0 bit 7 = coeff r-1.
-	out := make([]byte, r/8)
-	for i := 0; i < r; i++ {
-		deg := r - 1 - i
-		bit := reg[deg/64] >> uint(deg%64) & 1
-		if bit == 1 {
-			out[i/8] |= 1 << uint(7-i%8)
+	// Serialise the register MSB-first, one output byte at a time:
+	// parity byte i carries coefficients r-8i-1 .. r-8i-8.
+	r := e.r
+	for i := range out {
+		pos := r - 8*(i+1)
+		word, off := pos/64, uint(pos%64)
+		v := reg[word] >> off
+		if off > 56 && word+1 < len(reg) {
+			v |= reg[word+1] << (64 - off)
 		}
+		out[i] = byte(v)
 	}
-	return out, nil
+	e.regs.Put(regp)
 }
 
 // topByte extracts the top 8 coefficients (degrees r-8..r-1) of the
@@ -126,15 +168,17 @@ func (e *Encoder) shiftLeft8(reg []uint64) {
 	}
 }
 
-// EncodeCodeword returns msg ++ parity, the systematic on-flash codeword.
+// EncodeCodeword returns msg ++ parity, the systematic on-flash codeword,
+// built with a single allocation: the parity is encoded directly into the
+// codeword's tail.
 func (e *Encoder) EncodeCodeword(msg []byte) ([]byte, error) {
-	parity, err := e.Encode(msg)
-	if err != nil {
+	if err := e.checkGeometry(msg); err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, len(msg)+len(parity))
-	out = append(out, msg...)
-	return append(out, parity...), nil
+	out := make([]byte, len(msg)+e.r/8)
+	copy(out, msg)
+	e.encodeInto(out[len(msg):], msg)
+	return out, nil
 }
 
 // EncodePoly is the bit-exact polynomial reference implementation:

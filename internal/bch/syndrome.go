@@ -3,6 +3,7 @@ package bch
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xlnand/internal/gf"
 )
@@ -12,53 +13,93 @@ import (
 // block: one parallel LFSR per generating polynomial psi_i followed by an
 // evaluation network (paper §4).
 //
-// The implementation processes the codeword one byte at a time (p = 8)
-// with per-exponent lookup tables, computing only the odd syndromes
-// directly and deriving even ones via the binary-code identity
-// S_2j = S_j^2 (Frobenius: C(alpha^2j) = C(alpha^j)^2 for binary C).
+// The implementation processes the codeword one byte at a time (p = 8),
+// computing only the odd syndromes directly and deriving even ones via
+// the binary-code identity S_2j = S_j^2 (Frobenius: C(alpha^2j) =
+// C(alpha^j)^2 for binary C). All odd syndromes advance together in a
+// single pass over the codeword: the per-byte lookup values for every
+// odd j live in one interleaved table (row b holds the contribution of
+// byte value b to every S_j), so a 4KB page is walked once, not once
+// per syndrome.
 //
 // Tables depend only on the field, not on t, so one SyndromeCalc serves
-// every correction capability of an adaptive codec.
+// every correction capability of an adaptive codec. The table set is
+// published through an atomic pointer: once Prepare(t) has run (eagerly
+// at decoder construction / Codec.Warm), Syndromes is lock-free — the
+// mutex is only ever taken to grow the set for a larger t.
 type SyndromeCalc struct {
 	f *gf.Field
 
-	mu   sync.Mutex
-	tbls map[int]*synTable // keyed by odd exponent j
+	tbl atomic.Pointer[synTables] // current immutable table set
+	mu  sync.Mutex                // serialises growth only
 }
 
-type synTable struct {
-	v     [256]uint32 // v[b] = sum over set bits u (MSB-first) of alpha^(j*(7-u))
-	step8 int         // 8*j mod N, the per-byte Horner multiplier exponent
+// synTables is an immutable snapshot of the per-odd-j lookup tables,
+// interleaved so that one codeword byte touches one contiguous row.
+type synTables struct {
+	nOdd  int      // number of odd exponents covered: j = 1, 3, .. 2*nOdd-1
+	steps []int    // steps[i] = 8*j mod N for j = 2i+1 (per-byte Horner multiplier)
+	v     []uint16 // v[b*nOdd+i] = contribution of byte value b to S_{2i+1}
 }
 
 // NewSyndromeCalc creates a calculator over the given field.
 func NewSyndromeCalc(f *gf.Field) *SyndromeCalc {
-	return &SyndromeCalc{f: f, tbls: make(map[int]*synTable)}
+	return &SyndromeCalc{f: f}
 }
 
-func (s *SyndromeCalc) table(j int) *synTable {
+// Prepare eagerly builds the lookup tables for every odd j needed at
+// correction capability t (j = 1..2t-1), so that subsequent Syndromes
+// calls at capability <= t never take a lock. It is idempotent and safe
+// for concurrent use.
+func (s *SyndromeCalc) Prepare(t int) {
+	if t <= 0 {
+		panic("bch: non-positive t")
+	}
+	if tb := s.tbl.Load(); tb != nil && tb.nOdd >= t {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t, ok := s.tbls[j]; ok {
-		return t
+	old := s.tbl.Load()
+	if old != nil && old.nOdd >= t {
+		return
 	}
-	t := &synTable{step8: (8 * j) % s.f.N()}
-	var single [8]uint32
-	for u := 0; u < 8; u++ {
+	nOdd := t
+	nt := &synTables{
+		nOdd:  nOdd,
+		steps: make([]int, nOdd),
+		v:     make([]uint16, 256*nOdd),
+	}
+	N := s.f.N()
+	for i := 0; i < nOdd; i++ {
+		j := 2*i + 1
+		nt.steps[i] = (8 * j) % N
 		// Bit u counted from MSB has in-byte degree 7-u.
-		single[u] = s.f.Alpha(j * (7 - u) % s.f.N())
-	}
-	for b := 0; b < 256; b++ {
-		var acc uint32
+		var single [8]uint32
 		for u := 0; u < 8; u++ {
-			if b>>(7-uint(u))&1 == 1 {
-				acc ^= single[u]
-			}
+			single[u] = s.f.Alpha(j * (7 - u) % N)
 		}
-		t.v[b] = acc
+		for b := 0; b < 256; b++ {
+			var acc uint32
+			for u := 0; u < 8; u++ {
+				if b>>(7-uint(u))&1 == 1 {
+					acc ^= single[u]
+				}
+			}
+			nt.v[b*nOdd+i] = uint16(acc)
+		}
 	}
-	s.tbls[j] = t
-	return t
+	s.tbl.Store(nt)
+}
+
+// tables returns a snapshot covering capability t, building one if
+// needed (slow path, construction time only).
+func (s *SyndromeCalc) tables(t int) *synTables {
+	if tb := s.tbl.Load(); tb != nil && tb.nOdd >= t {
+		return tb
+	}
+	s.Prepare(t)
+	return s.tbl.Load()
 }
 
 // Syndromes returns S_1..S_2t (index 0 holds S_1) for the codeword bytes,
@@ -68,19 +109,56 @@ func (s *SyndromeCalc) Syndromes(codeword []byte, t int) []uint32 {
 	if t <= 0 {
 		panic("bch: non-positive t")
 	}
-	syn := make([]uint32, 2*t)
-	// Odd syndromes by byte-wise Horner.
-	for j := 1; j <= 2*t-1; j += 2 {
-		tbl := s.table(j)
-		var acc uint32
-		for _, b := range codeword {
-			acc = s.f.MulAlpha(acc, tbl.step8) ^ tbl.v[b]
-		}
-		syn[j-1] = acc
+	return s.SyndromesInto(make([]uint32, 2*t), codeword, t)
+}
+
+// SyndromesInto computes S_1..S_2t into dst, which must have at least 2t
+// entries, and returns dst[:2t]. It performs no allocation and — once
+// Prepare(t) has run — takes no lock: this is the steady-state decode
+// hot path.
+func (s *SyndromeCalc) SyndromesInto(dst []uint32, codeword []byte, t int) []uint32 {
+	if t <= 0 {
+		panic("bch: non-positive t")
 	}
-	// Even syndromes via squaring.
+	syn := dst[:2*t]
+	for i := range syn {
+		syn[i] = 0
+	}
+	tb := s.tables(t)
+	nOdd := tb.nOdd
+	steps := tb.steps[:t]
+	log, exp := s.f.Tables()
+
+	// Fused odd-syndrome pass: one walk over the codeword advances every
+	// odd accumulator. acc[i] holds S_{2i+1}; the per-byte Horner step is
+	// acc = acc*alpha^(8j) + v[b][i], the multiply being gf.MulAlphaN's
+	// contract (no modulo, no range check — the antilog table is doubled)
+	// open-coded on hoisted table slices: a method call per element costs
+	// ~35% of the kernel because the table headers reload every call.
+	acc := syn[:t]
+	for _, b := range codeword {
+		row := tb.v[int(b)*nOdd : int(b)*nOdd+t]
+		for i, rv := range row {
+			a := acc[i]
+			if a != 0 {
+				a = uint32(exp[int(log[a])+steps[i]])
+			}
+			acc[i] = a ^ uint32(rv)
+		}
+	}
+	// Fan the compact accumulators out to their S_j slots (descending so
+	// acc, which aliases syn[:t], is never clobbered before being read),
+	// then derive even syndromes by squaring.
+	for i := t - 1; i >= 0; i-- {
+		syn[2*i] = acc[i]
+	}
 	for j := 2; j <= 2*t; j += 2 {
-		syn[j-1] = s.f.Sqr(syn[j/2-1])
+		sj := syn[j/2-1]
+		if sj != 0 {
+			l := int(log[sj])
+			sj = uint32(exp[l+l]) // 2l <= 2N-2, inside the doubled table
+		}
+		syn[j-1] = sj
 	}
 	return syn
 }

@@ -191,15 +191,20 @@ func (c *Controller) WritePage(blockIdx, pageIdx int, data []byte) (WriteResult,
 	}
 	res.T = c.currentT(blockIdx)
 	res.Alg = c.algorithm()
-	parity, err := c.codec.Encode(res.T, data)
+	pb, err := c.codec.ParityBytes(res.T)
 	if err != nil {
 		return res, err
 	}
-	res.ParityBy = len(parity)
 	// Page buffer staging (Fig. 1: the embedded RAM between socket and
-	// flash interface).
+	// flash interface): the parity is encoded straight into the buffer's
+	// spare region, so the steady-state write path allocates nothing —
+	// the device copies on Program.
 	copy(c.pageBuffer, data)
-	copy(c.pageBuffer[len(data):], parity)
+	parity := c.pageBuffer[len(data) : len(data)+pb]
+	if err := c.codec.EncodeInto(res.T, parity, data); err != nil {
+		return res, err
+	}
+	res.ParityBy = len(parity)
 
 	prog, err := c.dev.Program(blockIdx, pageIdx, data, parity, res.Alg)
 	if err != nil {

@@ -129,10 +129,18 @@ type job struct {
 	deliver func(Completion)
 
 	// Control path: fn runs on the worker with exclusive controller
-	// access; done is closed afterwards.
+	// access; done receives one token afterwards. done channels are
+	// pooled (see donePool), so completion is signalled by send, not
+	// close.
 	fn   func(*controller.Controller)
 	done chan struct{}
 }
+
+// donePool recycles the control path's completion channels: a control
+// call is a tiny synchronous hop onto a die worker, and allocating a
+// fresh channel per call made wear polling (Cycles/SetCycles/statistics)
+// measurably garbage-heavy under load.
+var donePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
 // Config parametrises dispatcher construction.
 type Config struct {
@@ -339,7 +347,7 @@ func (d *Dispatcher) worker(w *die) {
 	for j := range w.jobs {
 		if j.fn != nil {
 			j.fn(w.ctrl)
-			close(j.done)
+			j.done <- struct{}{}
 			continue
 		}
 		c := d.execute(w, j)
@@ -455,11 +463,14 @@ func (d *Dispatcher) control(dieIdx int, fn func(*controller.Controller)) error 
 	if dieIdx < 0 || dieIdx >= len(d.dies) {
 		return fmt.Errorf("%w: die %d of %d", ErrBadAddress, dieIdx, len(d.dies))
 	}
-	j := &job{fn: fn, done: make(chan struct{})}
+	done := donePool.Get().(chan struct{})
+	j := &job{fn: fn, done: done}
 	if err := d.enqueue(dieIdx, j); err != nil {
+		donePool.Put(done)
 		return err
 	}
-	<-j.done
+	<-done
+	donePool.Put(done)
 	return nil
 }
 

@@ -39,7 +39,7 @@ type Field struct {
 	n        uint32 // field size - 1 = 2^m - 1 (multiplicative group order)
 	primPoly uint32
 	logTbl   []uint16 // logTbl[x] = log_alpha(x), x in 1..n
-	expTbl   []uint32 // expTbl[i] = alpha^i, duplicated to 2n to skip a mod
+	expTbl   []uint16 // expTbl[i] = alpha^i, duplicated to 2n to skip a mod; elements of GF(2^m<=16) fit uint16
 }
 
 // NewField constructs GF(2^m) with the library's default primitive
@@ -73,15 +73,15 @@ func NewFieldPoly(m int, primPoly uint32) (*Field, error) {
 		n:        n,
 		primPoly: primPoly,
 		logTbl:   make([]uint16, n+1),
-		expTbl:   make([]uint32, 2*n),
+		expTbl:   make([]uint16, 2*n),
 	}
 	x := uint32(1)
 	for i := uint32(0); i < n; i++ {
 		if x == 1 && i != 0 {
 			return nil, fmt.Errorf("gf: polynomial %#x is not primitive (alpha order %d < %d)", primPoly, i, n)
 		}
-		f.expTbl[i] = x
-		f.expTbl[i+n] = x
+		f.expTbl[i] = uint16(x)
+		f.expTbl[i+n] = uint16(x)
 		f.logTbl[x] = uint16(i)
 		x <<= 1
 		if x>>uint(m) == 1 {
@@ -112,7 +112,7 @@ func (f *Field) Alpha(i int) uint32 {
 	if e < 0 {
 		e += int(f.n)
 	}
-	return f.expTbl[e]
+	return uint32(f.expTbl[e])
 }
 
 // Log returns log_alpha(x). It panics on x == 0, which has no logarithm.
@@ -131,7 +131,7 @@ func (f *Field) Mul(a, b uint32) uint32 {
 	if a == 0 || b == 0 {
 		return 0
 	}
-	return f.expTbl[uint32(f.logTbl[a])+uint32(f.logTbl[b])]
+	return uint32(f.expTbl[uint32(f.logTbl[a])+uint32(f.logTbl[b])])
 }
 
 // MulAlpha returns x * alpha^e for e >= 0, a common Chien-search step.
@@ -143,7 +143,29 @@ func (f *Field) MulAlpha(x uint32, e int) uint32 {
 	if idx >= int(f.n)*2 {
 		idx -= int(f.n)
 	}
-	return f.expTbl[idx]
+	return uint32(f.expTbl[idx])
+}
+
+// MulAlphaN returns x * alpha^e for a pre-reduced exponent 0 <= e < N.
+// Unlike MulAlpha it performs no modulo and no range correction: the
+// antilog table is stored doubled (2N entries), so log(x) + e always
+// indexes it directly. This is the inner step of the fused syndrome and
+// Chien kernels in internal/bch; callers must guarantee the range.
+func (f *Field) MulAlphaN(x uint32, e int) uint32 {
+	if x == 0 {
+		return 0
+	}
+	return uint32(f.expTbl[int(f.logTbl[x])+e])
+}
+
+// Tables exposes the field's log and doubled antilog tables for hot
+// kernels that cannot afford a method call per element: log has N+1
+// entries (log[0] is meaningless), exp has 2N entries with
+// exp[i] == exp[i+N] == alpha^i. Elements are stored as uint16 (any
+// GF(2^m<=16) element fits) to halve the hot working set. Both slices
+// are shared and MUST be treated as read-only.
+func (f *Field) Tables() (log, exp []uint16) {
+	return f.logTbl, f.expTbl
 }
 
 // Inv returns the multiplicative inverse of a. It panics on a == 0.
@@ -151,7 +173,7 @@ func (f *Field) Inv(a uint32) uint32 {
 	if a == 0 {
 		panic("gf: inverse of zero")
 	}
-	return f.expTbl[f.n-uint32(f.logTbl[a])]
+	return uint32(f.expTbl[f.n-uint32(f.logTbl[a])])
 }
 
 // Div returns a / b. It panics on b == 0.
@@ -162,7 +184,7 @@ func (f *Field) Div(a, b uint32) uint32 {
 	if a == 0 {
 		return 0
 	}
-	return f.expTbl[uint32(f.logTbl[a])+f.n-uint32(f.logTbl[b])]
+	return uint32(f.expTbl[uint32(f.logTbl[a])+f.n-uint32(f.logTbl[b])])
 }
 
 // Pow returns a^e for any integer e (negative exponents use the inverse).
@@ -181,7 +203,7 @@ func (f *Field) Pow(a uint32, e int) uint32 {
 	if le < 0 {
 		le += int(f.n)
 	}
-	return f.expTbl[le]
+	return uint32(f.expTbl[le])
 }
 
 // Sqr returns a^2 (squaring is linear in characteristic 2 but we use the

@@ -151,6 +151,10 @@ func TestMulAlphaMatchesMul(t *testing.T) {
 		if got, want := f.MulAlpha(x, e), f.Mul(x, f.Alpha(e)); got != want {
 			t.Fatalf("MulAlpha(%d,%d) = %d, want %d", x, e, got, want)
 		}
+		// e drawn from [0, N) is pre-reduced, the MulAlphaN contract.
+		if got, want := f.MulAlphaN(x, e), f.Mul(x, f.Alpha(e)); got != want {
+			t.Fatalf("MulAlphaN(%d,%d) = %d, want %d", x, e, got, want)
+		}
 	}
 }
 
