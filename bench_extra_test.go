@@ -43,7 +43,7 @@ func BenchmarkFTLWriteWithGC(b *testing.B) {
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := f.Write("data", i%100, data); err != nil {
+		if _, err := f.Write("data", i%100, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +58,7 @@ func BenchmarkFTLRead(b *testing.B) {
 	f := newBenchFTL(b)
 	data := make([]byte, 4096)
 	for lpa := 0; lpa < 32; lpa++ {
-		if err := f.Write("data", lpa, data); err != nil {
+		if _, err := f.Write("data", lpa, data); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,96 @@
+// Command lifetime runs deterministic device-biography scenarios from
+// the internal/lifetime catalog against the full stack (queue,
+// dispatcher, FTL, controller, adaptive BCH, aging NAND) and prints the
+// per-phase reliability/performance trajectory.
+//
+//	lifetime -list                 # show the catalog
+//	lifetime -scenario read-archive
+//	lifetime -shortest -json out.json
+//	lifetime -all
+//
+// Every run is seed-reproducible: the same scenario and seed produce a
+// byte-identical report, so a JSON diff is a behaviour diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xlnand/internal/lifetime"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the scenario catalog and exit")
+		name     = flag.String("scenario", "", "run one catalog scenario by name")
+		all      = flag.Bool("all", false, "run every catalog scenario")
+		shortest = flag.Bool("shortest", false, "run the smallest catalog scenario (CI smoke)")
+		seed     = flag.Uint64("seed", 0, "override the scenario seed (0 keeps the catalog seed)")
+		jsonOut  = flag.String("json", "", "write the full report JSON to this file (- for stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-18s %6s %6s  %s\n", "scenario", "ops", "phases", "description")
+		for _, sc := range lifetime.Catalog() {
+			fmt.Printf("%-18s %6d %6d  %s\n", sc.Name, sc.TotalOps(), len(sc.Phases), sc.Description)
+		}
+		return
+	}
+
+	var scenarios []lifetime.Scenario
+	switch {
+	case *all:
+		scenarios = lifetime.Catalog()
+	case *shortest:
+		scenarios = []lifetime.Scenario{lifetime.ShortestScenario()}
+	case *name != "":
+		sc, err := lifetime.CatalogScenario(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scenarios = []lifetime.Scenario{sc}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, sc := range scenarios {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		rep, err := lifetime.Run(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.WriteTable(os.Stdout)
+		fmt.Println()
+		if *jsonOut != "" {
+			buf, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *jsonOut == "-" {
+				os.Stdout.Write(buf)
+				fmt.Println()
+				continue
+			}
+			// With several scenarios, one file each: report.json becomes
+			// report-<scenario>.json so no report overwrites another.
+			path := *jsonOut
+			if len(scenarios) > 1 {
+				ext := filepath.Ext(path)
+				path = path[:len(path)-len(ext)] + "-" + sc.Name + ext
+			}
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

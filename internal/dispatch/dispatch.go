@@ -531,3 +531,11 @@ func (d *Dispatcher) Uncorrectables() int {
 func (d *Dispatcher) Controller(dieIdx int) *controller.Controller {
 	return d.dies[dieIdx].ctrl
 }
+
+// WithController runs fn on the die's worker goroutine with exclusive
+// access to its controller and device — the race-free window lifetime
+// harnesses use for stress injection (raw disturb reads) and wear
+// inspection while traffic may be in flight on other queues.
+func (d *Dispatcher) WithController(dieIdx int, fn func(*controller.Controller)) error {
+	return d.control(dieIdx, fn)
+}

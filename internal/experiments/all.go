@@ -54,6 +54,8 @@ func All() []Runner {
 			func(e sim.Env, s uint64) (Figure, error) { return ExtMultiDie(e) }},
 		{"ext-validate", "extension: trace replay vs analytic model",
 			func(e sim.Env, s uint64) (Figure, error) { return ExtWorkloadValidation(e, s) }},
+		{"ext-lifetime", "extension: measured lifetime trajectory of the scenario engine",
+			func(e sim.Env, s uint64) (Figure, error) { return ExtLifetime(e, s) }},
 	}
 }
 

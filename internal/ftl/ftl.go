@@ -13,7 +13,10 @@ package ftl
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"xlnand/internal/controller"
@@ -38,7 +41,14 @@ type ppa struct {
 	page  int
 }
 
-const invalidPPA = -1
+const (
+	invalidPPA = -1
+	// lostPPA marks a logical page whose only physical copy failed an
+	// ECC decode during garbage collection: the FTL had to erase the
+	// block, so the page is a tracked media error — reads fail with
+	// ErrUncorrectable until the host rewrites it.
+	lostPPA = -2
+)
 
 // blockState tracks one physical block inside a partition.
 type blockState struct {
@@ -47,12 +57,27 @@ type blockState struct {
 	livePages int
 	// lbaOf maps page index -> logical page (or -1), for GC relocation.
 	lbaOf []int
+	// retired blocks are out of rotation permanently: never a frontier,
+	// never a GC destination or victim, never erased again. Any stale
+	// live mappings left behind by an uncorrectable relocation read keep
+	// serving reads from the retired block.
+	retired bool
 }
 
 // Partition is one differentiated storage service.
+//
+// Every public FTL operation serialises on the partition it targets, so
+// host traffic, the background scrubber and mode retuning may run
+// concurrently from different goroutines. The exported statistics fields
+// are snapshots: read them through the partition's methods, or only after
+// concurrent traffic has quiesced.
 type Partition struct {
 	Name string
 	Mode sim.Mode
+
+	// mu guards all mutable partition state (blocks, mapping, pools,
+	// statistics, scrub marks, Mode).
+	mu sync.Mutex
 
 	blocks    []*blockState
 	active    int   // index into blocks: current write frontier
@@ -62,11 +87,15 @@ type Partition struct {
 	userPages int   // exported capacity in pages
 
 	// statistics
-	HostWrites  int
-	HostReads   int
-	GCMoves     int
-	Erases      int
-	Trims       int
+	HostWrites    int
+	HostReads     int
+	GCMoves       int
+	Erases        int
+	Trims         int
+	RetiredBlocks int
+	// LostPages counts logical pages whose only copy failed decode
+	// during a GC relocation (tracked media errors).
+	LostPages   int
 	ServiceTime time.Duration
 
 	// scrubMarks holds partition-local block indices awaiting refresh
@@ -143,6 +172,7 @@ func (f *FTL) addr(global int) (die, block int) {
 
 // writePhys programs one physical page under the partition's service
 // level (the dispatcher resolves algorithm and capability per request).
+// Called with the partition lock held.
 func (f *FTL) writePhys(p *Partition, global, page int, data []byte) (*controller.WriteResult, error) {
 	die, block := f.addr(global)
 	mode := p.Mode
@@ -196,40 +226,78 @@ func (f *FTL) Partition(name string) (*Partition, error) {
 // Capacity returns the exported size of a partition in logical pages.
 func (p *Partition) Capacity() int { return p.userPages }
 
-// Write stores one logical page into the partition, superseding any
-// previous version (out-of-place update). The old copy is invalidated
-// before space allocation so that an overwrite at 100% logical
-// utilisation can still reclaim space — a simulator simplification that
-// trades power-fail atomicity (which this model does not exercise) for
-// the textbook GC invariant.
-func (f *FTL) Write(part string, lpa int, data []byte) error {
+// SetMode retunes the partition's service level: subsequent writes
+// (host, GC relocation and scrub refresh alike) are programmed under the
+// new mode, while already-programmed pages keep the algorithm and
+// capability they were written with — the reads recover both from the
+// stored geometry. This is the cross-layer policy hook lifetime
+// management loops use to walk a partition down the paper's trade-off
+// (Nominal -> MinUBER -> MaxRead) as measured RBER climbs.
+func (f *FTL) SetMode(part string, m sim.Mode) error {
 	p, err := f.Partition(part)
 	if err != nil {
 		return err
 	}
-	if lpa < 0 || lpa >= p.userPages {
-		return fmt.Errorf("ftl: lpa %d outside partition %q capacity %d", lpa, part, p.userPages)
+	p.mu.Lock()
+	p.Mode = m
+	p.mu.Unlock()
+	return nil
+}
+
+// ModeOf returns the partition's current service level.
+func (f *FTL) ModeOf(part string) (sim.Mode, error) {
+	p, err := f.Partition(part)
+	if err != nil {
+		return 0, err
 	}
-	if old := p.mapping[lpa]; old != invalidPPA {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Mode, nil
+}
+
+// Write stores one logical page into the partition, superseding any
+// previous version (out-of-place update), and reports the physical write
+// (capability, algorithm, latency breakdown). The old copy is
+// invalidated before space allocation so that an overwrite at 100%
+// logical utilisation can still reclaim space — a simulator
+// simplification that trades power-fail atomicity (which this model does
+// not exercise) for the textbook GC invariant.
+func (f *FTL) Write(part string, lpa int, data []byte) (*controller.WriteResult, error) {
+	p, err := f.Partition(part)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return f.write(p, lpa, data)
+}
+
+// write is Write with the partition lock held (scrub and retirement
+// relocate live data through the same path).
+func (f *FTL) write(p *Partition, lpa int, data []byte) (*controller.WriteResult, error) {
+	if lpa < 0 || lpa >= p.userPages {
+		return nil, fmt.Errorf("ftl: lpa %d outside partition %q capacity %d", lpa, p.Name, p.userPages)
+	}
+	if old := p.mapping[lpa]; old >= 0 {
 		ob, op := old/p.pages, old%p.pages
 		p.blocks[ob].livePages--
 		p.blocks[ob].lbaOf[op] = invalidPPA
-		p.mapping[lpa] = invalidPPA
 	}
+	p.mapping[lpa] = invalidPPA // a rewrite also clears a lost-page mark
 	bs, page, err := f.allocate(p)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	wr, err := f.writePhys(p, bs.id, page, data)
 	if err != nil {
-		return fmt.Errorf("ftl: program %d.%d: %w", bs.id, page, err)
+		return nil, fmt.Errorf("ftl: program %d.%d: %w", bs.id, page, err)
 	}
 	p.ServiceTime += wr.Latency.Program
 	p.mapping[lpa] = localPPA(p, bs) + page
 	bs.lbaOf[page] = lpa
 	bs.livePages++
 	p.HostWrites++
-	return nil
+	return wr, nil
 }
 
 // localPPA encodes the partition-local block index of bs.
@@ -248,12 +316,18 @@ func (f *FTL) Read(part string, lpa int) ([]byte, *controller.ReadResult, error)
 	if err != nil {
 		return nil, nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if lpa < 0 || lpa >= p.userPages {
 		return nil, nil, fmt.Errorf("ftl: lpa %d outside partition %q", lpa, part)
 	}
 	enc := p.mapping[lpa]
 	if enc == invalidPPA {
 		return nil, nil, fmt.Errorf("ftl: lpa %d of %q never written", lpa, part)
+	}
+	if enc == lostPPA {
+		return nil, nil, fmt.Errorf("ftl: lpa %d of %q lost to an unrecoverable relocation read: %w",
+			lpa, part, controller.ErrUncorrectable)
 	}
 	bs := p.blocks[enc/p.pages]
 	res, err := f.readPhys(bs.id, enc%p.pages)
@@ -265,19 +339,40 @@ func (f *FTL) Read(part string, lpa int) ([]byte, *controller.ReadResult, error)
 	return res.Data, res, nil
 }
 
+// BlockOf returns the partition-local index of the physical block
+// currently holding a live logical page (lifetime harnesses use it to
+// check that scrub moved what it claimed to move).
+func (f *FTL) BlockOf(part string, lpa int) (int, error) {
+	p, err := f.Partition(part)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if lpa < 0 || lpa >= p.userPages || p.mapping[lpa] < 0 {
+		return 0, fmt.Errorf("ftl: lpa %d not live in %q", lpa, part)
+	}
+	return p.mapping[lpa] / p.pages, nil
+}
+
 // Trim drops a logical page's mapping, freeing its physical copy for GC.
 func (f *FTL) Trim(part string, lpa int) error {
 	p, err := f.Partition(part)
 	if err != nil {
 		return err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if lpa < 0 || lpa >= p.userPages {
 		return fmt.Errorf("ftl: lpa %d outside partition %q", lpa, part)
 	}
-	if enc := p.mapping[lpa]; enc != invalidPPA {
+	if enc := p.mapping[lpa]; enc >= 0 {
 		bs := p.blocks[enc/p.pages]
 		bs.livePages--
 		bs.lbaOf[enc%p.pages] = invalidPPA
+		p.mapping[lpa] = invalidPPA
+		p.Trims++
+	} else if enc == lostPPA {
 		p.mapping[lpa] = invalidPPA
 		p.Trims++
 	}
@@ -331,8 +426,8 @@ func (f *FTL) collect(p *Partition) error {
 	}
 	victim := -1
 	for i, bs := range p.blocks {
-		if bs.writePtr < p.pages {
-			continue // only sealed (fully written) blocks are candidates
+		if bs.writePtr < p.pages || bs.retired {
+			continue // only sealed (fully written), in-rotation blocks
 		}
 		if victim == -1 || f.betterVictim(p, i, victim) {
 			victim = i
@@ -357,6 +452,16 @@ func (f *FTL) collect(p *Partition) error {
 		}
 		res, err := f.readPhys(vb.id, page)
 		if err != nil {
+			if errors.Is(err, controller.ErrUncorrectable) {
+				// The only copy is unreadable and the victim is about to
+				// be erased: track the logical page as a media error so
+				// reads fail honestly until the host rewrites it.
+				vb.livePages--
+				vb.lbaOf[page] = invalidPPA
+				p.mapping[lpa] = lostPPA
+				p.LostPages++
+				continue
+			}
 			return fmt.Errorf("ftl: GC read %d.%d: %w", vb.id, page, err)
 		}
 		if _, err := f.writePhys(p, dest.id, dest.writePtr, res.Data); err != nil {
@@ -399,6 +504,8 @@ func (f *FTL) betterVictim(p *Partition, a, b int) bool {
 // WriteAmplification returns total device writes / host writes for the
 // partition (1.0 when GC never ran).
 func (p *Partition) WriteAmplification() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.HostWrites == 0 {
 		return 0
 	}
@@ -412,6 +519,8 @@ func (f *FTL) WearSpread(part string) (min, max float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i, bs := range p.blocks {
 		c, err := f.cyclesOf(bs.id)
 		if err != nil {
@@ -425,4 +534,174 @@ func (f *FTL) WearSpread(part string) (min, max float64, err error) {
 		}
 	}
 	return min, max, nil
+}
+
+// ErrNoSpareBlocks reports a retirement that would leave the partition
+// unable to hold its live data plus the frontier and GC reserve.
+var ErrNoSpareBlocks = fmt.Errorf("ftl: retirement would exhaust spare blocks")
+
+// errRetireSkip reports a retirement refused for a per-block reason —
+// the block is the active write frontier, or pulling it out of the free
+// pool would empty the GC reserve — while a different candidate may
+// still retire.
+var errRetireSkip = fmt.Errorf("ftl: block cannot retire right now")
+
+// relocateLive moves every live page of bs to fresh locations through
+// the normal write path, with the partition lock held — the shared core
+// of scrub refresh and block retirement. The live set is snapshotted
+// first (write mutates lbaOf, and an interleaved GC round may relocate
+// parts of the block on its own; entries that moved underneath us are
+// skipped). A page whose read fails uncorrectably is left in place with
+// its stale mapping and counted, never invented from thin air.
+func (f *FTL) relocateLive(p *Partition, bs *blockState) (moved, uncorrectable int, err error) {
+	type liveEntry struct{ page, lpa int }
+	var live []liveEntry
+	for page, lpa := range bs.lbaOf {
+		if lpa != invalidPPA {
+			live = append(live, liveEntry{page, lpa})
+		}
+	}
+	for _, le := range live {
+		if bs.lbaOf[le.page] != le.lpa {
+			continue // already moved by GC during this pass
+		}
+		res, err := f.readPhys(bs.id, le.page)
+		if err != nil {
+			if errors.Is(err, controller.ErrUncorrectable) {
+				uncorrectable++
+				continue // data lost; leave the stale mapping
+			}
+			return moved, uncorrectable, fmt.Errorf("ftl: relocation read %d.%d: %w", bs.id, le.page, err)
+		}
+		// Rewrite through the normal host path: allocation, mode
+		// configuration and mapping update all apply.
+		if _, err := f.write(p, le.lpa, res.Data); err != nil {
+			return moved, uncorrectable, fmt.Errorf("ftl: relocation rewrite lpa %d: %w", le.lpa, err)
+		}
+		p.HostWrites-- // relocation traffic is not host traffic
+		p.GCMoves++
+		moved++
+	}
+	return moved, uncorrectable, nil
+}
+
+// RetireWorn takes every in-rotation block whose program/erase count is
+// at or above the ceiling out of service, oldest-wear first, relocating
+// live data through the normal write path. A candidate that happens to
+// be the write frontier is skipped (a later pass catches it); retirement
+// stops entirely — without error — once removing another block would
+// violate the spare-block invariant, so a uniform-wear partition sheds
+// blocks gradually instead of collapsing. It returns the number of
+// blocks retired by this call.
+func (f *FTL) RetireWorn(part string, ceiling float64) (int, error) {
+	if ceiling <= 0 {
+		return 0, fmt.Errorf("ftl: non-positive wear ceiling %g", ceiling)
+	}
+	p, err := f.Partition(part)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Rank candidates by wear so the most-cycled blocks go first.
+	type cand struct {
+		idx    int
+		cycles float64
+	}
+	var worn []cand
+	for i, bs := range p.blocks {
+		if bs.retired {
+			continue
+		}
+		c, err := f.cyclesOf(bs.id)
+		if err != nil {
+			return 0, err
+		}
+		if c >= ceiling {
+			worn = append(worn, cand{i, c})
+		}
+	}
+	sort.Slice(worn, func(a, b int) bool {
+		if worn[a].cycles != worn[b].cycles {
+			return worn[a].cycles > worn[b].cycles
+		}
+		return worn[a].idx < worn[b].idx
+	})
+	retired := 0
+	for _, c := range worn {
+		switch err := f.retire(p, c.idx); {
+		case err == nil:
+			retired++
+		case errors.Is(err, errRetireSkip):
+			continue // per-block refusal; a cooler candidate may retire
+		case errors.Is(err, ErrNoSpareBlocks):
+			// The spare-block accounting is independent of the candidate:
+			// every remaining block would fail the same check.
+			return retired, nil
+		default:
+			return retired, err
+		}
+	}
+	return retired, nil
+}
+
+// retire removes one block from rotation with the partition lock held.
+func (f *FTL) retire(p *Partition, blk int) error {
+	if blk < 0 || blk >= len(p.blocks) {
+		return fmt.Errorf("ftl: block %d outside partition %q", blk, p.Name)
+	}
+	bs := p.blocks[blk]
+	if bs.retired {
+		return nil
+	}
+	if blk == p.active {
+		// Never retire the write frontier mid-fill; the caller's next
+		// pass catches the block once the frontier has moved on.
+		return errRetireSkip
+	}
+	// The partition must stay functional afterwards: enough in-rotation
+	// blocks for the live data, the frontier and the GC reserve.
+	usable, live := 0, 0
+	for _, b := range p.blocks {
+		if !b.retired {
+			usable++
+		}
+		live += b.livePages
+	}
+	if usable-1 < 3 || live > (usable-3)*p.pages {
+		return ErrNoSpareBlocks
+	}
+	// Relocate live data off the victim. Unreadable pages keep their
+	// stale mapping pointing into the retired block (which is never
+	// erased), so later reads surface the loss honestly.
+	if _, _, err := f.relocateLive(p, bs); err != nil {
+		return fmt.Errorf("ftl: retire block %d: %w", bs.id, err)
+	}
+	// An interleaved GC round may have erased the victim and promoted it
+	// to the write frontier; retirement must then wait for a later pass.
+	if blk == p.active {
+		return errRetireSkip
+	}
+	// Drop the block from the free pool if it was parked there.
+	for i, fp := range p.freePool {
+		if fp == blk {
+			if len(p.freePool) < 2 {
+				return errRetireSkip // sole reserve block; sealed candidates may still go
+			}
+			p.freePool = append(p.freePool[:i], p.freePool[i+1:]...)
+			break
+		}
+	}
+	bs.retired = true
+	p.RetiredBlocks++
+	delete(p.scrubMarks, blk)
+	return nil
+}
+
+// Retired returns the number of blocks the partition has taken out of
+// rotation.
+func (p *Partition) Retired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.RetiredBlocks
 }

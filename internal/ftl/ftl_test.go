@@ -89,7 +89,7 @@ func TestMultiDieStriping(t *testing.T) {
 	}
 	data := pagePattern(7, 4096)
 	for lpa := 0; lpa < 2*p.pages; lpa++ { // spans >1 physical block
-		if err := f.Write("data", lpa, data); err != nil {
+		if _, err := f.Write("data", lpa, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -107,7 +107,7 @@ func TestMultiDieStriping(t *testing.T) {
 func TestWriteReadRoundTrip(t *testing.T) {
 	f := newFTL(t, 2)
 	data := pagePattern(1, 4096)
-	if err := f.Write("media", 5, data); err != nil {
+	if _, err := f.Write("media", 5, data); err != nil {
 		t.Fatal(err)
 	}
 	got, res, err := f.Read("media", 5)
@@ -126,7 +126,7 @@ func TestPartitionModesSteerKnobs(t *testing.T) {
 	f := newFTL(t, 2)
 	data := pagePattern(2, 4096)
 	for _, part := range []string{"system", "media", "scratch"} {
-		if err := f.Write(part, 0, data); err != nil {
+		if _, err := f.Write(part, 0, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -160,7 +160,7 @@ func TestReadErrors(t *testing.T) {
 	if _, _, err := f.Read("media", 1<<20); err == nil {
 		t.Fatal("out-of-range lpa accepted")
 	}
-	if err := f.Write("media", -1, nil); err == nil {
+	if _, err := f.Write("media", -1, nil); err == nil {
 		t.Fatal("negative lpa accepted")
 	}
 }
@@ -169,10 +169,10 @@ func TestOverwriteRemaps(t *testing.T) {
 	f := newFTL(t, 2)
 	v1 := pagePattern(3, 4096)
 	v2 := pagePattern(4, 4096)
-	if err := f.Write("scratch", 7, v1); err != nil {
+	if _, err := f.Write("scratch", 7, v1); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Write("scratch", 7, v2); err != nil {
+	if _, err := f.Write("scratch", 7, v2); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err := f.Read("scratch", 7)
@@ -190,7 +190,7 @@ func TestOverwriteRemaps(t *testing.T) {
 
 func TestTrim(t *testing.T) {
 	f := newFTL(t, 2)
-	if err := f.Write("scratch", 3, pagePattern(5, 4096)); err != nil {
+	if _, err := f.Write("scratch", 3, pagePattern(5, 4096)); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Trim("scratch", 3); err != nil {
@@ -222,7 +222,7 @@ func TestGarbageCollectionSustainsOverwrites(t *testing.T) {
 	const workingSet = 80
 	for i := 0; i < 6*64; i++ {
 		lpa := i % workingSet
-		if err := f.Write("scratch", lpa, data); err != nil {
+		if _, err := f.Write("scratch", lpa, data); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
 	}
@@ -257,14 +257,14 @@ func TestCapacityExhaustion(t *testing.T) {
 	// exceed: the partition must fail cleanly, not corrupt.
 	p, _ := f.Partition("scratch")
 	for lpa := 0; lpa < p.Capacity(); lpa++ {
-		if err := f.Write("scratch", lpa, data); err != nil {
+		if _, err := f.Write("scratch", lpa, data); err != nil {
 			t.Fatalf("fill write %d: %v", lpa, err)
 		}
 	}
 	// Everything is live; continued overwrites still work (each write
 	// supersedes itself), which exercises GC with maximum live pressure.
 	for i := 0; i < 32; i++ {
-		if err := f.Write("scratch", i%p.Capacity(), data); err != nil {
+		if _, err := f.Write("scratch", i%p.Capacity(), data); err != nil {
 			t.Fatalf("overwrite at full capacity: %v", err)
 		}
 	}
@@ -277,7 +277,7 @@ func TestWearLevelling(t *testing.T) {
 	f := newFTL(t, 3)
 	data := pagePattern(8, 4096)
 	for i := 0; i < 5*64; i++ {
-		if err := f.Write("scratch", i%16, data); err != nil {
+		if _, err := f.Write("scratch", i%16, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -297,11 +297,11 @@ func TestPartitionIsolation(t *testing.T) {
 	// Traffic in one partition must not touch another's blocks.
 	f := newFTL(t, 2)
 	data := pagePattern(9, 4096)
-	if err := f.Write("media", 0, data); err != nil {
+	if _, err := f.Write("media", 0, data); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 40; i++ {
-		if err := f.Write("scratch", i%8, data); err != nil {
+		if _, err := f.Write("scratch", i%8, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -325,7 +325,7 @@ func TestPartitionIsolation(t *testing.T) {
 func TestServiceTimeAccounting(t *testing.T) {
 	f := newFTL(t, 2)
 	data := pagePattern(10, 4096)
-	if err := f.Write("media", 0, data); err != nil {
+	if _, err := f.Write("media", 0, data); err != nil {
 		t.Fatal(err)
 	}
 	p, _ := f.Partition("media")

@@ -1,8 +1,8 @@
 package ftl
 
 import (
-	"errors"
 	"fmt"
+	"sort"
 
 	"xlnand/internal/controller"
 )
@@ -39,8 +39,17 @@ func (f *FTL) CheckReadHealth(part string, lpa int, res *controller.ReadResult, 
 	if err != nil {
 		return false, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if lpa < 0 || lpa >= p.userPages || p.mapping[lpa] == invalidPPA {
 		return false, fmt.Errorf("ftl: lpa %d not live in %q", lpa, part)
+	}
+	if p.mapping[lpa] == lostPPA {
+		// The page's only copy was lost by a concurrent GC relocation
+		// between the caller's read and this health check: nothing is
+		// left to mark, and under concurrent scrub/host traffic that is
+		// an ordinary interleaving, not a caller error.
+		return false, nil
 	}
 	if res == nil || float64(res.Corrected) < pol.FractionOfT*float64(res.T) {
 		return false, nil
@@ -57,20 +66,51 @@ func (f *FTL) CheckReadHealth(part string, lpa int, res *controller.ReadResult, 
 }
 
 // PendingScrubs returns the number of blocks marked for refresh.
-func (p *Partition) PendingScrubs() int { return len(p.scrubMarks) }
+func (p *Partition) PendingScrubs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.scrubMarks)
+}
+
+// ScrubMarks returns the partition-local indices of the blocks currently
+// marked for refresh, in ascending order (the order Scrub will process
+// them in).
+func (f *FTL) ScrubMarks(part string) ([]int, error) {
+	p, err := f.Partition(part)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return sortedMarks(p.scrubMarks), nil
+}
+
+func sortedMarks(marks map[int]bool) []int {
+	out := make([]int, 0, len(marks))
+	for blk := range marks {
+		out = append(out, blk)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // Scrub rewrites every live page of each marked block to fresh locations
 // (new physical pages on a freshly-programmed block have zero retention
 // age, and the victims' eventual erase clears their read-disturb count).
+// Marked blocks are processed in ascending index order, so a scrub pass
+// consumes the device's fault-injection streams identically across runs
+// — the determinism contract lifetime scenarios depend on.
 func (f *FTL) Scrub(part string) (ScrubReport, error) {
 	var rep ScrubReport
 	p, err := f.Partition(part)
 	if err != nil {
 		return rep, err
 	}
-	marks := p.scrubMarks
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	marks := sortedMarks(p.scrubMarks)
 	p.scrubMarks = nil
-	for blk := range marks {
+	for _, blk := range marks {
 		bs := p.blocks[blk]
 		if bs.livePages == 0 && bs.writePtr == 0 {
 			continue // reclaimed by GC between mark and scrub
@@ -84,32 +124,10 @@ func (f *FTL) Scrub(part string) (ScrubReport, error) {
 			nb := p.blocks[p.active]
 			nb.writePtr = 0
 		}
-		// Snapshot the live set before relocating: Write mutates lbaOf.
-		type liveEntry struct{ page, lpa int }
-		var live []liveEntry
-		for page, lpa := range bs.lbaOf {
-			if lpa != invalidPPA {
-				live = append(live, liveEntry{page, lpa})
-			}
-		}
-		moved := 0
-		for _, le := range live {
-			res, err := f.readPhys(bs.id, le.page)
-			if err != nil {
-				if errors.Is(err, controller.ErrUncorrectable) {
-					rep.Uncorrectable++
-					continue // data lost; leave the stale mapping
-				}
-				return rep, fmt.Errorf("ftl: scrub read %d.%d: %w", bs.id, le.page, err)
-			}
-			// Rewrite through the normal host path: allocation, mode
-			// configuration and mapping update all apply.
-			if err := f.Write(p.Name, le.lpa, res.Data); err != nil {
-				return rep, fmt.Errorf("ftl: scrub rewrite lpa %d: %w", le.lpa, err)
-			}
-			p.HostWrites-- // scrub traffic is not host traffic
-			p.GCMoves++
-			moved++
+		moved, uncorrectable, err := f.relocateLive(p, bs)
+		rep.Uncorrectable += uncorrectable
+		if err != nil {
+			return rep, fmt.Errorf("ftl: scrub block %d: %w", bs.id, err)
 		}
 		if moved > 0 || bs.livePages == 0 {
 			rep.BlocksRefreshed++
@@ -117,7 +135,7 @@ func (f *FTL) Scrub(part string) (ScrubReport, error) {
 		}
 		// A fully-dead non-frontier victim would strand outside the free
 		// pool (GC only collects sealed blocks): erase and reclaim it now.
-		if bs.livePages == 0 && blk != p.active && bs.writePtr > 0 {
+		if bs.livePages == 0 && blk != p.active && bs.writePtr > 0 && !bs.retired {
 			if err := f.erasePhys(bs.id); err != nil {
 				return rep, err
 			}

@@ -21,7 +21,7 @@ func TestRepeatedScrubsDoNotLeakBlocks(t *testing.T) {
 	for round := 0; round < 8; round++ {
 		// Host traffic.
 		for i := 0; i < 40; i++ {
-			if err := f.Write("scratch", i%30, data); err != nil {
+			if _, err := f.Write("scratch", i%30, data); err != nil {
 				t.Fatalf("round %d write %d: %v", round, i, err)
 			}
 		}

@@ -23,7 +23,7 @@ func TestCheckReadHealthValidation(t *testing.T) {
 func TestHealthyReadsDoNotMark(t *testing.T) {
 	f := newFTL(t, 2)
 	data := pagePattern(20, 4096)
-	if err := f.Write("scratch", 0, data); err != nil {
+	if _, err := f.Write("scratch", 0, data); err != nil {
 		t.Fatal(err)
 	}
 	_, res, err := f.Read("scratch", 0)
@@ -50,7 +50,7 @@ func TestDegradedReadsMarkAndScrubHeals(t *testing.T) {
 	f := newFTL(t, 3)
 	p, _ := f.Partition("scratch")
 	data := pagePattern(21, 4096)
-	if err := f.Write("scratch", 0, data); err != nil {
+	if _, err := f.Write("scratch", 0, data); err != nil {
 		t.Fatal(err)
 	}
 	// Age the physical block under the page so the correction margin
@@ -127,7 +127,7 @@ func TestScrubOnCleanPartitionIsNoop(t *testing.T) {
 func TestScrubDoubleMarkDeduplicated(t *testing.T) {
 	f := newFTL(t, 2)
 	data := pagePattern(22, 4096)
-	if err := f.Write("scratch", 0, data); err != nil {
+	if _, err := f.Write("scratch", 0, data); err != nil {
 		t.Fatal(err)
 	}
 	res := &controller.ReadResult{Corrected: 100, T: 3} // synthetic alarm

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"xlnand/internal/stats"
 )
 
 // Poly2 is a polynomial over GF(2), bit-packed into uint64 words with
@@ -24,6 +26,25 @@ func NewPoly2FromCoeffs(exps ...int) Poly2 {
 		}
 		p = p.ensure(e/64 + 1)
 		p.w[e/64] ^= 1 << uint(e%64)
+	}
+	return p.trim()
+}
+
+// RandPoly2 draws a polynomial with i.i.d. uniform coefficients up to
+// degree maxDeg from the injected generator. All randomness in this
+// package flows through an explicit, seedable *stats.RNG — never a
+// global source — so every consumer up to the lifetime scenario engine
+// stays bit-reproducible end to end; callers that only need "some"
+// polynomial pass stats.NewRNG with a fixed seed.
+func RandPoly2(r *stats.RNG, maxDeg int) Poly2 {
+	if maxDeg < 0 {
+		panic("gf: negative degree bound")
+	}
+	p := Poly2{}.ensure(maxDeg/64 + 1)
+	for e := 0; e <= maxDeg; e++ {
+		if r.Bernoulli(0.5) {
+			p.w[e/64] |= 1 << uint(e%64)
+		}
 	}
 	return p.trim()
 }

@@ -6,14 +6,27 @@ import (
 	"xlnand/internal/stats"
 )
 
+// randPoly2 delegates to the package's injectable-RNG constructor so
+// the tests exercise the same draw path production callers use.
 func randPoly2(r *stats.RNG, maxDeg int) Poly2 {
-	var exps []int
-	for e := 0; e <= maxDeg; e++ {
-		if r.Bernoulli(0.5) {
-			exps = append(exps, e)
-		}
+	return RandPoly2(r, maxDeg)
+}
+
+func TestRandPoly2Reproducible(t *testing.T) {
+	// Identical seeds must yield identical draws (the package-level
+	// reproducibility contract), distinct seeds distinct streams.
+	a := RandPoly2(stats.NewRNG(7), 300)
+	b := RandPoly2(stats.NewRNG(7), 300)
+	if !a.Equal(b) {
+		t.Fatalf("same seed drew different polynomials:\n%v\n%v", a, b)
 	}
-	return NewPoly2FromCoeffs(exps...)
+	c := RandPoly2(stats.NewRNG(8), 300)
+	if a.Equal(c) {
+		t.Fatalf("different seeds drew identical polynomials")
+	}
+	if d := a.Degree(); d > 300 {
+		t.Fatalf("degree %d exceeds bound", d)
+	}
 }
 
 func TestPoly2Construction(t *testing.T) {

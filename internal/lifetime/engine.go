@@ -1,0 +1,677 @@
+package lifetime
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"xlnand/internal/controller"
+	"xlnand/internal/dispatch"
+	"xlnand/internal/ftl"
+	"xlnand/internal/sim"
+	"xlnand/internal/stats"
+)
+
+// InvariantError reports a violated end-to-end invariant. The scenario
+// name and seed reproduce the failure exactly: rerunning the scenario
+// with the same seed replays the identical operation and fault-injection
+// sequence.
+type InvariantError struct {
+	Scenario string
+	Seed     uint64
+	Phase    string
+	Detail   string
+}
+
+// Error implements the error interface.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("lifetime: invariant violated in scenario %q phase %q (reproduce with -scenario %s -seed %d): %s",
+		e.Scenario, e.Phase, e.Scenario, e.Seed, e.Detail)
+}
+
+// partState is the engine's oracle for one partition: the version of
+// every logical page it has written (page contents derive
+// deterministically from scenario seed, partition, lpa and version, so
+// the oracle holds no data — only counters).
+type partState struct {
+	idx int
+	cfg PartitionConfig
+	ws  int // working-set size in pages
+
+	versions []int // per-lpa write count (0 = never written)
+	written  []int // lpas written at least once, in first-write order
+
+	uncorrectable int // cumulative decode failures
+
+	// per-phase counters, reset by beginPhase
+	reads, writes int
+	readBits      int64
+	corrected     int
+}
+
+// engine runs one scenario.
+type engine struct {
+	sc   Scenario
+	env  sim.Env
+	disp *dispatch.Dispatcher
+	f    *ftl.FTL
+	geo  dispatch.Geometry
+	rng  *stats.RNG
+
+	parts     []*partState
+	pageBytes int
+	scratch   []byte // expected-content buffer
+
+	opsSinceScrub int
+	prevWear      [][]float64 // previous phase's (die, block) cycles
+
+	// per-phase performance accumulators
+	readBytes, writeBytes int64
+	readTime, writeTime   time.Duration
+}
+
+// Run plays a scenario from fresh silicon to end of life and returns its
+// report. Any invariant violation aborts the run with an
+// *InvariantError carrying the reproducing seed.
+func Run(sc Scenario) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	env := sim.DefaultEnv()
+	if sc.Env != nil {
+		env = *sc.Env
+	}
+	disp, err := dispatch.New(dispatch.Config{
+		Dies:         sc.Dies,
+		BlocksPerDie: sc.BlocksPerDie,
+		Seed:         sc.Seed,
+		Env:          env,
+		Controller:   controller.DefaultConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer disp.Close()
+
+	specs := make([]ftl.PartitionSpec, len(sc.Partitions))
+	for i, pc := range sc.Partitions {
+		specs[i] = ftl.PartitionSpec{Name: pc.Name, Blocks: pc.Blocks, Mode: pc.Mode}
+	}
+	f, err := ftl.New(disp, env, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		sc:        sc,
+		env:       env,
+		disp:      disp,
+		f:         f,
+		geo:       disp.Geometry(),
+		rng:       stats.NewRNG(sc.Seed),
+		pageBytes: disp.Geometry().PageDataBytes,
+	}
+	e.scratch = make([]byte, e.pageBytes)
+	if sc.SafetyMargin > 0 {
+		for die := 0; die < sc.Dies; die++ {
+			if err := disp.WithController(die, func(c *controller.Controller) {
+				c.Manager().SafetyMargin = sc.SafetyMargin
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, pc := range sc.Partitions {
+		p, err := f.Partition(pc.Name)
+		if err != nil {
+			return nil, err
+		}
+		ws := pc.WorkingSet
+		if ws == 0 {
+			ws = p.Capacity() * 3 / 4
+		}
+		if ws > p.Capacity() {
+			return nil, fmt.Errorf("lifetime: %s: partition %q working set %d exceeds capacity %d",
+				sc.Name, pc.Name, ws, p.Capacity())
+		}
+		e.parts = append(e.parts, &partState{
+			idx: i, cfg: pc, ws: ws,
+			versions: make([]int, p.Capacity()),
+		})
+	}
+	return e.run()
+}
+
+func (e *engine) invariantf(phase, format string, args ...any) error {
+	return &InvariantError{
+		Scenario: e.sc.Name, Seed: e.sc.Seed, Phase: phase,
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// run is the top-level phase loop.
+func (e *engine) run() (*Report, error) {
+	rep := &Report{
+		Scenario:     e.sc.Name,
+		Description:  e.sc.Description,
+		Seed:         e.sc.Seed,
+		Dies:         e.sc.Dies,
+		BlocksPerDie: e.sc.BlocksPerDie,
+	}
+	var err error
+	if e.prevWear, err = e.wearSnapshot(); err != nil {
+		return nil, err
+	}
+	for phi, ph := range e.sc.Phases {
+		pr, err := e.runPhase(phi, ph)
+		if err != nil {
+			return nil, err
+		}
+		rep.Phases = append(rep.Phases, *pr)
+	}
+	e.total(rep)
+	if rep.Totals.UBER > e.sc.MaxUBER {
+		last := e.sc.Phases[len(e.sc.Phases)-1].Name
+		return nil, e.invariantf(last, "run UBER %.3e exceeds scenario ceiling %.3e (%d bits lost over %d read)",
+			rep.Totals.UBER, e.sc.MaxUBER, rep.Totals.LostBits, rep.Totals.BitsRead)
+	}
+	return rep, nil
+}
+
+// runPhase applies the phase's stress, plays its traffic, runs
+// maintenance (scrub cadence, retirement), checks invariants and fills
+// the phase report.
+func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
+	pr := &PhaseReport{
+		Name:         ph.Name,
+		AgeCycles:    ph.AgeCycles,
+		BakeHours:    ph.BakeHours,
+		DisturbReads: ph.DisturbReads,
+	}
+	// Stress first: the phase's traffic sees the aged medium.
+	if ph.AgeCycles > 0 {
+		if err := e.agePhased(ph.Name, ph.AgeCycles, pr); err != nil {
+			return nil, err
+		}
+	}
+	if ph.BakeHours > 0 {
+		if err := e.disp.AdvanceTime(ph.BakeHours); err != nil {
+			return nil, err
+		}
+	}
+	if ph.DisturbReads > 0 {
+		if err := e.disturb(ph.DisturbReads); err != nil {
+			return nil, err
+		}
+	}
+
+	// Reset per-phase accumulators and snapshot maintenance baselines.
+	e.readBytes, e.writeBytes = 0, 0
+	e.readTime, e.writeTime = 0, 0
+	type baseline struct{ gc, erases int }
+	base := make([]baseline, len(e.parts))
+	for i, ps := range e.parts {
+		p, err := e.f.Partition(ps.cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		base[i] = baseline{p.GCMoves, p.Erases}
+		ps.reads, ps.writes, ps.readBits, ps.corrected = 0, 0, 0, 0
+	}
+	start := e.disp.Now()
+
+	// Traffic with the scrubber on its cadence.
+	for op := 0; op < ph.Ops; op++ {
+		if err := e.step(ph, pr); err != nil {
+			return nil, err
+		}
+		e.opsSinceScrub++
+		if e.sc.ScrubEvery > 0 && e.opsSinceScrub >= e.sc.ScrubEvery {
+			e.opsSinceScrub = 0
+			if err := e.scrubPass(ph.Name, pr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// End-of-phase scrub heals the phase's accumulated stress before the
+	// next fast-forward compounds it.
+	if e.sc.ScrubEvery > 0 {
+		if err := e.scrubPass(ph.Name, pr); err != nil {
+			return nil, err
+		}
+	}
+	// Retirement by wear ceiling.
+	if e.sc.WearCeiling > 0 {
+		for _, ps := range e.parts {
+			n, err := e.f.RetireWorn(ps.cfg.Name, e.sc.WearCeiling)
+			if err != nil {
+				return nil, err
+			}
+			pr.RetiredBlocks += n
+		}
+	}
+
+	// Performance on the modelled timeline.
+	pr.MakespanMS = (e.disp.Now() - start).Seconds() * 1e3
+	if e.readTime > 0 {
+		pr.ReadMBps = float64(e.readBytes) / e.readTime.Seconds() / 1e6
+	}
+	if e.writeTime > 0 {
+		pr.WriteMBps = float64(e.writeBytes) / e.writeTime.Seconds() / 1e6
+	}
+
+	// Wear: snapshot, monotonicity invariant, global min/max.
+	wear, err := e.wearSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	pr.WearMin, pr.WearMax = wear[0][0], wear[0][0]
+	for die := range wear {
+		for blk := range wear[die] {
+			w := wear[die][blk]
+			if w < e.prevWear[die][blk] {
+				return nil, e.invariantf(ph.Name, "wear of die %d block %d went backwards: %g -> %g",
+					die, blk, e.prevWear[die][blk], w)
+			}
+			if w < pr.WearMin {
+				pr.WearMin = w
+			}
+			if w > pr.WearMax {
+				pr.WearMax = w
+			}
+		}
+	}
+	e.prevWear = wear
+
+	// Per-partition slice, observation and policy retune.
+	for i, ps := range e.parts {
+		p, err := e.f.Partition(ps.cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		wmin, wmax, err := e.f.WearSpread(ps.cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		correctedPerKB := 0.0
+		if ps.readBits > 0 {
+			correctedPerKB = float64(ps.corrected) * 8192 / float64(ps.readBits)
+		}
+		mode, err := e.f.ModeOf(ps.cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		if e.sc.Policy != nil {
+			next := e.sc.Policy.Retune(Observation{
+				Partition:          ps.cfg.Name,
+				Mode:               mode,
+				Phase:              phi,
+				MaxWear:            wmax,
+				CorrectedPerKB:     correctedPerKB,
+				UncorrectableReads: ps.uncorrectable,
+			})
+			if next != mode {
+				if err := e.f.SetMode(ps.cfg.Name, next); err != nil {
+					return nil, err
+				}
+				mode = next
+			}
+		}
+		pr.Partitions = append(pr.Partitions, PartitionPhase{
+			Name:           ps.cfg.Name,
+			Mode:           mode.String(),
+			Reads:          ps.reads,
+			Writes:         ps.writes,
+			CorrectedBits:  ps.corrected,
+			CorrectedPerKB: correctedPerKB,
+			Uncorrectable:  ps.uncorrectable,
+			WearMin:        wmin,
+			WearMax:        wmax,
+			Retired:        p.Retired(),
+		})
+		pr.GCMoves += p.GCMoves - base[i].gc
+		pr.Erases += p.Erases - base[i].erases
+		pr.PendingScrubs += p.PendingScrubs()
+	}
+	if pr.BitsRead > 0 {
+		pr.UBER = float64(pr.LostBits) / float64(pr.BitsRead)
+	}
+	return pr, nil
+}
+
+// step plays one host operation.
+func (e *engine) step(ph Phase, pr *PhaseReport) error {
+	ps := e.parts[e.rng.Intn(len(e.parts))]
+	if len(ps.written) > 0 && e.rng.Bernoulli(ph.ReadFraction) {
+		lpa := ps.written[e.rng.Intn(len(ps.written))]
+		_, err := e.verifiedRead(ph.Name, ps, lpa, pr, readHost)
+		return err
+	}
+	lpa := e.rng.Intn(ps.ws)
+	ps.versions[lpa]++
+	if ps.versions[lpa] == 1 {
+		ps.written = append(ps.written, lpa)
+	}
+	wr, err := e.f.Write(ps.cfg.Name, lpa, e.content(ps, lpa, ps.versions[lpa]))
+	if err != nil {
+		return fmt.Errorf("lifetime: %s phase %q: host write %q/%d: %w",
+			e.sc.Name, ph.Name, ps.cfg.Name, lpa, err)
+	}
+	pr.HostWrites++
+	ps.writes++
+	e.writeBytes += int64(e.pageBytes)
+	e.writeTime += wr.Latency.Program
+	return nil
+}
+
+// readKind labels who issued a verified read; it selects which report
+// counter the read lands in, nothing else.
+type readKind int
+
+const (
+	readHost    readKind = iota // host traffic (health-checked)
+	readVerify                  // post-scrub heal check
+	readRefresh                 // stepped-aging data refresh
+)
+
+// verifiedRead reads one live logical page, verifies it against the
+// oracle and accounts reliability statistics identically for every
+// caller (host traffic, scrub heal checks, aging refreshes), so the
+// engine's UBER bookkeeping cannot diverge between paths. It returns
+// the decoded page on success and nil after an uncorrectable read
+// (which is accounted as data loss, not an error); any other failure —
+// including the silent-corruption invariant — is fatal.
+func (e *engine) verifiedRead(phase string, ps *partState, lpa int, pr *PhaseReport, kind readKind) ([]byte, error) {
+	data, res, err := e.f.Read(ps.cfg.Name, lpa)
+	bitsRead := int64(e.pageBytes) * 8
+	pr.BitsRead += bitsRead
+	ps.readBits += bitsRead
+	switch kind {
+	case readHost:
+		pr.HostReads++
+		ps.reads++
+	case readVerify:
+		pr.VerifyReads++
+	case readRefresh:
+		pr.RefreshReads++
+	}
+	expect := e.content(ps, lpa, ps.versions[lpa])
+	if err != nil {
+		if !errors.Is(err, controller.ErrUncorrectable) {
+			return nil, fmt.Errorf("lifetime: %s phase %q: read %q/%d: %w",
+				e.sc.Name, phase, ps.cfg.Name, lpa, err)
+		}
+		pr.UncorrectableReads++
+		ps.uncorrectable++
+		lost := bitsRead
+		if res != nil && len(res.Data) == len(expect) {
+			lost = int64(diffBits(res.Data, expect))
+			e.readTime += res.Latency.Total()
+			e.readBytes += int64(e.pageBytes)
+		}
+		pr.LostBits += lost
+		return nil, nil
+	}
+	e.readTime += res.Latency.Total()
+	e.readBytes += int64(e.pageBytes)
+	if !bytes.Equal(data, expect) {
+		return nil, e.invariantf(phase,
+			"silent corruption: partition %q lpa %d version %d decoded successfully but differs from written content in %d bits",
+			ps.cfg.Name, lpa, ps.versions[lpa], diffBits(data, expect))
+	}
+	pr.CorrectedBits += res.Corrected
+	ps.corrected += res.Corrected
+	pr.CorrectedHist.Add(res.Corrected)
+	if kind == readHost && e.sc.ScrubEvery > 0 {
+		if _, err := e.f.CheckReadHealth(ps.cfg.Name, lpa, res, e.sc.Scrub); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// scrubPass runs the scrubber over every partition and verifies its
+// healing claim: every logical page that was live on a marked block must
+// be readable (and correct) afterwards, less the losses the scrub report
+// itself declared.
+func (e *engine) scrubPass(phase string, pr *PhaseReport) error {
+	for _, ps := range e.parts {
+		name := ps.cfg.Name
+		marks, err := e.f.ScrubMarks(name)
+		if err != nil {
+			return err
+		}
+		if len(marks) == 0 {
+			continue
+		}
+		marked := make(map[int]bool, len(marks))
+		for _, blk := range marks {
+			marked[blk] = true
+		}
+		var toVerify []int
+		for _, lpa := range ps.written {
+			blk, err := e.f.BlockOf(name, lpa)
+			if err != nil {
+				continue // trimmed or lost mapping; nothing to verify
+			}
+			if marked[blk] {
+				toVerify = append(toVerify, lpa)
+			}
+		}
+		p, err := e.f.Partition(name)
+		if err != nil {
+			return err
+		}
+		lostBefore := p.LostPages
+		srep, err := e.f.Scrub(name)
+		if err != nil {
+			return fmt.Errorf("lifetime: %s phase %q: scrub %q: %w", e.sc.Name, phase, name, err)
+		}
+		pr.ScrubPasses++
+		pr.BlocksRefreshed += srep.BlocksRefreshed
+		pr.PagesScrubbed += srep.PagesMoved
+		// The scrub's own relocation writes can trigger GC rounds whose
+		// uncorrectable reads lose pages (tracked in LostPages, not in
+		// the scrub report); those losses are declared too, so the heal
+		// check must not pin them on the scrubber.
+		allowed := srep.Uncorrectable + (p.LostPages - lostBefore)
+		before := pr.UncorrectableReads
+		for _, lpa := range toVerify {
+			if _, err := e.verifiedRead(phase, ps, lpa, pr, readVerify); err != nil {
+				return err
+			}
+			if failures := pr.UncorrectableReads - before; failures > allowed {
+				return e.invariantf(phase,
+					"scrub of %q claimed %d unrecoverable pages but left lpa %d (and %d total) unreadable",
+					name, srep.Uncorrectable, lpa, failures)
+			}
+		}
+	}
+	return nil
+}
+
+// agePhased fast-forwards wear by delta cycles in multiplicative steps,
+// refreshing all live data after each step. A fast-forward compresses
+// months of real operation during which the background scrubber would
+// have relocated stored data many times at gradually increasing wear; a
+// single giant jump would instead strand cold pages with a capability
+// sized for a much younger device and read them straight into decode
+// failure — a fast-forward artifact, not a behaviour of the modelled
+// system. The step refreshes reproduce the gradual path: after each
+// step, live pages are rewritten at the new wear (and therefore with the
+// capability the reliability manager now selects), exactly as the
+// maintenance loop would have done along the way.
+func (e *engine) agePhased(phase string, delta float64, pr *PhaseReport) error {
+	cur := 0.0
+	for die := 0; die < e.geo.Dies; die++ {
+		for blk := 0; blk < e.geo.BlocksPerDie; blk++ {
+			c, err := e.disp.Cycles(die, blk)
+			if err != nil {
+				return err
+			}
+			if c > cur {
+				cur = c
+			}
+		}
+	}
+	target := cur + delta
+	for cur < target {
+		next := cur * ageStepFactor
+		if next < ageStepFloor {
+			next = ageStepFloor
+		}
+		if next > target {
+			next = target
+		}
+		if err := e.age(next - cur); err != nil {
+			return err
+		}
+		cur = next
+		if err := e.refresh(phase, pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Aging advances at most this factor per step before a refresh, and the
+// first step lands at the floor (fresh-device wear is too low for the
+// factor to make progress from). The factor is bounded by the
+// reliability manager's provisioning margin: the calibrated RBER grows
+// roughly as cycles^0.75 near end of life, so a 1.6x cycle step raises
+// RBER by ~1.45x — within the safety margin lifetime scenarios
+// configure, which keeps pages written before a step decodable after it.
+const (
+	ageStepFactor = 1.6
+	ageStepFloor  = 1e3
+)
+
+// refresh rewrites every live logical page at the device's current wear,
+// verifying each against the oracle on the way through. Unreadable pages
+// are data loss (counted, left in place); readable pages are rewritten
+// from the decoded content, never from the oracle, so a miscorrection
+// cannot be silently healed.
+func (e *engine) refresh(phase string, pr *PhaseReport) error {
+	for _, ps := range e.parts {
+		for _, lpa := range ps.written {
+			data, err := e.verifiedRead(phase, ps, lpa, pr, readRefresh)
+			if err != nil {
+				return err
+			}
+			if data == nil {
+				continue // unreadable: accounted as loss, left in place
+			}
+			if _, err := e.f.Write(ps.cfg.Name, lpa, data); err != nil {
+				return fmt.Errorf("lifetime: %s phase %q: refresh write %q/%d: %w",
+					e.sc.Name, phase, ps.cfg.Name, lpa, err)
+			}
+			pr.RefreshedPages++
+		}
+	}
+	return nil
+}
+
+// age fast-forwards every block's program/erase wear.
+func (e *engine) age(delta float64) error {
+	for die := 0; die < e.geo.Dies; die++ {
+		for blk := 0; blk < e.geo.BlocksPerDie; blk++ {
+			c, err := e.disp.Cycles(die, blk)
+			if err != nil {
+				return err
+			}
+			if err := e.disp.SetCycles(die, blk, c+delta); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// disturb performs raw array reads (ECC bypassed) of the first page of
+// every programmed block — read-disturb aggression outside the host
+// path, run on each die's worker for exclusive device access.
+func (e *engine) disturb(n int) error {
+	for die := 0; die < e.geo.Dies; die++ {
+		err := e.disp.WithController(die, func(c *controller.Controller) {
+			dev := c.Device()
+			for blk := 0; blk < dev.Blocks(); blk++ {
+				for r := 0; r < n; r++ {
+					if _, _, err := dev.Read(blk, 0); err != nil {
+						break // unwritten block: no stress to apply
+					}
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wearSnapshot reads every block's cycle count.
+func (e *engine) wearSnapshot() ([][]float64, error) {
+	out := make([][]float64, e.geo.Dies)
+	for die := range out {
+		out[die] = make([]float64, e.geo.BlocksPerDie)
+		for blk := range out[die] {
+			c, err := e.disp.Cycles(die, blk)
+			if err != nil {
+				return nil, err
+			}
+			out[die][blk] = c
+		}
+	}
+	return out, nil
+}
+
+// content deterministically regenerates the page content of (partition,
+// lpa, version) into the engine's scratch buffer. The mapping is a pure
+// function of the scenario seed, so the oracle never stores data.
+func (e *engine) content(ps *partState, lpa, version int) []byte {
+	h := e.sc.Seed
+	for _, v := range [3]uint64{uint64(ps.idx) + 1, uint64(lpa) + 1, uint64(version)} {
+		h = (h ^ v) * 0x100000001b3
+	}
+	r := stats.NewRNG(h)
+	for i := 0; i+8 <= len(e.scratch); i += 8 {
+		binary.LittleEndian.PutUint64(e.scratch[i:], r.Uint64())
+	}
+	return e.scratch
+}
+
+// diffBits counts differing bits between equal-length buffers.
+func diffBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+// total folds the phase series into run totals.
+func (e *engine) total(rep *Report) {
+	t := &rep.Totals
+	for _, ph := range rep.Phases {
+		t.HostReads += ph.HostReads
+		t.HostWrites += ph.HostWrites
+		t.BitsRead += ph.BitsRead
+		t.CorrectedBits += ph.CorrectedBits
+		t.UncorrectableReads += ph.UncorrectableReads
+		t.LostBits += ph.LostBits
+		t.ScrubPasses += ph.ScrubPasses
+		t.PagesScrubbed += ph.PagesScrubbed
+		t.GCMoves += ph.GCMoves
+		t.Erases += ph.Erases
+		t.RetiredBlocks += ph.RetiredBlocks
+		if ph.WearMax > t.FinalWearMax {
+			t.FinalWearMax = ph.WearMax
+		}
+	}
+	if t.BitsRead > 0 {
+		t.UBER = float64(t.LostBits) / float64(t.BitsRead)
+	}
+}

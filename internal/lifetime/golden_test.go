@@ -1,0 +1,55 @@
+package lifetime
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenTrajectories pins the reliability trajectory of two short
+// canned scenarios against committed fixtures, so a performance PR that
+// accidentally changes behaviour anywhere in the stack (fault injection,
+// capability selection, scrub order, GC policy) moves a fixture and
+// fails loudly instead of silently shifting reliability.
+//
+// Regenerate the fixtures after an INTENTIONAL behaviour change with:
+//
+//	UPDATE_LIFETIME_GOLDEN=1 go test ./internal/lifetime -run TestGoldenTrajectories
+//
+// and review the fixture diff like any other behaviour diff.
+func TestGoldenTrajectories(t *testing.T) {
+	update := os.Getenv("UPDATE_LIFETIME_GOLDEN") != ""
+	for _, sc := range GoldenShort() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(sc)
+			if err != nil {
+				t.Fatalf("golden scenario failed: %v", err)
+			}
+			got, err := json.MarshalIndent(rep.Summarize(), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden_"+sc.Name+".json")
+			if update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with UPDATE_LIFETIME_GOLDEN=1 to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("lifetime trajectory diverged from fixture %s.\n--- got ---\n%s\n--- want ---\n%s\n"+
+					"If this change is intentional, regenerate with UPDATE_LIFETIME_GOLDEN=1 and review the diff.",
+					path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package lifetime
+
+import "xlnand/internal/sim"
+
+// Observation is what the engine measured about one partition during a
+// phase — the evidence a cross-layer policy retunes from. All quantities
+// are measurements of the real stack (decoder feedback, wear counters),
+// not model evaluations, mirroring the paper's in-situ adaptation loop.
+type Observation struct {
+	Partition string
+	// Mode is the partition's current service level.
+	Mode sim.Mode
+	// Phase indexes the just-finished phase.
+	Phase int
+	// MaxWear is the highest program/erase count across the partition's
+	// blocks.
+	MaxWear float64
+	// CorrectedPerKB is the phase's corrected raw bit errors per KB of
+	// data read (0 when the phase read nothing).
+	CorrectedPerKB float64
+	// UncorrectableReads counts the partition's decode failures so far
+	// (cumulative over the run).
+	UncorrectableReads int
+}
+
+// Policy retunes a partition's service level between phases. Retune
+// returns the mode the partition should use for the next phase;
+// returning Observation.Mode keeps it unchanged. Implementations must be
+// deterministic functions of the observation — the engine's
+// reproducibility contract extends through the policy.
+type Policy interface {
+	Retune(Observation) sim.Mode
+}
+
+// WearLadder is the default cross-layer lifetime policy, walking the
+// paper's trade-off as the measured error climate degrades:
+//
+//   - any decode failure, or a corrected-error density at or above
+//     MinUBERCorrectedPerKB, escalates to min-UBER service (maximum
+//     reliability margin: DV programming under the SV-sized capability);
+//   - otherwise, wear at or above MaxReadAtCycles moves to max-read
+//     (DV programming with the capability relaxed to the target — the
+//     ≈30% read-throughput recovery at end of life);
+//   - otherwise the mode is left alone.
+type WearLadder struct {
+	// MaxReadAtCycles switches to ModeMaxRead at this wear (0 disables).
+	MaxReadAtCycles float64
+	// MinUBERCorrectedPerKB escalates to ModeMinUBER at this corrected
+	// density (0 disables).
+	MinUBERCorrectedPerKB float64
+}
+
+// DefaultWearLadder engages max-read at 10^5 cycles (where the nominal
+// decode latency begins to dominate reads) and escalates to min-UBER at
+// 150 corrected bits per KB read (half the worst-case t=65 budget per
+// 4 KB codeword arriving on every page).
+func DefaultWearLadder() Policy {
+	return WearLadder{MaxReadAtCycles: 1e5, MinUBERCorrectedPerKB: 150}
+}
+
+// Retune implements Policy.
+func (w WearLadder) Retune(o Observation) sim.Mode {
+	if o.UncorrectableReads > 0 ||
+		(w.MinUBERCorrectedPerKB > 0 && o.CorrectedPerKB >= w.MinUBERCorrectedPerKB) {
+		return sim.ModeMinUBER
+	}
+	if w.MaxReadAtCycles > 0 && o.MaxWear >= w.MaxReadAtCycles && o.Mode == sim.ModeNominal {
+		return sim.ModeMaxRead
+	}
+	return o.Mode
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package lifetime
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full catalog soak is minutes-long under the detector's ~10-20x decode
+// slowdown, so the heavy tests skip themselves and race coverage comes
+// from the golden scenarios (which cross every goroutine boundary the
+// catalog does) plus the FTL's targeted scrub-vs-I/O race test.
+const raceEnabled = true

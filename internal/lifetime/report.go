@@ -1,0 +1,217 @@
+package lifetime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CorrectedHistBuckets is the number of power-of-two buckets in the
+// corrected-bits-per-read histogram: 0, 1, 2-3, 4-7, 8-15, 16-31, 32-63,
+// and 64+ (the last bucket also catches anything beyond the t=65 budget).
+const CorrectedHistBuckets = 8
+
+// CorrectedHist buckets corrected-error counts per read by powers of
+// two. The fixed shape keeps report JSON stable across code changes.
+type CorrectedHist [CorrectedHistBuckets]int
+
+// Add records one read's corrected-error count.
+func (h *CorrectedHist) Add(corrected int) {
+	b := 0
+	for corrected > 0 && b < CorrectedHistBuckets-1 {
+		corrected >>= 1
+		b++
+	}
+	h[b]++
+}
+
+// Labels returns the bucket labels, aligned with the counts.
+func (h CorrectedHist) Labels() []string {
+	out := make([]string, CorrectedHistBuckets)
+	out[0], out[1] = "0", "1"
+	for b := 2; b < CorrectedHistBuckets-1; b++ {
+		out[b] = fmt.Sprintf("%d-%d", 1<<(b-1), 1<<b-1)
+	}
+	out[CorrectedHistBuckets-1] = strconv.Itoa(1<<(CorrectedHistBuckets-2)) + "+"
+	return out
+}
+
+// PartitionPhase is one partition's slice of a phase.
+type PartitionPhase struct {
+	Name string `json:"name"`
+	Mode string `json:"mode"` // service level at the END of the phase
+
+	Reads          int     `json:"reads"`
+	Writes         int     `json:"writes"`
+	CorrectedBits  int     `json:"corrected_bits"`
+	CorrectedPerKB float64 `json:"corrected_per_kb"`
+	Uncorrectable  int     `json:"uncorrectable"`
+	WearMin        float64 `json:"wear_min"`
+	WearMax        float64 `json:"wear_max"`
+	Retired        int     `json:"retired_blocks"` // cumulative
+}
+
+// PhaseReport is the time-series element of a run.
+type PhaseReport struct {
+	Name string `json:"name"`
+
+	// Stress applied before the phase's traffic.
+	AgeCycles    float64 `json:"age_cycles"`
+	BakeHours    float64 `json:"bake_hours"`
+	DisturbReads int     `json:"disturb_reads"`
+
+	// Host traffic.
+	HostReads  int `json:"host_reads"`
+	HostWrites int `json:"host_writes"`
+	// VerifyReads are the engine's post-scrub heal-check reads (not host
+	// traffic, but they do stress the medium like any read).
+	VerifyReads int `json:"verify_reads"`
+	// RefreshReads/RefreshedPages are the stepped-aging maintenance
+	// traffic: live data re-read and rewritten at the new wear after
+	// each fast-forward step.
+	RefreshReads   int `json:"refresh_reads"`
+	RefreshedPages int `json:"refreshed_pages"`
+
+	// Reliability.
+	BitsRead           int64         `json:"bits_read"`
+	CorrectedBits      int           `json:"corrected_bits"`
+	CorrectedHist      CorrectedHist `json:"corrected_hist"`
+	UncorrectableReads int           `json:"uncorrectable_reads"`
+	LostBits           int64         `json:"lost_bits"`
+	// UBER is the phase's post-correction error rate: lost bits / bits
+	// read (0 when nothing was read).
+	UBER float64 `json:"uber"`
+
+	// Maintenance traffic.
+	ScrubPasses     int     `json:"scrub_passes"`
+	BlocksRefreshed int     `json:"blocks_refreshed"`
+	PagesScrubbed   int     `json:"pages_scrubbed"`
+	GCMoves         int     `json:"gc_moves"` // delta over the phase
+	Erases          int     `json:"erases"`   // delta over the phase
+	RetiredBlocks   int     `json:"retired"`  // delta over the phase
+	PendingScrubs   int     `json:"pending"`  // marks left at phase end
+	WearMin         float64 `json:"wear_min"`
+	WearMax         float64 `json:"wear_max"`
+
+	// Performance on the modelled timeline.
+	MakespanMS float64 `json:"makespan_ms"`
+	ReadMBps   float64 `json:"read_mbps"`
+	WriteMBps  float64 `json:"write_mbps"`
+
+	Partitions []PartitionPhase `json:"partitions"`
+}
+
+// Totals aggregates the run.
+type Totals struct {
+	HostReads          int     `json:"host_reads"`
+	HostWrites         int     `json:"host_writes"`
+	BitsRead           int64   `json:"bits_read"`
+	CorrectedBits      int     `json:"corrected_bits"`
+	UncorrectableReads int     `json:"uncorrectable_reads"`
+	LostBits           int64   `json:"lost_bits"`
+	UBER               float64 `json:"uber"`
+	ScrubPasses        int     `json:"scrub_passes"`
+	PagesScrubbed      int     `json:"pages_scrubbed"`
+	GCMoves            int     `json:"gc_moves"`
+	Erases             int     `json:"erases"`
+	RetiredBlocks      int     `json:"retired_blocks"`
+	FinalWearMax       float64 `json:"final_wear_max"`
+}
+
+// Report is the full deterministic output of one scenario run.
+type Report struct {
+	Scenario     string        `json:"scenario"`
+	Description  string        `json:"description"`
+	Seed         uint64        `json:"seed"`
+	Dies         int           `json:"dies"`
+	BlocksPerDie int           `json:"blocks_per_die"`
+	Phases       []PhaseReport `json:"phases"`
+	Totals       Totals        `json:"totals"`
+}
+
+// JSON serialises the report with stable formatting; two runs of the
+// same scenario and seed produce byte-identical output.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteTable renders a human-readable phase table.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s (seed %d, %d dies x %d blocks)\n",
+		r.Scenario, r.Seed, r.Dies, r.BlocksPerDie)
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %9s %7s %7s %8s %9s %9s\n",
+		"phase", "reads", "writes", "corrected", "uncorr", "scrub", "retired", "wearmax", "readMB/s", "UBER")
+	for _, ph := range r.Phases {
+		fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %8.0f %9.2f %9.2e\n",
+			ph.Name, ph.HostReads, ph.HostWrites, ph.CorrectedBits, ph.UncorrectableReads,
+			ph.PagesScrubbed, ph.RetiredBlocks, ph.WearMax, ph.ReadMBps, ph.UBER)
+	}
+	t := r.Totals
+	fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %8.0f %9s %9.2e\n",
+		"TOTAL", t.HostReads, t.HostWrites, t.CorrectedBits, t.UncorrectableReads,
+		t.PagesScrubbed, t.RetiredBlocks, t.FinalWearMax, "", t.UBER)
+}
+
+// PhaseSummary is the golden-fixture slice of a phase: exact counters
+// plus floats rounded to 3 significant digits, so fixtures survive
+// platform-level floating-point library differences while still pinning
+// the reliability trajectory.
+type PhaseSummary struct {
+	Name          string `json:"name"`
+	HostReads     int    `json:"host_reads"`
+	HostWrites    int    `json:"host_writes"`
+	CorrectedBits int    `json:"corrected_bits"`
+	Uncorrectable int    `json:"uncorrectable"`
+	PagesScrubbed int    `json:"pages_scrubbed"`
+	Retired       int    `json:"retired"`
+	UBER          string `json:"uber"`
+	WearMax       string `json:"wear_max"`
+	Modes         string `json:"modes"`
+}
+
+// Summary projects the report onto its golden-fixture form.
+type Summary struct {
+	Scenario string         `json:"scenario"`
+	Seed     uint64         `json:"seed"`
+	Phases   []PhaseSummary `json:"phases"`
+	Totals   struct {
+		CorrectedBits int    `json:"corrected_bits"`
+		Uncorrectable int    `json:"uncorrectable"`
+		LostBits      int64  `json:"lost_bits"`
+		Retired       int    `json:"retired"`
+		UBER          string `json:"uber"`
+	} `json:"totals"`
+}
+
+// Summarize builds the golden-fixture summary of the report.
+func (r *Report) Summarize() Summary {
+	s := Summary{Scenario: r.Scenario, Seed: r.Seed}
+	for _, ph := range r.Phases {
+		modes := ""
+		for i, pp := range ph.Partitions {
+			if i > 0 {
+				modes += ","
+			}
+			modes += pp.Name + "=" + pp.Mode
+		}
+		s.Phases = append(s.Phases, PhaseSummary{
+			Name:          ph.Name,
+			HostReads:     ph.HostReads,
+			HostWrites:    ph.HostWrites,
+			CorrectedBits: ph.CorrectedBits,
+			Uncorrectable: ph.UncorrectableReads,
+			PagesScrubbed: ph.PagesScrubbed,
+			Retired:       ph.RetiredBlocks,
+			UBER:          fmt.Sprintf("%.3g", ph.UBER),
+			WearMax:       fmt.Sprintf("%.3g", ph.WearMax),
+			Modes:         modes,
+		})
+	}
+	s.Totals.CorrectedBits = r.Totals.CorrectedBits
+	s.Totals.Uncorrectable = r.Totals.UncorrectableReads
+	s.Totals.LostBits = r.Totals.LostBits
+	s.Totals.Retired = r.Totals.RetiredBlocks
+	s.Totals.UBER = fmt.Sprintf("%.3g", r.Totals.UBER)
+	return s
+}

@@ -35,7 +35,22 @@ func (s *Subsystem) NewStorage(specs []PartitionSpec) (*Storage, error) {
 
 // Write stores one logical page (PageSize bytes) into a partition.
 func (st *Storage) Write(partition string, lpa int, data []byte) error {
+	_, err := st.f.Write(partition, lpa, data)
+	return err
+}
+
+// WriteResult stores one logical page and reports the physical write:
+// the capability and algorithm the partition's service level resolved
+// to, and the modelled latency breakdown.
+func (st *Storage) WriteResult(partition string, lpa int, data []byte) (*controller.WriteResult, error) {
 	return st.f.Write(partition, lpa, data)
+}
+
+// SetPartitionMode retunes a partition's service level at runtime:
+// subsequent writes use the new mode while stored pages keep the
+// configuration they were written with.
+func (st *Storage) SetPartitionMode(partition string, m Mode) error {
+	return st.f.SetMode(partition, m)
 }
 
 // Read fetches one logical page through the partition's ECC path.
