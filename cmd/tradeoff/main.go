@@ -6,6 +6,7 @@
 //
 //	tradeoff -cycles 1e6            # end-of-life trade-off table
 //	tradeoff -cycles 1e4 -stride 4  # thinner capability grid
+//	tradeoff -readretry             # recovered UBER vs retry ladder depth
 package main
 
 import (
@@ -18,11 +19,22 @@ import (
 
 func main() {
 	var (
-		cycles = flag.Float64("cycles", 1e5, "program/erase cycles (wear level)")
-		stride = flag.Int("stride", 8, "capability grid stride")
-		pareto = flag.Bool("pareto", true, "print the Pareto front")
+		cycles    = flag.Float64("cycles", 1e5, "program/erase cycles (wear level)")
+		stride    = flag.Int("stride", 8, "capability grid stride")
+		pareto    = flag.Bool("pareto", true, "print the Pareto front")
+		readretry = flag.Bool("readretry", false, "print the read-retry recovery figure (recovered UBER vs ladder depth across lifetime)")
 	)
 	flag.Parse()
+
+	if *readretry {
+		fig, err := xlnand.RunExperiment("ext-readretry", 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(xlnand.RenderASCII(fig, 100, 28))
+		fmt.Println(xlnand.RenderTable(fig))
+		return
+	}
 
 	s, err := xlnand.Open()
 	if err != nil {

@@ -68,8 +68,14 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("aged read: %d bit error(s) corrected, %s, latency %v\n",
-		rdAged.Corrected, match, rdAged.Latency.Total())
+	// Every read reports its recovery-ladder climate: Retries counts the
+	// re-senses at shifted read references a failing decode triggered
+	// (0 = first sense decoded), AppliedOffset is the reference step of
+	// the final sense, and Latency sums every stage (rd.Stages holds the
+	// per-stage split when the ladder engaged). The budget is an Open
+	// option: xlnand.WithReadRetry(n).
+	fmt.Printf("aged read: %d bit error(s) corrected, %s, latency %v (%d retries, offset step %d)\n",
+		rdAged.Corrected, match, rdAged.Latency.Total(), rdAged.Retries, rdAged.AppliedOffset)
 
 	// The batched path: submit writes and reads across both dies in one
 	// call; array operations overlap while bus and codec serialise.

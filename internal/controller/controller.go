@@ -27,6 +27,7 @@ type Controller struct {
 	mgr   *ReliabilityManager
 
 	pageBuffer []byte // controller-side page RAM (Fig. 1), size of one codeword
+	readBuffer []byte // codeword staging RAM for the read path (pooled across reads)
 }
 
 // Config parametrises controller construction.
@@ -39,11 +40,16 @@ type Config struct {
 	InitialT uint32
 	// Adaptive enables the reliability manager from the start.
 	Adaptive bool
+	// MaxRetries initialises RegReadRetry: how many re-reads at shifted
+	// read references a failing decode may trigger (0 disables staged
+	// recovery; negative is clamped to 0).
+	MaxRetries int
 }
 
 // DefaultConfig returns the paper's baseline controller configuration:
 // default codec hardware at 80 MHz, default bus, UBER target 1e-11,
-// t = 65 (worst-case until the manager relaxes it), manager enabled.
+// t = 65 (worst-case until the manager relaxes it), manager enabled,
+// a 4-step read-recovery ladder.
 func DefaultConfig() Config {
 	return Config{
 		HW:            bch.DefaultHWConfig(),
@@ -51,6 +57,7 @@ func DefaultConfig() Config {
 		TargetUBERExp: 11,
 		InitialT:      65,
 		Adaptive:      true,
+		MaxRetries:    4,
 	}
 }
 
@@ -75,11 +82,18 @@ func New(dev *nand.Device, codec *bch.Codec, cfg Config) (*Controller, error) {
 		hw:         cfg.HW,
 		bus:        cfg.Bus,
 		pageBuffer: make([]byte, dev.Calibration().PageDataBytes+dev.Calibration().PageSpareBytes),
+		readBuffer: make([]byte, dev.Calibration().PageDataBytes+dev.Calibration().PageSpareBytes),
 	}
 	if err := c.regs.Write(RegTargetUBERExp, cfg.TargetUBERExp); err != nil {
 		return nil, err
 	}
 	if err := c.regs.Write(RegECCCapability, cfg.InitialT); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if err := c.regs.Write(RegReadRetry, uint32(cfg.MaxRetries)); err != nil {
 		return nil, err
 	}
 	c.mgr = NewReliabilityManager(codec, c.targetUBER())
@@ -221,7 +235,9 @@ func (c *Controller) WritePage(blockIdx, pageIdx int, data []byte) (WriteResult,
 	return res, nil
 }
 
-// ReadLatency breaks down one page read.
+// ReadLatency breaks down one page read. For a recovered read the
+// components are sums across every ladder stage (each retry pays full
+// tR + transfer + decode); ReadResult.Stages holds the per-stage split.
 type ReadLatency struct {
 	TR       time.Duration // array-to-register sensing
 	Transfer time.Duration // codeword over the flash bus
@@ -231,67 +247,193 @@ type ReadLatency struct {
 // Total returns the end-to-end read latency.
 func (l ReadLatency) Total() time.Duration { return l.TR + l.Transfer + l.Decode }
 
+// ReadStage records one sense attempt of the recovery ladder.
+type ReadStage struct {
+	// Step is the read-reference ladder step the page was sensed at.
+	Step int
+	// Latency is this attempt's full cost (tR + transfer + decode).
+	Latency ReadLatency
+}
+
 // ReadResult reports one page read.
 type ReadResult struct {
 	Data      []byte
 	T         int
 	Alg       nand.Algorithm
 	Corrected int
-	Latency   ReadLatency
+	// Retries counts the sense attempts beyond the first; 0 means the
+	// read at the predicted reference offset decoded immediately.
+	Retries int
+	// AppliedOffset is the read-reference ladder step of the final
+	// attempt — the one that decoded, or the last failure.
+	AppliedOffset int
+	// Latency is the end-to-end cost, summed over every ladder stage.
+	Latency ReadLatency
+	// Stages breaks the ladder down per attempt. It is nil for
+	// single-attempt reads (the common case stays allocation-lean):
+	// the one stage is then exactly Latency at step AppliedOffset.
+	Stages []ReadStage
 }
 
-// ReadPage reads, transfers and decodes a page, correcting raw bit
-// errors. The decode runs at the capability the page was written with,
-// recovered from the stored parity length (the geometry r = m·t makes the
-// mapping exact) — reconfiguring the controller between write and read
-// therefore never corrupts old pages. Uncorrectable pages return
-// ErrUncorrectable with the raw data attached.
+// maxLadderSlots bounds the attempt-order scratch; devices calibrate
+// far fewer ladder steps than this.
+const maxLadderSlots = 32
+
+// ReadPage reads, transfers and decodes a page through the staged
+// recovery ladder at the controller's configured retry budget
+// (RegReadRetry).
 func (c *Controller) ReadPage(blockIdx, pageIdx int) (ReadResult, error) {
+	v, _ := c.regs.Read(RegReadRetry)
+	return c.ReadPageRetry(blockIdx, pageIdx, int(v))
+}
+
+// ReadPageRetry is the read-recovery pipeline with an explicit retry
+// budget. The first sense happens at the read-reference offset the
+// reliability manager's calibration cache predicts for the block's wear;
+// a decode failure walks the remaining ladder steps (nominal references
+// first, then deeper shifts) until the decode succeeds or the budget is
+// exhausted. Every attempt pays the full tR + transfer + decode latency
+// and counts against the block's read-disturb stress. The decode runs at
+// the capability the page was written with, recovered from the stored
+// parity length (the geometry r = m·t makes the mapping exact) —
+// reconfiguring the controller between write and read therefore never
+// corrupts old pages. Uncorrectable pages return ErrUncorrectable with
+// the final attempt's raw data attached.
+func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResult, error) {
 	var res ReadResult
 	res.Alg = c.algorithm()
 	if alg, err := c.dev.WrittenAlgorithm(blockIdx, pageIdx); err == nil {
 		res.Alg = alg // report the algorithm the page actually carries
 	}
-
-	data, spare, err := c.dev.Read(blockIdx, pageIdx)
+	cycles, err := c.dev.Cycles(blockIdx)
 	if err != nil {
-		return res, err
+		cycles = 0 // out-of-range block: the first sense will report it
 	}
-	res.T = len(spare) * 8 / c.codec.M
-	parityBytes, err := c.codec.ParityBytes(res.T)
-	if err != nil || parityBytes != len(spare) {
-		return res, fmt.Errorf("controller: page %d.%d spare (%d bytes) does not map to a supported capability",
-			blockIdx, pageIdx, len(spare))
-	}
-	codeword := make([]byte, 0, len(data)+parityBytes)
-	codeword = append(codeword, data...)
-	codeword = append(codeword, spare...)
 
-	nErr, decErr := c.codec.Decode(res.T, codeword)
-	code, cErr := c.codec.Code(res.T)
-	if cErr != nil {
-		return res, cErr
+	// Ladder order: the calibrated prediction first, then every other
+	// step from the nominal references upward. A mispredicted offset
+	// therefore re-tries the nominal read before paying deeper shifts.
+	// A zero budget is the true pre-recovery single-shot path: nominal
+	// references, no prediction — with no retry to fall back on, a
+	// stale cache entry (e.g. taught by an FTL deep-retry rescue) must
+	// not be able to over-shift the only sense the read gets.
+	steps := c.dev.RetrySteps()
+	if steps < 0 {
+		steps = 0 // degenerate stress config: only the nominal sense exists
 	}
-	res.Latency = ReadLatency{
-		TR:       nand.PageReadTime,
-		Transfer: c.bus.Transfer(len(codeword)),
+	if steps >= maxLadderSlots {
+		steps = maxLadderSlots - 1
 	}
-	if nErr == 0 && decErr == nil {
-		res.Latency.Decode = c.hw.DecodeCleanLatency(code.CodewordBits(), res.T)
-	} else {
-		res.Latency.Decode = c.hw.DecodeLatency(code.CodewordBits(), res.T)
+	pred := 0
+	if maxRetries > 0 {
+		pred = c.mgr.PredictStep(cycles)
+		if pred > steps {
+			pred = steps
+		}
+		if pred < 0 {
+			pred = 0
+		}
 	}
-	if decErr != nil {
-		c.regs.setStatus(StatusUncorrectable, 0)
-		res.Data = codeword[:len(data)]
-		c.mgr.ObserveUncorrectable()
-		return res, fmt.Errorf("%w: block %d page %d", ErrUncorrectable, blockIdx, pageIdx)
+	var order [maxLadderSlots]int
+	order[0] = pred
+	n := 1
+	for k := 0; k <= steps; k++ {
+		if k != pred {
+			order[n] = k
+			n++
+		}
 	}
-	res.Corrected = nErr
-	res.Data = codeword[:len(data)]
-	c.regs.setStatus(StatusOK, uint32(nErr))
-	c.mgr.ObserveDecode(res.Alg, code.CodewordBits(), nErr)
-	return res, nil
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if n > maxRetries+1 {
+		n = maxRetries + 1
+	}
+
+	var codeBits int
+	for attempt := 0; attempt < n; attempt++ {
+		step := order[attempt]
+		nData, nSpare, rerr := c.dev.ReadInto(blockIdx, pageIdx, step, c.readBuffer)
+		if rerr != nil {
+			return res, rerr
+		}
+		if attempt == 0 {
+			res.T = nSpare * 8 / c.codec.M
+			parityBytes, perr := c.codec.ParityBytes(res.T)
+			if perr != nil || parityBytes != nSpare {
+				return res, fmt.Errorf("controller: page %d.%d spare (%d bytes) does not map to a supported capability",
+					blockIdx, pageIdx, nSpare)
+			}
+			code, cerr := c.codec.Code(res.T)
+			if cerr != nil {
+				return res, cerr
+			}
+			codeBits = code.CodewordBits()
+		}
+		codeword := c.readBuffer[:nData+nSpare]
+		nErr, decErr := c.codec.Decode(res.T, codeword)
+
+		stage := ReadLatency{
+			TR:       nand.PageReadTime,
+			Transfer: c.bus.Transfer(len(codeword)),
+		}
+		if nErr == 0 && decErr == nil {
+			stage.Decode = c.hw.DecodeCleanLatency(codeBits, res.T)
+		} else {
+			stage.Decode = c.hw.DecodeLatency(codeBits, res.T)
+		}
+		res.Latency.TR += stage.TR
+		res.Latency.Transfer += stage.Transfer
+		res.Latency.Decode += stage.Decode
+		if attempt == 1 {
+			// The ladder engaged: materialise the per-stage breakdown,
+			// back-filling the first attempt.
+			res.Stages = make([]ReadStage, 0, n)
+			res.Stages = append(res.Stages, ReadStage{Step: res.AppliedOffset, Latency: res.Latency})
+			res.Stages[0].Latency.TR -= stage.TR
+			res.Stages[0].Latency.Transfer -= stage.Transfer
+			res.Stages[0].Latency.Decode -= stage.Decode
+		}
+		if res.Stages != nil {
+			res.Stages = append(res.Stages, ReadStage{Step: step, Latency: stage})
+		}
+		res.Retries = attempt
+		res.AppliedOffset = step
+
+		if decErr == nil {
+			res.Corrected = nErr
+			res.Data = make([]byte, nData)
+			copy(res.Data, codeword[:nData])
+			c.regs.setStatus(StatusOK, uint32(nErr))
+			c.mgr.ObserveDecode(res.Alg, codeBits, nErr)
+			c.mgr.ObserveRetry(cycles, step, attempt, true)
+			return res, nil
+		}
+		if attempt == n-1 {
+			// Budget exhausted: surface the final attempt's raw data.
+			res.Data = make([]byte, nData)
+			copy(res.Data, codeword[:nData])
+		}
+	}
+	c.regs.setStatus(StatusUncorrectable, 0)
+	c.mgr.ObserveUncorrectable()
+	c.mgr.ObserveRetry(cycles, res.AppliedOffset, res.Retries, false)
+	return res, fmt.Errorf("%w: block %d page %d (after %d retries)",
+		ErrUncorrectable, blockIdx, pageIdx, res.Retries)
+}
+
+// SetReadRetry reconfigures the recovery ladder budget (RegReadRetry).
+func (c *Controller) SetReadRetry(n int) {
+	if n < 0 {
+		n = 0
+	}
+	_ = c.regs.Write(RegReadRetry, uint32(n))
+}
+
+// ReadRetry returns the configured recovery ladder budget.
+func (c *Controller) ReadRetry() int {
+	v, _ := c.regs.Read(RegReadRetry)
+	return int(v)
 }
 
 // EraseBlock erases a device block through the controller.

@@ -38,8 +38,98 @@ type ReliabilityManager struct {
 	alpha         float64 // EWMA smoothing factor
 	uncorrectable int
 
+	// Read-retry calibration cache: the ladder step at which reads of
+	// blocks in each wear bucket last decoded successfully. The
+	// controller starts its recovery ladder at the predicted step, so
+	// once one read has paid for walking the ladder, later reads of
+	// similarly worn blocks recover on their first sense — the in-situ
+	// analogue of the offline read-voltage optimisation of "Dynamic
+	// Write-Voltage Design and Read-Voltage Optimization for MLC NAND
+	// Flash Memory".
+	predictedStep [retryWearBuckets]int
+
+	// Retry telemetry: reads bucketed by the retries they needed, and
+	// the count of reads that only succeeded after at least one retry.
+	retryHist [RetryHistBuckets]int
+	recovered int
+
 	// SafetyMargin scales the RBER estimate before solving for t.
 	SafetyMargin float64
+}
+
+// retryWearBuckets is the calibration cache's wear resolution: one
+// bucket per decade of program/erase cycles.
+const retryWearBuckets = 8
+
+// RetryHistBuckets is the size of the retry-depth histogram; the last
+// bucket collects everything at or beyond RetryHistBuckets-1 retries.
+const RetryHistBuckets = 8
+
+// retryWearBucket maps a block's cycle count onto its cache bucket.
+func retryWearBucket(cycles float64) int {
+	b := int(math.Log10(1 + cycles))
+	if b < 0 {
+		b = 0
+	}
+	if b >= retryWearBuckets {
+		b = retryWearBuckets - 1
+	}
+	return b
+}
+
+// PredictStep returns the calibrated read-reference ladder step the
+// cache predicts for a block at the given wear (0 until a recovery has
+// taught the bucket otherwise).
+func (m *ReliabilityManager) PredictStep(cycles float64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.predictedStep[retryWearBucket(cycles)]
+}
+
+// ObserveRetry feeds one completed read (successful or not) into the
+// retry telemetry and, on success, teaches the calibration cache the
+// step that worked for the block's wear bucket.
+func (m *ReliabilityManager) ObserveRetry(cycles float64, step, retries int, success bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := retries
+	if h >= RetryHistBuckets {
+		h = RetryHistBuckets - 1
+	}
+	if h < 0 {
+		h = 0
+	}
+	m.retryHist[h]++
+	if success {
+		if retries > 0 {
+			m.recovered++
+		}
+		// Teach the cache only from reads that engaged the recovery
+		// machinery: a ladder walk (retries > 0) or a first-sense
+		// success at a predicted offset (step > 0). A zero-budget read
+		// is forced to step 0 without consulting the cache, and its
+		// success must not clobber a learned offset.
+		if retries > 0 || step > 0 {
+			m.predictedStep[retryWearBucket(cycles)] = step
+		}
+	}
+}
+
+// RetryHistogram returns the counts of reads by the retries they needed
+// (last bucket: RetryHistBuckets-1 or more).
+func (m *ReliabilityManager) RetryHistogram() [RetryHistBuckets]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retryHist
+}
+
+// Recovered returns the number of reads that decoded successfully only
+// after at least one ladder retry — reads the single-shot pipeline
+// would have lost.
+func (m *ReliabilityManager) Recovered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered
 }
 
 func algIndex(alg nand.Algorithm) int {

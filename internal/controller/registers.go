@@ -26,6 +26,10 @@ const (
 	// RegAdaptive enables the self-adaptive reliability manager
 	// (non-zero: the manager overrides RegECCCapability).
 	RegAdaptive
+	// RegReadRetry holds the read-recovery ladder budget: the maximum
+	// number of re-reads at shifted read references a failing decode may
+	// trigger (0 disables staged recovery).
+	RegReadRetry
 	// RegStatus is read-only: bit 0 = last op OK, bit 1 = uncorrectable,
 	// bit 2 = program failure.
 	RegStatus
@@ -45,6 +49,8 @@ func (r Register) String() string {
 		return "TARGET_UBER_EXP"
 	case RegAdaptive:
 		return "ADAPTIVE"
+	case RegReadRetry:
+		return "READ_RETRY"
 	case RegStatus:
 		return "STATUS"
 	case RegErrCount:

@@ -428,13 +428,40 @@ func (d *Dispatcher) execute(w *die, j *job) Completion {
 			comp.Err = opErr(req, err)
 		}
 	case OpRead:
-		res, err := w.ctrl.ReadPage(req.Block, req.Page)
+		var res controller.ReadResult
+		var err error
+		if req.Retries != nil {
+			res, err = w.ctrl.ReadPageRetry(req.Block, req.Page, *req.Retries)
+		} else {
+			res, err = w.ctrl.ReadPage(req.Block, req.Page)
+		}
 		comp.Read = &res
 		comp.Data, comp.T, comp.Alg, comp.Corrected = res.Data, res.T, res.Alg, res.Corrected
-		senseS, senseE := w.clock.acquire(j.arrival, res.Latency.TR)
-		_, busE := d.bus.acquire(senseE, res.Latency.Transfer)
-		_, decE := d.codecClk.acquire(busE, res.Latency.Decode)
-		comp.Start, comp.Finish = senseS, decE
+		comp.Retries = res.Retries
+		// Book every recovery-ladder stage on the calendars: each
+		// re-sense occupies the die array again, each re-transfer the
+		// shared bus, each re-decode the shared codec — so multi-die
+		// throughput honestly degrades as the device ages into retries.
+		cursor := j.arrival
+		started := false
+		var start time.Duration
+		book := func(st controller.ReadLatency) {
+			senseS, senseE := w.clock.acquire(cursor, st.TR)
+			_, busE := d.bus.acquire(senseE, st.Transfer)
+			_, decE := d.codecClk.acquire(busE, st.Decode)
+			if !started {
+				start, started = senseS, true
+			}
+			cursor = decE
+		}
+		if len(res.Stages) == 0 {
+			book(res.Latency)
+		} else {
+			for _, st := range res.Stages {
+				book(st.Latency)
+			}
+		}
+		comp.Start, comp.Finish = start, cursor
 		if err != nil {
 			comp.Err = opErr(req, err)
 		}

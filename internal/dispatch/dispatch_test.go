@@ -223,3 +223,73 @@ func TestPerDieSeedsDecorrelated(t *testing.T) {
 		t.Logf("note: dies corrected identical counts (%d); acceptable but unexpected", c0.Corrected)
 	}
 }
+
+// TestRetryChargesTimeline pins the dispatcher's honesty about the
+// recovery ladder: a read that walked N retry stages must occupy the
+// modelled timeline for the sum of its per-stage costs (each re-sense
+// pays tR on the die, transfer on the bus and decode on the codec), so
+// aged-device throughput degrades exactly as the controller reports.
+func TestRetryChargesTimeline(t *testing.T) {
+	d := newTestDispatcher(t, 1, 2, 77)
+	q := d.NewQueue()
+	ctx := context.Background()
+	page := testPage(9, d.Geometry().PageDataBytes)
+
+	// A retention-baked end-of-life page: uncorrectable single-shot,
+	// recovered within the ladder.
+	if err := d.SetCycles(0, 0, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Do(ctx, Request{Op: OpWrite, Block: 0, Page: 0, Data: page}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AdvanceTime(1e4); err != nil {
+		t.Fatal(err)
+	}
+
+	zero := 0
+	comp0, err := q.Do(ctx, Request{Op: OpRead, Block: 0, Page: 0, Retries: &zero})
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("baked EOL page decoded single-shot (%v); corner not exercised", err)
+	}
+	if comp0.Retries != 0 {
+		t.Fatalf("zero-budget read reported %d retries", comp0.Retries)
+	}
+
+	comp, err := q.Do(ctx, Request{Op: OpRead, Block: 0, Page: 0})
+	if err != nil {
+		t.Fatalf("ladder did not recover the page: %v", err)
+	}
+	if comp.Retries == 0 {
+		t.Fatal("recovered read reports zero retries")
+	}
+	if got := len(comp.Read.Stages); got != comp.Retries+1 {
+		t.Fatalf("%d stages for %d retries", got, comp.Retries)
+	}
+	// The completion's span covers every stage: at least the summed
+	// stage costs (queueing can only stretch it).
+	if span := comp.Finish - comp.Start; span < comp.Read.Latency.Total() {
+		t.Fatalf("timeline span %v below the %d-stage cost %v",
+			span, comp.Retries+1, comp.Read.Latency.Total())
+	}
+	wantTR := time.Duration(comp.Retries+1) * 75 * time.Microsecond
+	if comp.Read.Latency.TR != wantTR {
+		t.Fatalf("ladder tR %v, want %v", comp.Read.Latency.TR, wantTR)
+	}
+
+	// And the single-attempt baseline on the same medium is strictly
+	// cheaper than the recovered read's booked span.
+	comp2, err := q.Do(ctx, Request{Op: OpRead, Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp2.Retries != 0 {
+		// The calibration cache should have learned the offset; if not,
+		// the comparison below would be meaningless.
+		t.Fatalf("post-recovery read still paid %d retries", comp2.Retries)
+	}
+	if comp2.Latency() >= comp.Latency() {
+		t.Fatalf("calibrated single-sense read (%v) not cheaper than the %d-stage walk (%v)",
+			comp2.Latency(), comp.Retries+1, comp.Latency())
+	}
+}

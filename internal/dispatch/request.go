@@ -88,6 +88,12 @@ type Request struct {
 	// T pins the ECC capability for this write (0 resolves it from the
 	// mode: reliability manager, or the min-UBER SV schedule).
 	T int
+	// Retries overrides the controller's read-recovery ladder budget for
+	// this read (nil keeps the controller default; pointing at 0 forces
+	// the pre-recovery single-shot read at nominal references — no
+	// ladder, no predicted offset; budgets beyond the device's
+	// calibrated depth are clamped). Ignored by writes and erases.
+	Retries *int
 	// Tag is an opaque caller token echoed in the completion.
 	Tag uint64
 }
@@ -112,6 +118,9 @@ type Completion struct {
 	Alg nand.Algorithm
 	// Corrected is the number of raw bit errors repaired by a read.
 	Corrected int
+	// Retries is the number of recovery-ladder re-senses a read needed
+	// (each one was charged on the modelled timeline).
+	Retries int
 	// ParityBytes is the spare-area consumption of a write.
 	ParityBytes int
 

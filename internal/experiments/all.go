@@ -56,6 +56,8 @@ func All() []Runner {
 			func(e sim.Env, s uint64) (Figure, error) { return ExtWorkloadValidation(e, s) }},
 		{"ext-lifetime", "extension: measured lifetime trajectory of the scenario engine",
 			func(e sim.Env, s uint64) (Figure, error) { return ExtLifetime(e, s) }},
+		{"ext-readretry", "extension: recovered UBER vs read-retry ladder depth across lifetime",
+			func(e sim.Env, s uint64) (Figure, error) { return ExtReadRetry(e), nil }},
 	}
 }
 

@@ -76,3 +76,38 @@ func TestExtReadDisturbShape(t *testing.T) {
 		t.Fatal("DV headroom lost under heavy disturb")
 	}
 }
+
+// TestExtReadRetryShape checks the recovery figure. Plain monotonicity
+// of Y would be tautological (each point multiplies another tail in),
+// so the model content is asserted on the per-step failure tails
+// instead: for the baked series, the marginal tail of a calibrated
+// retry (Y[i]/Y[i-1]) must sit well below the single-shot tail Y[0] —
+// the shifted re-sense is a genuinely better read, not just another
+// identical coin flip. A recovery-model regression that made retries
+// no better than (or worse than) the nominal read fails this.
+func TestExtReadRetryShape(t *testing.T) {
+	f := ExtReadRetry(env())
+	if len(f.Series) != 6 {
+		t.Fatalf("want 2 algorithms x 3 ages = 6 series, got %d", len(f.Series))
+	}
+	for _, s := range f.Series[:3] { // the ISPP-SV series carry the distress
+		if s.Y[0] <= 0 {
+			t.Fatalf("series %q has non-positive single-shot UBER %g", s.Name, s.Y[0])
+		}
+		perStep := s.Y[1] / s.Y[0]
+		if perStep >= s.Y[0]*1e-2 {
+			t.Fatalf("series %q first retry tail %g not well below single-shot tail %g; recovery inert",
+				s.Name, perStep, s.Y[0])
+		}
+	}
+	// The SV end-of-life series is the recovery showcase: a deep ladder
+	// must buy orders of magnitude of UBER.
+	eol := f.Series[2]
+	first, last := eol.Y[0], eol.Y[len(eol.Y)-1]
+	if first < 1e-6 {
+		t.Fatalf("series %q not in distress single-shot (UBER %g); figure shows nothing", eol.Name, first)
+	}
+	if last > first*1e-3 {
+		t.Fatalf("series %q ladder recovered only %g -> %g; want orders of magnitude", eol.Name, first, last)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"xlnand/internal/bch"
+	"xlnand/internal/nand"
+	"xlnand/internal/sim"
+)
+
+// ExtReadRetry extends the evaluation with the staged read-recovery
+// ladder: the post-recovery UBER of a retention-baked page versus the
+// retry depth the controller is allowed, across the device lifetime and
+// for both program algorithms. The capability of each series is the one
+// the reliability manager provisions for the *unbaked* climate at that
+// wear (with its default safety margin) — exactly the situation the
+// ladder exists for: data written with a correctly sized code, then
+// drifted past it on the shelf. Each retry is an independent re-sense at
+// the next reference offset, so the ladder fails only if every step
+// fails; the plotted UBER multiplies the per-step uncorrectable tails
+// (an independence approximation — re-sense noise decorrelates the
+// draws in the device model the same way).
+func ExtReadRetry(env sim.Env) Figure {
+	f := Figure{
+		ID:     "ext-readretry",
+		Title:  "Staged read-retry recovery after a 2000 h bake (extension)",
+		XLabel: "Retry ladder depth",
+		YLabel: "post-recovery UBER",
+		LogY:   true,
+		Notes: []string{
+			"extension beyond the paper: read-reference calibration per Cai et al.'s retention-recovery curves",
+			"t per series = manager's provision for the unbaked wear; the bake then overruns it",
+			"ladder UBER multiplies per-step tails (independent re-senses)",
+		},
+	}
+	s := nand.DefaultStressConfig()
+	const bake = 2000.0 // hours on the shelf after the last rewrite
+	const margin = 1.3  // the controller's default SafetyMargin
+	for _, alg := range []nand.Algorithm{nand.ISPPSV, nand.ISPPDV} {
+		for _, cycles := range []float64{1e4, 3e5, 1e6} {
+			t := requiredTStressed(env, env.Cal.RBER(alg, cycles)*margin)
+			n := env.K + env.M*int(t)
+			depths := make([]float64, 0, s.RetrySteps+1)
+			ubers := make([]float64, 0, s.RetrySteps+1)
+			logFail := 0.0
+			for depth := 0; depth <= s.RetrySteps; depth++ {
+				rber := env.Cal.RecoveredRBER(s, alg, cycles, 0, bake, depth)
+				logFail += bch.LogUBERTail(n, int(t), rber)
+				depths = append(depths, float64(depth))
+				ubers = append(ubers, math.Exp(logFail))
+			}
+			f.mustAdd(fmt.Sprintf("%s %.0e cyc (t=%.0f)", alg, cycles, t), depths, ubers)
+		}
+	}
+	return f
+}

@@ -95,8 +95,17 @@ type Partition struct {
 	RetiredBlocks int
 	// LostPages counts logical pages whose only copy failed decode
 	// during a GC relocation (tracked media errors).
-	LostPages   int
-	ServiceTime time.Duration
+	LostPages int
+	// DeepRecovered counts pages that failed the normal read during a
+	// relocation (GC, scrub, retirement) but were saved by the one
+	// deep-retry attempt at the device's full recovery ladder.
+	DeepRecovered int
+	// RelocRetries counts recovery-ladder re-senses paid by relocation
+	// reads (GC, scrub, retirement — deep-retry walks included). These
+	// occupy the dispatcher's timeline like any host read's retries but
+	// never pass through the host read path, so they are tracked here.
+	RelocRetries int
+	ServiceTime  time.Duration
 
 	// scrubMarks holds partition-local block indices awaiting refresh
 	// (see scrub.go).
@@ -109,6 +118,11 @@ type FTL struct {
 	env   sim.Env
 	geo   dispatch.Geometry
 	parts []*Partition
+
+	// noDeepRetry disables the last-chance full-ladder relocation read
+	// (SetDeepRetry): recovery ablations need relocation losses to be
+	// as honest as host-read losses.
+	noDeepRetry bool
 }
 
 // New builds an FTL over the dispatcher, carving the device's blocks
@@ -191,6 +205,33 @@ func (f *FTL) readPhys(global, page int) (*controller.ReadResult, error) {
 	die, block := f.addr(global)
 	comp, err := f.q.Do(context.Background(), dispatch.Request{
 		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
+	})
+	return comp.Read, err
+}
+
+// deepRetryBudget is the per-request retry override of a last-chance
+// relocation read: effectively unbounded, so the controller walks the
+// device's entire calibrated ladder (it clamps to the ladder depth).
+var deepRetryBudget = 1 << 20
+
+// SetDeepRetry enables or disables the last-chance deep-retry
+// relocation read (enabled by default). Recovery-ablation runs disable
+// it so a "single-shot" pipeline loses relocated pages exactly as the
+// pre-recovery code did.
+func (f *FTL) SetDeepRetry(on bool) { f.noDeepRetry = !on }
+
+// readPhysDeep is the last-chance read before a page is declared lost:
+// one attempt with the recovery ladder opened to the device's full
+// calibrated depth, regardless of the configured per-read budget. With
+// deep retry disabled it reports the page uncorrectable immediately.
+func (f *FTL) readPhysDeep(global, page int) (*controller.ReadResult, error) {
+	if f.noDeepRetry {
+		return nil, fmt.Errorf("ftl: deep retry disabled: %w", controller.ErrUncorrectable)
+	}
+	die, block := f.addr(global)
+	comp, err := f.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
+		Retries: &deepRetryBudget,
 	})
 	return comp.Read, err
 }
@@ -451,18 +492,37 @@ func (f *FTL) collect(p *Partition) error {
 			continue
 		}
 		res, err := f.readPhys(vb.id, page)
+		if res != nil {
+			p.RelocRetries += res.Retries
+		}
 		if err != nil {
-			if errors.Is(err, controller.ErrUncorrectable) {
-				// The only copy is unreadable and the victim is about to
-				// be erased: track the logical page as a media error so
-				// reads fail honestly until the host rewrites it.
+			if !errors.Is(err, controller.ErrUncorrectable) {
+				return fmt.Errorf("ftl: GC read %d.%d: %w", vb.id, page, err)
+			}
+			// Last chance before the victim is erased: one deep-retry
+			// read at the device's full recovery ladder.
+			deep, derr := f.readPhysDeep(vb.id, page)
+			if deep != nil {
+				p.RelocRetries += deep.Retries
+			}
+			switch {
+			case derr == nil:
+				p.DeepRecovered++
+				res = deep
+			case errors.Is(derr, controller.ErrUncorrectable):
+				// The only copy really is unreadable: track the logical
+				// page as a media error so reads fail honestly until the
+				// host rewrites it.
 				vb.livePages--
 				vb.lbaOf[page] = invalidPPA
 				p.mapping[lpa] = lostPPA
 				p.LostPages++
 				continue
+			default:
+				// Infrastructure failure (closed queue, bad address):
+				// not media loss — propagate, never mark the page lost.
+				return fmt.Errorf("ftl: GC deep-retry read %d.%d: %w", vb.id, page, derr)
 			}
-			return fmt.Errorf("ftl: GC read %d.%d: %w", vb.id, page, err)
 		}
 		if _, err := f.writePhys(p, dest.id, dest.writePtr, res.Data); err != nil {
 			return fmt.Errorf("ftl: GC program: %w", err)
@@ -566,12 +626,29 @@ func (f *FTL) relocateLive(p *Partition, bs *blockState) (moved, uncorrectable i
 			continue // already moved by GC during this pass
 		}
 		res, err := f.readPhys(bs.id, le.page)
+		if res != nil {
+			p.RelocRetries += res.Retries
+		}
 		if err != nil {
-			if errors.Is(err, controller.ErrUncorrectable) {
+			if !errors.Is(err, controller.ErrUncorrectable) {
+				return moved, uncorrectable, fmt.Errorf("ftl: relocation read %d.%d: %w", bs.id, le.page, err)
+			}
+			// A page the normal ladder lost gets one deep-retry
+			// recovery attempt before scrub/retirement gives up on it.
+			deep, derr := f.readPhysDeep(bs.id, le.page)
+			if deep != nil {
+				p.RelocRetries += deep.Retries
+			}
+			switch {
+			case derr == nil:
+				p.DeepRecovered++
+				res = deep
+			case errors.Is(derr, controller.ErrUncorrectable):
 				uncorrectable++
 				continue // data lost; leave the stale mapping
+			default:
+				return moved, uncorrectable, fmt.Errorf("ftl: deep-retry relocation read %d.%d: %w", bs.id, le.page, derr)
 			}
-			return moved, uncorrectable, fmt.Errorf("ftl: relocation read %d.%d: %w", bs.id, le.page, err)
 		}
 		// Rewrite through the normal host path: allocation, mode
 		// configuration and mapping update all apply.

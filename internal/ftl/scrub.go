@@ -9,23 +9,33 @@ import (
 
 // ScrubPolicy configures background data refresh: a page whose decode
 // reports corrected errors at or above FractionOfT of the active
-// capability marks its block for refresh; Scrub relocates such blocks'
+// capability — or that needed at least RetryAlarm recovery-ladder
+// retries — marks its block for refresh; Scrub relocates such blocks'
 // live data to fresh pages (healing read disturb and retention age, the
 // stress mechanisms the device model accumulates).
 type ScrubPolicy struct {
 	// FractionOfT in (0, 1]: the corrected-errors alarm threshold as a
 	// fraction of the capability the page was decoded with.
 	FractionOfT float64
+	// RetryAlarm marks a block for refresh when a read needed at least
+	// this many recovery-ladder retries (0 disables retry-pressure
+	// marking). A page paying the ladder is a page drifting toward
+	// uncorrectable: relocating it re-centres its references for free.
+	RetryAlarm int
 }
 
-// DefaultScrubPolicy alarms at 70% of the correction budget.
-func DefaultScrubPolicy() ScrubPolicy { return ScrubPolicy{FractionOfT: 0.7} }
+// DefaultScrubPolicy alarms at 70% of the correction budget, or on any
+// read that needed the recovery ladder.
+func DefaultScrubPolicy() ScrubPolicy { return ScrubPolicy{FractionOfT: 0.7, RetryAlarm: 1} }
 
 // ScrubReport summarises one scrub pass.
 type ScrubReport struct {
 	BlocksRefreshed int
 	PagesMoved      int
 	Uncorrectable   int
+	// DeepRecovered counts pages the normal read lost during this pass
+	// but the deep-retry recovery attempt saved.
+	DeepRecovered int
 }
 
 // CheckReadHealth inspects a read result against the policy and records
@@ -34,6 +44,9 @@ type ScrubReport struct {
 func (f *FTL) CheckReadHealth(part string, lpa int, res *controller.ReadResult, pol ScrubPolicy) (bool, error) {
 	if pol.FractionOfT <= 0 || pol.FractionOfT > 1 {
 		return false, fmt.Errorf("ftl: scrub threshold %g outside (0,1]", pol.FractionOfT)
+	}
+	if pol.RetryAlarm < 0 {
+		return false, fmt.Errorf("ftl: negative scrub retry alarm %d", pol.RetryAlarm)
 	}
 	p, err := f.Partition(part)
 	if err != nil {
@@ -51,7 +64,12 @@ func (f *FTL) CheckReadHealth(part string, lpa int, res *controller.ReadResult, 
 		// an ordinary interleaving, not a caller error.
 		return false, nil
 	}
-	if res == nil || float64(res.Corrected) < pol.FractionOfT*float64(res.T) {
+	if res == nil {
+		return false, nil
+	}
+	marginThin := float64(res.Corrected) >= pol.FractionOfT*float64(res.T)
+	retryPressure := pol.RetryAlarm > 0 && res.Retries >= pol.RetryAlarm
+	if !marginThin && !retryPressure {
 		return false, nil
 	}
 	blk := p.mapping[lpa] / p.pages
@@ -124,8 +142,10 @@ func (f *FTL) Scrub(part string) (ScrubReport, error) {
 			nb := p.blocks[p.active]
 			nb.writePtr = 0
 		}
+		deepBefore := p.DeepRecovered
 		moved, uncorrectable, err := f.relocateLive(p, bs)
 		rep.Uncorrectable += uncorrectable
+		rep.DeepRecovered += p.DeepRecovered - deepBefore
 		if err != nil {
 			return rep, fmt.Errorf("ftl: scrub block %d: %w", bs.id, err)
 		}

@@ -48,8 +48,11 @@ type partState struct {
 
 	// per-phase counters, reset by beginPhase
 	reads, writes int
+	allReads      int // every verified read (host + verify + refresh)
 	readBits      int64
 	corrected     int
+	retries       int
+	recovered     int
 }
 
 // engine runs one scenario.
@@ -84,12 +87,19 @@ func Run(sc Scenario) (*Report, error) {
 	if sc.Env != nil {
 		env = *sc.Env
 	}
+	ctrlCfg := controller.DefaultConfig()
+	switch {
+	case sc.ReadRetry > 0:
+		ctrlCfg.MaxRetries = sc.ReadRetry
+	case sc.ReadRetry < 0:
+		ctrlCfg.MaxRetries = 0 // single-shot read path
+	}
 	disp, err := dispatch.New(dispatch.Config{
 		Dies:         sc.Dies,
 		BlocksPerDie: sc.BlocksPerDie,
 		Seed:         sc.Seed,
 		Env:          env,
-		Controller:   controller.DefaultConfig(),
+		Controller:   ctrlCfg,
 	})
 	if err != nil {
 		return nil, err
@@ -103,6 +113,11 @@ func Run(sc Scenario) (*Report, error) {
 	f, err := ftl.New(disp, env, specs)
 	if err != nil {
 		return nil, err
+	}
+	if sc.ReadRetry < 0 {
+		// The single-shot ablation must be the pre-recovery pipeline
+		// end to end: no FTL deep-retry rescue either.
+		f.SetDeepRetry(false)
 	}
 
 	e := &engine{
@@ -211,15 +226,16 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 	// Reset per-phase accumulators and snapshot maintenance baselines.
 	e.readBytes, e.writeBytes = 0, 0
 	e.readTime, e.writeTime = 0, 0
-	type baseline struct{ gc, erases int }
+	type baseline struct{ gc, erases, deep, relocRetries int }
 	base := make([]baseline, len(e.parts))
 	for i, ps := range e.parts {
 		p, err := e.f.Partition(ps.cfg.Name)
 		if err != nil {
 			return nil, err
 		}
-		base[i] = baseline{p.GCMoves, p.Erases}
+		base[i] = baseline{p.GCMoves, p.Erases, p.DeepRecovered, p.RelocRetries}
 		ps.reads, ps.writes, ps.readBits, ps.corrected = 0, 0, 0, 0
+		ps.allReads, ps.retries, ps.recovered = 0, 0, 0
 	}
 	start := e.disp.Now()
 
@@ -304,6 +320,10 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		retriesPerRead := 0.0
+		if ps.allReads > 0 {
+			retriesPerRead = float64(ps.retries) / float64(ps.allReads)
+		}
 		if e.sc.Policy != nil {
 			next := e.sc.Policy.Retune(Observation{
 				Partition:          ps.cfg.Name,
@@ -312,6 +332,9 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 				MaxWear:            wmax,
 				CorrectedPerKB:     correctedPerKB,
 				UncorrectableReads: ps.uncorrectable,
+				RetriesPerRead:     retriesPerRead,
+				RecoveredReads:     ps.recovered,
+				RelocRetries:       p.RelocRetries - base[i].relocRetries,
 			})
 			if next != mode {
 				if err := e.f.SetMode(ps.cfg.Name, next); err != nil {
@@ -328,12 +351,17 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 			CorrectedBits:  ps.corrected,
 			CorrectedPerKB: correctedPerKB,
 			Uncorrectable:  ps.uncorrectable,
+			Retries:        ps.retries,
+			Recovered:      ps.recovered,
 			WearMin:        wmin,
 			WearMax:        wmax,
 			Retired:        p.Retired(),
+			DeepRecovered:  p.DeepRecovered,
 		})
 		pr.GCMoves += p.GCMoves - base[i].gc
 		pr.Erases += p.Erases - base[i].erases
+		pr.DeepRecovered += p.DeepRecovered - base[i].deep
+		pr.RelocRetries += p.RelocRetries - base[i].relocRetries
 		pr.PendingScrubs += p.PendingScrubs()
 	}
 	if pr.BitsRead > 0 {
@@ -389,6 +417,7 @@ func (e *engine) verifiedRead(phase string, ps *partState, lpa int, pr *PhaseRep
 	bitsRead := int64(e.pageBytes) * 8
 	pr.BitsRead += bitsRead
 	ps.readBits += bitsRead
+	ps.allReads++
 	switch kind {
 	case readHost:
 		pr.HostReads++
@@ -397,6 +426,17 @@ func (e *engine) verifiedRead(phase string, ps *partState, lpa int, pr *PhaseRep
 		pr.VerifyReads++
 	case readRefresh:
 		pr.RefreshReads++
+	}
+	if res != nil {
+		// Recovery-ladder climate: every re-sense is counted, successful
+		// or not, and a read the ladder saved is a recovered read.
+		pr.Retries += res.Retries
+		ps.retries += res.Retries
+		pr.RetryHist.Add(res.Retries)
+		if err == nil && res.Retries > 0 {
+			pr.RecoveredReads++
+			ps.recovered++
+		}
 	}
 	expect := e.content(ps, lpa, ps.versions[lpa])
 	if err != nil {
@@ -418,6 +458,15 @@ func (e *engine) verifiedRead(phase string, ps *partState, lpa int, pr *PhaseRep
 	e.readTime += res.Latency.Total()
 	e.readBytes += int64(e.pageBytes)
 	if !bytes.Equal(data, expect) {
+		if res.Retries > 0 {
+			// The dedicated recovery invariant: a read the ladder
+			// rescued must never return wrong data silently — a shifted
+			// re-sense that "decodes" into a different codeword would be
+			// worse than the loss it papers over.
+			return nil, e.invariantf(phase,
+				"read recovery returned wrong data silently: partition %q lpa %d version %d decoded after %d retries at offset step %d but differs from written content in %d bits",
+				ps.cfg.Name, lpa, ps.versions[lpa], res.Retries, res.AppliedOffset, diffBits(data, expect))
+		}
 		return nil, e.invariantf(phase,
 			"silent corruption: partition %q lpa %d version %d decoded successfully but differs from written content in %d bits",
 			ps.cfg.Name, lpa, ps.versions[lpa], diffBits(data, expect))
@@ -662,6 +711,10 @@ func (e *engine) total(rep *Report) {
 		t.CorrectedBits += ph.CorrectedBits
 		t.UncorrectableReads += ph.UncorrectableReads
 		t.LostBits += ph.LostBits
+		t.Retries += ph.Retries
+		t.RecoveredReads += ph.RecoveredReads
+		t.RelocRetries += ph.RelocRetries
+		t.DeepRecovered += ph.DeepRecovered
 		t.ScrubPasses += ph.ScrubPasses
 		t.PagesScrubbed += ph.PagesScrubbed
 		t.GCMoves += ph.GCMoves

@@ -21,6 +21,19 @@ type Observation struct {
 	// UncorrectableReads counts the partition's decode failures so far
 	// (cumulative over the run).
 	UncorrectableReads int
+	// RetriesPerRead is the phase's average read-recovery ladder depth:
+	// re-senses per read across the partition's traffic (0 when every
+	// read decoded on its first sense). It is the latency face of the
+	// error climate — a partition living on the ladder is paying tR,
+	// bus and codec several times per read.
+	RetriesPerRead float64
+	// RecoveredReads counts this phase's reads that only decoded after
+	// at least one ladder retry.
+	RecoveredReads int
+	// RelocRetries counts the ladder re-senses this phase's FTL
+	// relocation reads paid (GC, scrub, retirement, deep-retry walks)
+	// — retry climate the host path never sees but the timeline does.
+	RelocRetries int
 }
 
 // Policy retunes a partition's service level between phases. Retune
@@ -35,8 +48,9 @@ type Policy interface {
 // WearLadder is the default cross-layer lifetime policy, walking the
 // paper's trade-off as the measured error climate degrades:
 //
-//   - any decode failure, or a corrected-error density at or above
-//     MinUBERCorrectedPerKB, escalates to min-UBER service (maximum
+//   - any decode failure, a corrected-error density at or above
+//     MinUBERCorrectedPerKB, or an average retry depth at or above
+//     MinUBERRetriesPerRead, escalates to min-UBER service (maximum
 //     reliability margin: DV programming under the SV-sized capability);
 //   - otherwise, wear at or above MaxReadAtCycles moves to max-read
 //     (DV programming with the capability relaxed to the target — the
@@ -48,20 +62,28 @@ type WearLadder struct {
 	// MinUBERCorrectedPerKB escalates to ModeMinUBER at this corrected
 	// density (0 disables).
 	MinUBERCorrectedPerKB float64
+	// MinUBERRetriesPerRead escalates to ModeMinUBER once the average
+	// recovery-ladder depth per read reaches this value (0 disables) —
+	// the retry-budget side of the trade-off: a partition paying the
+	// ladder on ordinary reads is burning its service level on
+	// re-senses, and DV programming buys the margin back outright.
+	MinUBERRetriesPerRead float64
 }
 
 // DefaultWearLadder engages max-read at 10^5 cycles (where the nominal
-// decode latency begins to dominate reads) and escalates to min-UBER at
+// decode latency begins to dominate reads), escalates to min-UBER at
 // 150 corrected bits per KB read (half the worst-case t=65 budget per
-// 4 KB codeword arriving on every page).
+// 4 KB codeword arriving on every page) or when reads average 3/4 of a
+// ladder step each.
 func DefaultWearLadder() Policy {
-	return WearLadder{MaxReadAtCycles: 1e5, MinUBERCorrectedPerKB: 150}
+	return WearLadder{MaxReadAtCycles: 1e5, MinUBERCorrectedPerKB: 150, MinUBERRetriesPerRead: 0.75}
 }
 
 // Retune implements Policy.
 func (w WearLadder) Retune(o Observation) sim.Mode {
 	if o.UncorrectableReads > 0 ||
-		(w.MinUBERCorrectedPerKB > 0 && o.CorrectedPerKB >= w.MinUBERCorrectedPerKB) {
+		(w.MinUBERCorrectedPerKB > 0 && o.CorrectedPerKB >= w.MinUBERCorrectedPerKB) ||
+		(w.MinUBERRetriesPerRead > 0 && o.RetriesPerRead >= w.MinUBERRetriesPerRead) {
 		return sim.ModeMinUBER
 	}
 	if w.MaxReadAtCycles > 0 && o.MaxWear >= w.MaxReadAtCycles && o.Mode == sim.ModeNominal {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"xlnand/internal/controller"
 )
 
 // CorrectedHistBuckets is the number of power-of-two buckets in the
@@ -37,6 +39,26 @@ func (h CorrectedHist) Labels() []string {
 	return out
 }
 
+// RetryHistBuckets is the number of buckets in the read-retry-depth
+// histogram: retries 0..6 directly, 7+ collected in the last bucket.
+// It mirrors the controller's manager-level histogram so the two "reads
+// by retry depth" views can never drift apart.
+const RetryHistBuckets = controller.RetryHistBuckets
+
+// RetryHist buckets reads by the recovery-ladder retries they needed.
+type RetryHist [RetryHistBuckets]int
+
+// Add records one read's retry count.
+func (h *RetryHist) Add(retries int) {
+	if retries < 0 {
+		retries = 0
+	}
+	if retries >= RetryHistBuckets {
+		retries = RetryHistBuckets - 1
+	}
+	h[retries]++
+}
+
 // PartitionPhase is one partition's slice of a phase.
 type PartitionPhase struct {
 	Name string `json:"name"`
@@ -47,9 +69,14 @@ type PartitionPhase struct {
 	CorrectedBits  int     `json:"corrected_bits"`
 	CorrectedPerKB float64 `json:"corrected_per_kb"`
 	Uncorrectable  int     `json:"uncorrectable"`
-	WearMin        float64 `json:"wear_min"`
-	WearMax        float64 `json:"wear_max"`
-	Retired        int     `json:"retired_blocks"` // cumulative
+	// Retries counts the recovery-ladder re-senses the partition's reads
+	// needed this phase; Recovered counts reads saved by the ladder.
+	Retries       int     `json:"retries"`
+	Recovered     int     `json:"recovered"`
+	WearMin       float64 `json:"wear_min"`
+	WearMax       float64 `json:"wear_max"`
+	Retired       int     `json:"retired_blocks"` // cumulative
+	DeepRecovered int     `json:"deep_recovered"` // cumulative
 }
 
 // PhaseReport is the time-series element of a run.
@@ -79,6 +106,17 @@ type PhaseReport struct {
 	CorrectedHist      CorrectedHist `json:"corrected_hist"`
 	UncorrectableReads int           `json:"uncorrectable_reads"`
 	LostBits           int64         `json:"lost_bits"`
+	// Read-recovery climate: total ladder re-senses, the histogram of
+	// reads by retry depth, reads the ladder saved from data loss, and
+	// pages the FTL's deep-retry relocation attempt rescued.
+	Retries        int       `json:"retries"`
+	RetryHist      RetryHist `json:"retry_hist"`
+	RecoveredReads int       `json:"recovered_reads"`
+	// RelocRetries are the ladder re-senses paid by FTL relocation
+	// reads (GC, scrub, retirement, deep-retry walks) this phase: they
+	// never cross the host read path but occupy the same timeline.
+	RelocRetries  int `json:"reloc_retries"`  // delta over the phase
+	DeepRecovered int `json:"deep_recovered"` // delta over the phase
 	// UBER is the phase's post-correction error rate: lost bits / bits
 	// read (0 when nothing was read).
 	UBER float64 `json:"uber"`
@@ -111,6 +149,10 @@ type Totals struct {
 	UncorrectableReads int     `json:"uncorrectable_reads"`
 	LostBits           int64   `json:"lost_bits"`
 	UBER               float64 `json:"uber"`
+	Retries            int     `json:"retries"`
+	RecoveredReads     int     `json:"recovered_reads"`
+	RelocRetries       int     `json:"reloc_retries"`
+	DeepRecovered      int     `json:"deep_recovered"`
 	ScrubPasses        int     `json:"scrub_passes"`
 	PagesScrubbed      int     `json:"pages_scrubbed"`
 	GCMoves            int     `json:"gc_moves"`
@@ -140,17 +182,17 @@ func (r *Report) JSON() ([]byte, error) {
 func (r *Report) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "scenario %s (seed %d, %d dies x %d blocks)\n",
 		r.Scenario, r.Seed, r.Dies, r.BlocksPerDie)
-	fmt.Fprintf(w, "%-16s %8s %8s %10s %9s %7s %7s %8s %9s %9s\n",
-		"phase", "reads", "writes", "corrected", "uncorr", "scrub", "retired", "wearmax", "readMB/s", "UBER")
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %9s %7s %7s %7s %7s %8s %9s %9s\n",
+		"phase", "reads", "writes", "corrected", "uncorr", "retry", "recov", "scrub", "retired", "wearmax", "readMB/s", "UBER")
 	for _, ph := range r.Phases {
-		fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %8.0f %9.2f %9.2e\n",
+		fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %7d %7d %8.0f %9.2f %9.2e\n",
 			ph.Name, ph.HostReads, ph.HostWrites, ph.CorrectedBits, ph.UncorrectableReads,
-			ph.PagesScrubbed, ph.RetiredBlocks, ph.WearMax, ph.ReadMBps, ph.UBER)
+			ph.Retries, ph.RecoveredReads, ph.PagesScrubbed, ph.RetiredBlocks, ph.WearMax, ph.ReadMBps, ph.UBER)
 	}
 	t := r.Totals
-	fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %8.0f %9s %9.2e\n",
+	fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %7d %7d %8.0f %9s %9.2e\n",
 		"TOTAL", t.HostReads, t.HostWrites, t.CorrectedBits, t.UncorrectableReads,
-		t.PagesScrubbed, t.RetiredBlocks, t.FinalWearMax, "", t.UBER)
+		t.Retries, t.RecoveredReads, t.PagesScrubbed, t.RetiredBlocks, t.FinalWearMax, "", t.UBER)
 }
 
 // PhaseSummary is the golden-fixture slice of a phase: exact counters
@@ -163,6 +205,8 @@ type PhaseSummary struct {
 	HostWrites    int    `json:"host_writes"`
 	CorrectedBits int    `json:"corrected_bits"`
 	Uncorrectable int    `json:"uncorrectable"`
+	Retries       int    `json:"retries"`
+	Recovered     int    `json:"recovered"`
 	PagesScrubbed int    `json:"pages_scrubbed"`
 	Retired       int    `json:"retired"`
 	UBER          string `json:"uber"`
@@ -178,6 +222,8 @@ type Summary struct {
 	Totals   struct {
 		CorrectedBits int    `json:"corrected_bits"`
 		Uncorrectable int    `json:"uncorrectable"`
+		Retries       int    `json:"retries"`
+		Recovered     int    `json:"recovered"`
 		LostBits      int64  `json:"lost_bits"`
 		Retired       int    `json:"retired"`
 		UBER          string `json:"uber"`
@@ -201,6 +247,8 @@ func (r *Report) Summarize() Summary {
 			HostWrites:    ph.HostWrites,
 			CorrectedBits: ph.CorrectedBits,
 			Uncorrectable: ph.UncorrectableReads,
+			Retries:       ph.Retries,
+			Recovered:     ph.RecoveredReads,
 			PagesScrubbed: ph.PagesScrubbed,
 			Retired:       ph.RetiredBlocks,
 			UBER:          fmt.Sprintf("%.3g", ph.UBER),
@@ -210,6 +258,8 @@ func (r *Report) Summarize() Summary {
 	}
 	s.Totals.CorrectedBits = r.Totals.CorrectedBits
 	s.Totals.Uncorrectable = r.Totals.UncorrectableReads
+	s.Totals.Retries = r.Totals.Retries
+	s.Totals.Recovered = r.Totals.RecoveredReads
 	s.Totals.LostBits = r.Totals.LostBits
 	s.Totals.Retired = r.Totals.RetiredBlocks
 	s.Totals.UBER = fmt.Sprintf("%.3g", r.Totals.UBER)

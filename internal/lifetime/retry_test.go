@@ -1,0 +1,97 @@
+package lifetime
+
+import (
+	"testing"
+
+	"xlnand/internal/sim"
+)
+
+// TestColdStorageLivesOnTheLadder is the end-to-end acceptance check of
+// the read-recovery pipeline: the cold-storage biography's deep-bake
+// phase must exercise the retry ladder (re-senses and recovered reads in
+// the report), pay for it in read throughput, and still lose no data —
+// with the recovery invariant (never wrong data silently) checked by the
+// engine on every read along the way.
+func TestColdStorageLivesOnTheLadder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full cold-storage biography is minutes under race")
+	}
+	rep, err := Run(ColdStorageDeepBake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Retries == 0 || rep.Totals.RecoveredReads == 0 {
+		t.Fatalf("cold storage never exercised the ladder: %d retries, %d recovered",
+			rep.Totals.Retries, rep.Totals.RecoveredReads)
+	}
+	if rep.Totals.LostBits != 0 {
+		t.Fatalf("recovery pipeline lost %d bits", rep.Totals.LostBits)
+	}
+	last := rep.Phases[len(rep.Phases)-1]
+	if last.Retries == 0 {
+		t.Fatal("deep-shelf phase shows no retries")
+	}
+	walked := 0
+	for b := 1; b < RetryHistBuckets; b++ {
+		walked += last.RetryHist[b]
+	}
+	if walked == 0 {
+		t.Fatalf("retry histogram records no ladder walks: %v", last.RetryHist)
+	}
+	// The ladder's cost must be visible in throughput: the deep-bake
+	// phase reads measurably slower than the young audit phase.
+	young := rep.Phases[1]
+	if last.ReadMBps >= young.ReadMBps {
+		t.Fatalf("deep-shelf read throughput %.2f MB/s not below young audit %.2f MB/s",
+			last.ReadMBps, young.ReadMBps)
+	}
+}
+
+// TestScenarioReadRetryKnob checks the cross-layer wiring of the
+// Scenario.ReadRetry budget: the same biography run with the ladder
+// disabled must lose the pages the ladder saves (data loss instead of
+// recovered reads), while the default run stays clean.
+func TestScenarioReadRetryKnob(t *testing.T) {
+	if raceEnabled {
+		t.Skip("two full cold-storage biographies are minutes under race")
+	}
+	sc := ColdStorageDeepBake()
+	sc.ReadRetry = ReadRetrySingleShot
+	// Loss is now expected: lift the UBER invariant so the run reports
+	// instead of aborting.
+	sc.MaxUBER = 1
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Retries != 0 || rep.Totals.RelocRetries != 0 {
+		t.Fatalf("disabled ladder still retried: %d host, %d reloc", rep.Totals.Retries, rep.Totals.RelocRetries)
+	}
+	if rep.Totals.DeepRecovered != 0 {
+		t.Fatalf("single-shot run still rescued %d pages via deep retry", rep.Totals.DeepRecovered)
+	}
+	if rep.Totals.UncorrectableReads == 0 {
+		t.Fatal("single-shot run saw no uncorrectables; the ladder was never the difference")
+	}
+}
+
+// TestWearLadderRetryClimate checks the policy hook: an average retry
+// depth at the threshold escalates to min-UBER service, and below it
+// the mode is untouched.
+func TestWearLadderRetryClimate(t *testing.T) {
+	w := WearLadder{MinUBERRetriesPerRead: 0.5}
+	o := Observation{Mode: sim.ModeNominal, RetriesPerRead: 0.6}
+	if got := w.Retune(o); got != sim.ModeMinUBER {
+		t.Fatalf("retry pressure 0.6 kept mode %v", got)
+	}
+	o.RetriesPerRead = 0.4
+	if got := w.Retune(o); got != sim.ModeNominal {
+		t.Fatalf("retry pressure 0.4 moved mode to %v", got)
+	}
+	// Disabled threshold ignores the climate entirely.
+	w.MinUBERRetriesPerRead = 0
+	o.RetriesPerRead = 10
+	if got := w.Retune(o); got != sim.ModeNominal {
+		t.Fatalf("disabled retry threshold moved mode to %v", got)
+	}
+}

@@ -88,6 +88,17 @@ type Scenario struct {
 	// loss is tolerated at all.
 	MaxUBER float64
 
+	// ReadRetry sets the read-recovery ladder budget on every die.
+	// CAUTION: the zero value means "controller default" (so scenario
+	// literals need not spell it), NOT "no retries" — unlike
+	// xlnand.WithReadRetry(0)/Request.Retries=&0, where 0 is the
+	// single-shot path. Use the named sentinels: ReadRetryDefault keeps
+	// the controller default, ReadRetrySingleShot (-1) disables staged
+	// recovery entirely (the pre-recovery single-shot read at nominal
+	// references), and a positive value allows that many re-senses at
+	// shifted read references per failing read.
+	ReadRetry int
+
 	// SafetyMargin overrides the reliability manager's RBER
 	// over-provisioning factor on every die (0 keeps the controller
 	// default of 1.3). Lifetime scenarios use a larger margin than an
@@ -103,6 +114,17 @@ type Scenario struct {
 	// Env overrides the analytic environment (nil uses sim.DefaultEnv).
 	Env *sim.Env
 }
+
+// Scenario.ReadRetry sentinels. The field's zero value keeps the
+// controller's default ladder so existing scenario literals are
+// unaffected; disabling recovery must be asked for by name.
+const (
+	// ReadRetryDefault keeps the controller's default retry budget.
+	ReadRetryDefault = 0
+	// ReadRetrySingleShot disables staged recovery: every read is the
+	// pre-recovery single sense at nominal references.
+	ReadRetrySingleShot = -1
+)
 
 // TotalOps returns the scenario's host-operation count across phases —
 // the catalog's notion of "shortest".
@@ -153,6 +175,12 @@ func (sc Scenario) Validate() error {
 	if sc.ScrubEvery > 0 && (sc.Scrub.FractionOfT <= 0 || sc.Scrub.FractionOfT > 1) {
 		return fmt.Errorf("lifetime: %s: scrub threshold %g outside (0,1]", sc.Name, sc.Scrub.FractionOfT)
 	}
+	if sc.ScrubEvery > 0 && sc.Scrub.RetryAlarm < 0 {
+		return fmt.Errorf("lifetime: %s: negative scrub retry alarm %d", sc.Name, sc.Scrub.RetryAlarm)
+	}
+	if sc.ReadRetry < -1 {
+		return fmt.Errorf("lifetime: %s: read-retry budget %d below -1", sc.Name, sc.ReadRetry)
+	}
 	return nil
 }
 
@@ -167,6 +195,7 @@ func Catalog() []Scenario {
 		WriteHeavyLogging(),
 		MixedMultiTenant(),
 		MissionCriticalMinUBER(),
+		ColdStorageDeepBake(),
 	}
 }
 
@@ -292,6 +321,35 @@ func MissionCriticalMinUBER() Scenario {
 			{Name: "deploy", Ops: 200, ReadFraction: 0.4},
 			{Name: "service", AgeCycles: 1e5, BakeHours: 250, Ops: 240, ReadFraction: 0.6},
 			{Name: "eol-service", AgeCycles: 8e5, BakeHours: 100, Ops: 200, ReadFraction: 0.6},
+		},
+	}
+}
+
+// ColdStorageDeepBake is the cold-archive persona the read-recovery
+// pipeline exists for: data written once and audited rarely, with
+// multi-thousand-hour shelf time between audits. At end of life the
+// bake pushes the raw error rate past even the worst-case capability,
+// so audit reads fail single-shot and survive only through the staged
+// retry ladder — the retry and recovered-read columns of this
+// scenario's report are the acceptance evidence that recovery is
+// threaded through the whole stack (and its read throughput visibly
+// pays for the ladder walks).
+func ColdStorageDeepBake() Scenario {
+	return Scenario{
+		Name:        "cold-storage",
+		Description: "write-once cold archive: deep retention bakes between sparse audits, reads live on the retry ladder at EOL",
+		Seed:        77,
+		Dies:        2, BlocksPerDie: 3,
+		Partitions:   []PartitionConfig{{Name: "vault", Blocks: 6, Mode: sim.ModeNominal, WorkingSet: 128}},
+		Scrub:        ftl.DefaultScrubPolicy(),
+		ScrubEvery:   90,
+		MaxUBER:      1e-9,
+		SafetyMargin: 1.7,
+		Policy:       DefaultWearLadder(),
+		Phases: []Phase{
+			{Name: "ingest", Ops: 180, ReadFraction: 0.1},
+			{Name: "shelf-audit", AgeCycles: 1e4, BakeHours: 3000, Ops: 160, ReadFraction: 0.9},
+			{Name: "deep-shelf", AgeCycles: 9.9e5, BakeHours: 1e4, Ops: 160, ReadFraction: 0.95},
 		},
 	}
 }

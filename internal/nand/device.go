@@ -186,39 +186,81 @@ func (d *Device) WrittenAlgorithm(blockIdx, pageIdx int) (Algorithm, error) {
 // RBER of the algorithm the page was written with, at the block's current
 // wear. tR (array-to-register time) is modelled as the paper's 75 µs.
 func (d *Device) Read(blockIdx, pageIdx int) (data, spare []byte, err error) {
-	p, b, err := d.pageAt(blockIdx, pageIdx)
+	return d.ReadAt(blockIdx, pageIdx, 0)
+}
+
+// ReadAt senses a page at read-retry ladder step (0 = the nominal
+// references; higher steps shift the references per the calibrated
+// retry model, recovering retention-drift errors). The returned data and
+// spare slices share one backing array (data first, spare adjacent).
+func (d *Device) ReadAt(blockIdx, pageIdx, step int) (data, spare []byte, err error) {
+	// Program bounds every page at PageDataBytes+PageSpareBytes, so one
+	// calibration-sized buffer fits any page without a pre-lookup.
+	buf := make([]byte, d.cal.PageDataBytes+d.cal.PageSpareBytes)
+	nData, nSpare, err := d.ReadInto(blockIdx, pageIdx, step, buf)
 	if err != nil {
 		return nil, nil, err
 	}
+	return buf[:nData], buf[nData : nData+nSpare], nil
+}
+
+// RetrySteps returns the calibrated read-retry ladder depth.
+func (d *Device) RetrySteps() int { return d.stress.RetrySteps }
+
+// Stress returns the device's stress model configuration.
+func (d *Device) Stress() StressConfig { return d.stress }
+
+// SetStress replaces the stress model (tests and ablations).
+func (d *Device) SetStress(s StressConfig) { d.stress = s }
+
+// ReadInto is the allocation-free read path: it senses the page at
+// retry ladder step and writes data followed immediately by spare into
+// buf — exactly the codeword layout the controller decodes — returning
+// the two lengths. buf must hold len(data)+len(spare) bytes; every
+// sense, retries included, counts against the block's read-disturb
+// stress and pays one tR.
+func (d *Device) ReadInto(blockIdx, pageIdx, step int, buf []byte) (nData, nSpare int, err error) {
+	p, b, err := d.pageAt(blockIdx, pageIdx)
+	if err != nil {
+		return 0, 0, err
+	}
 	if !p.written {
-		return nil, nil, fmt.Errorf("nand: read of unwritten page %d.%d", blockIdx, pageIdx)
+		return 0, 0, fmt.Errorf("nand: read of unwritten page %d.%d", blockIdx, pageIdx)
+	}
+	if step < 0 {
+		return 0, 0, fmt.Errorf("nand: negative read-retry step %d", step)
+	}
+	nData, nSpare = len(p.data), len(p.spare)
+	if len(buf) < nData+nSpare {
+		return 0, 0, fmt.Errorf("nand: read buffer %d bytes, page %d.%d needs %d",
+			len(buf), blockIdx, pageIdx, nData+nSpare)
 	}
 	b.reads++
-	rber := d.cal.StressedRBER(d.stress, p.alg, b.cycles, b.reads,
-		d.clockHours-p.writtenAtHours)
-	data = corrupt(d.rng, p.data, rber)
-	spare = corrupt(d.rng, p.spare, rber)
+	rber := d.cal.RecoveredRBER(d.stress, p.alg, b.cycles, b.reads,
+		d.clockHours-p.writtenAtHours, step)
+	corruptInto(d.rng, buf[:nData], p.data, rber)
+	corruptInto(d.rng, buf[nData:nData+nSpare], p.spare, rber)
 	d.lastOpDuration = PageReadTime
-	return data, spare, nil
+	return nData, nSpare, nil
 }
 
 // PageReadTime is the array-to-page-register sensing time tR; the paper
 // quotes 75 µs for the Micron MLC part it references [27].
 const PageReadTime = 75 * time.Microsecond
 
-// corrupt flips each bit independently with probability rber: the
-// binomial error count is sampled, then positions drawn uniformly.
-func corrupt(rng *stats.RNG, src []byte, rber float64) []byte {
-	dst := append([]byte(nil), src...)
-	nbits := len(dst) * 8
+// corruptInto copies src into dst (equal length) and flips each bit
+// independently with probability rber: the binomial error count is
+// sampled, then positions drawn uniformly.
+func corruptInto(rng *stats.RNG, dst, src []byte, rber float64) {
+	copy(dst, src)
+	nbits := len(src) * 8
 	if nbits == 0 {
-		return dst
+		return
 	}
 	nerr := rng.Binomial(nbits, rber)
 	for _, pos := range rng.SampleK(nbits, nerr) {
 		dst[pos/8] ^= 1 << uint(7-pos%8)
 	}
-	return dst
 }
 
 // EstimateProgram returns the expected program-operation statistics for

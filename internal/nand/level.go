@@ -95,12 +95,19 @@ func (c Calibration) VerifyTarget(l Level) float64 {
 // ClassifyVTH returns the level a read operation infers from a cell
 // threshold voltage, by comparison against R1..R3 (paper Fig. 3).
 func (c Calibration) ClassifyVTH(vth float64) Level {
+	return c.ClassifyVTHShifted(vth, ReadOffsets{})
+}
+
+// ClassifyVTHShifted classifies against the read references shifted by
+// the per-boundary offset triple — the sensing primitive of staged
+// read-retry (negative offsets track retention drift toward erase).
+func (c Calibration) ClassifyVTHShifted(vth float64, off ReadOffsets) Level {
 	switch {
-	case vth < c.Read[0]:
+	case vth < c.Read[0]+off[0]:
 		return L0
-	case vth < c.Read[1]:
+	case vth < c.Read[1]+off[1]:
 		return L1
-	case vth < c.Read[2]:
+	case vth < c.Read[2]+off[2]:
 		return L2
 	default:
 		return L3

@@ -118,11 +118,13 @@ func (p *PageSim) applyCCI() {
 	}
 }
 
-// ReadLevels senses every cell and classifies it against R1-R3, applying
+// ReadLevels senses every cell and classifies it against the read
+// references R1-R3 shifted by the per-boundary offset triple (the
+// staged read-retry knob; ReadOffsets{} is the nominal read), applying
 // the aged retention shift (programmed levels drift down) and sensing
 // noise. The stored VTH is not modified: retention is modelled at read
 // time so repeated reads at different ages reuse one programmed state.
-func (p *PageSim) ReadLevels(aged AgedParams) []Level {
+func (p *PageSim) ReadLevels(aged AgedParams, off ReadOffsets) []Level {
 	out := make([]Level, len(p.vth))
 	for i, v := range p.vth {
 		eff := v
@@ -131,12 +133,12 @@ func (p *PageSim) ReadLevels(aged AgedParams) []Level {
 			eff -= aged.RetShift * (1 + 0.5*float64(p.programmed[i]-1))
 		}
 		eff += p.rng.NormMuSigma(0, aged.ReadNoise)
-		out[i] = p.cal.ClassifyVTH(eff)
+		out[i] = p.cal.ClassifyVTHShifted(eff, off)
 	}
 	return out
 }
 
 // ReadBytes reads the page back as data bytes via the Gray mapping.
-func (p *PageSim) ReadBytes(aged AgedParams) []byte {
-	return LevelsToBytes(p.ReadLevels(aged))
+func (p *PageSim) ReadBytes(aged AgedParams, off ReadOffsets) []byte {
+	return LevelsToBytes(p.ReadLevels(aged, off))
 }

@@ -70,7 +70,7 @@ func MeasureRBER(cal Calibration, alg Algorithm, cycles float64, cells, minError
 		if err != nil {
 			panic("nand: MeasureRBER internal misuse: " + err.Error())
 		}
-		got := sim.ReadLevels(aged)
+		got := sim.ReadLevels(aged, ReadOffsets{})
 		for i, tgt := range targets {
 			m.BitErrors += BitErrors(tgt, got[i])
 		}

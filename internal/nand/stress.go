@@ -24,6 +24,38 @@ type StressConfig struct {
 	// SEUPerBitHour is the random single-event-upset rate (radiation),
 	// an additive floor independent of wear.
 	SEUPerBitHour float64
+
+	// --- Staged read-retry (read-reference calibration) ---
+
+	// RetrySteps is the calibrated ladder depth the device supports:
+	// reads may be retried at reference offsets 1..RetrySteps.
+	RetrySteps int
+	// RetryStepV is the reference shift of one ladder step at the R1
+	// boundary [V] (higher boundaries scale per retryBoundaryWeight).
+	RetryStepV float64
+	// RetryShiftV is the modelled retention drift per decade of storage
+	// time on a fresh device [V]; wear multiplies it. Together with the
+	// calibration's cycling drift (AgingShift) it sets the optimal
+	// ladder step for a page's (wear, retention) climate.
+	RetryShiftV float64
+	// RetrySlackV is the drift the fresh read margins absorb before any
+	// reference shift pays off [V]: fresh pages have an optimal step of
+	// zero.
+	RetrySlackV float64
+	// RetryCyclingRecoverable is the drift-driven share of the cycling
+	// (+ disturb) RBER: the part a matched reference shift can remove.
+	// The remainder — injection noise, erratic cells, sensing noise —
+	// is the ladder's irreducible floor.
+	RetryCyclingRecoverable float64
+	// RetryResidual is the fraction of the recoverable (retention-
+	// driven) RBER remaining after each matched ladder step.
+	RetryResidual float64
+	// RetryFloorFrac floors the recovered RBER at this fraction of the
+	// raw rate: calibration buys about an order of magnitude, not more.
+	RetryFloorFrac float64
+	// RetryOvershoot grows the RBER per step past the optimal offset
+	// (over-shifted references misclassify cells the other way).
+	RetryOvershoot float64
 }
 
 // DefaultStressConfig returns stress constants in the ranges reported by
@@ -36,6 +68,15 @@ func DefaultStressConfig() StressConfig {
 		RetentionCoef:     0.45,
 		RetentionRefHours: 500,
 		SEUPerBitHour:     1e-13,
+
+		RetrySteps:              6,
+		RetryStepV:              0.04,
+		RetryShiftV:             0.12,
+		RetrySlackV:             0.05,
+		RetryCyclingRecoverable: 0.85,
+		RetryResidual:           0.35,
+		RetryFloorFrac:          0.08,
+		RetryOvershoot:          1.15,
 	}
 }
 

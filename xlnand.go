@@ -49,6 +49,16 @@
 // errors: errors.Is against ErrUncorrectable, ErrBadAddress and
 // ErrClosed, with the full context in *OpError.
 //
+// # Read recovery
+//
+// Reads run through a staged recovery ladder: a failing decode re-senses
+// the page at calibrated read-reference offsets (WithReadRetry sets the
+// budget, Request.Retries overrides it per read), with the reliability
+// manager caching the offset that worked per block-wear bucket so later
+// reads start there. ReadResult reports the climate through Retries,
+// AppliedOffset and the per-stage latency breakdown; every retry is
+// charged on the modelled timeline.
+//
 // # Migrating from WritePage/ReadPage
 //
 // The blocking single-page calls remain as convenience wrappers over
@@ -108,6 +118,7 @@ type config struct {
 	seed          uint64
 	targetUBERExp uint32
 	manualECC     bool
+	readRetry     *int
 	bus           *timing.FlashBus
 	hw            *codecHW
 }
@@ -149,6 +160,21 @@ func WithTargetUBER(exp uint32) Option {
 // WithManualECC disables the reliability manager; use SetCapability to
 // pick t explicitly (the capability starts pinned at the worst case).
 func WithManualECC() Option { return optionFunc(func(c *config) { c.manualECC = true }) }
+
+// WithReadRetry sets the read-recovery ladder budget: how many re-reads
+// at shifted read references a failing decode may trigger before the
+// read surfaces ErrUncorrectable (default 4; 0 restores the single-shot
+// read path). Each retry pays the full tR + transfer + decode latency
+// on the modelled timeline, and ReadResult reports the climate through
+// Retries, AppliedOffset and the per-stage latency breakdown.
+func WithReadRetry(n int) Option {
+	return optionFunc(func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.readRetry = &n
+	})
+}
 
 // BusConfig describes the flash interface between controller and dies.
 type BusConfig struct {
@@ -259,6 +285,9 @@ func Open(opts ...Option) (*Subsystem, error) {
 	ctrlCfg.Adaptive = !cfg.manualECC
 	ctrlCfg.Bus = env.Bus
 	ctrlCfg.HW = env.HW
+	if cfg.readRetry != nil {
+		ctrlCfg.MaxRetries = *cfg.readRetry
+	}
 
 	disp, err := dispatch.New(dispatch.Config{
 		Dies:         cfg.dies,

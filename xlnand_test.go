@@ -137,7 +137,15 @@ func TestSelectModeRejectsUnknown(t *testing.T) {
 }
 
 func TestUncorrectableSurfaced(t *testing.T) {
-	s := openTest(t)
+	// The recovery ladder would rescue this deliberately
+	// under-provisioned page (the wear-drift share of its errors is
+	// exactly what shifted references remove), so the single-shot path
+	// is requested explicitly to exercise the failure surface.
+	s, err := Open(Options{Blocks: 4, Seed: 7}, WithReadRetry(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	s.SetCapability(3)
 	if err := s.AgeBlock(0, 1e6); err != nil {
 		t.Fatal(err)
@@ -145,8 +153,7 @@ func TestUncorrectableSurfaced(t *testing.T) {
 	if _, err := s.WritePage(0, 0, pageOf(6, s.PageSize())); err != nil {
 		t.Fatal(err)
 	}
-	_, err := s.ReadPage(0, 0)
-	if !errors.Is(err, ErrUncorrectable) {
+	if _, err := s.ReadPage(0, 0); !errors.Is(err, ErrUncorrectable) {
 		t.Fatalf("want ErrUncorrectable, got %v", err)
 	}
 	if s.Uncorrectables() == 0 {
