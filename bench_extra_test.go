@@ -78,7 +78,7 @@ func BenchmarkSocketTransaction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
+	ctrl, err := controller.New(dev, bch.NewHWCodec(codec, bch.DefaultHWConfig()), controller.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}

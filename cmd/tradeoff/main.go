@@ -7,6 +7,7 @@
 //	tradeoff -cycles 1e6            # end-of-life trade-off table
 //	tradeoff -cycles 1e4 -stride 4  # thinner capability grid
 //	tradeoff -readretry             # recovered UBER vs retry ladder depth
+//	tradeoff -ldpc                  # codec families at the recovery endgame
 package main
 
 import (
@@ -23,11 +24,21 @@ func main() {
 		stride    = flag.Int("stride", 8, "capability grid stride")
 		pareto    = flag.Bool("pareto", true, "print the Pareto front")
 		readretry = flag.Bool("readretry", false, "print the read-retry recovery figure (recovered UBER vs ladder depth across lifetime)")
+		ldpcFam   = flag.Bool("ldpc", false, "print the codec-family endgame figure (BCH ladder vs LDPC hard vs LDPC soft)")
 	)
 	flag.Parse()
 
 	if *readretry {
 		fig, err := xlnand.RunExperiment("ext-readretry", 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(xlnand.RenderASCII(fig, 100, 28))
+		fmt.Println(xlnand.RenderTable(fig))
+		return
+	}
+	if *ldpcFam {
+		fig, err := xlnand.RunExperiment("ext-ldpc", 1)
 		if err != nil {
 			fatal(err)
 		}

@@ -15,7 +15,11 @@ import (
 func main() {
 	// Open a sub-system with the paper's defaults: 4 KB pages, adaptive
 	// BCH over GF(2^16) with t in [3, 65], UBER target 1e-11 — here with
-	// two dies behind the controller.
+	// two dies behind the controller. (Add
+	// xlnand.WithCodec(xlnand.CodecLDPC) to swap the ECC family for the
+	// soft-decision LDPC codec; with WithReadRetry opened one rung past
+	// the hard ladder, a failing read then ends in a multi-sense soft
+	// decode instead of data loss.)
 	sys, err := xlnand.Open(
 		xlnand.WithDies(2),
 		xlnand.WithBlocks(2),

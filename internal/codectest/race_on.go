@@ -1,0 +1,7 @@
+//go:build race
+
+package codectest
+
+// raceEnabled reports whether the race detector is compiled in (alloc
+// pins are skipped under its instrumentation).
+const raceEnabled = true

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"time"
 
-	"xlnand/internal/bch"
+	"xlnand/internal/ecc"
 	"xlnand/internal/nand"
 	"xlnand/internal/timing"
 )
@@ -13,62 +13,73 @@ import (
 // ErrUncorrectable is surfaced when the decoder cannot repair a page.
 var ErrUncorrectable = errors.New("controller: uncorrectable page")
 
-// Controller drives one NAND device through the adaptive BCH codec. It
-// owns the page buffer, the register file and (optionally) the
-// reliability manager, and accounts architectural latency for every
-// operation with the paper's timing model: page read time tR, bus
-// transfer, and codec cycles at 80 MHz.
+// Controller drives one NAND device through a family-generic adaptive
+// codec (BCH or LDPC behind the ecc.Codec interface). It owns the page
+// buffer, the register file and (optionally) the reliability manager,
+// and accounts architectural latency for every operation with the
+// paper's timing model: page read time tR, bus transfer, and the
+// codec's own latency descriptors.
 type Controller struct {
 	dev   *nand.Device
-	codec *bch.Codec
-	hw    bch.HWConfig
+	codec ecc.Codec
 	bus   timing.FlashBus
 	regs  RegisterFile
 	mgr   *ReliabilityManager
 
 	pageBuffer []byte // controller-side page RAM (Fig. 1), size of one codeword
 	readBuffer []byte // codeword staging RAM for the read path (pooled across reads)
+	llrBuffer  []int8 // per-bit confidence staging for soft-sense reads (soft codecs only)
 }
 
 // Config parametrises controller construction.
 type Config struct {
-	HW  bch.HWConfig
 	Bus timing.FlashBus
 	// TargetUBERExp initialises RegTargetUBERExp (e.g. 11 for 1e-11).
 	TargetUBERExp uint32
-	// InitialT initialises RegECCCapability.
-	InitialT uint32
+	// InitialLevel initialises RegECCCapability (clamped to the codec's
+	// level range; 0 selects the codec's worst case).
+	InitialLevel uint32
 	// Adaptive enables the reliability manager from the start.
 	Adaptive bool
 	// MaxRetries initialises RegReadRetry: how many re-reads at shifted
 	// read references a failing decode may trigger (0 disables staged
 	// recovery; negative is clamped to 0).
 	MaxRetries int
+	// SoftRetries initialises RegSoftRetry: how many soft-sense decode
+	// attempts the recovery ladder's final rung may make once every hard
+	// reference shift has failed (ignored by codecs without a soft
+	// path; negative is clamped to 0).
+	SoftRetries int
 }
 
 // DefaultConfig returns the paper's baseline controller configuration:
-// default codec hardware at 80 MHz, default bus, UBER target 1e-11,
-// t = 65 (worst-case until the manager relaxes it), manager enabled,
-// a 4-step read-recovery ladder.
+// default bus, UBER target 1e-11, worst-case initial capability (until
+// the manager relaxes it), manager enabled, a 4-step read-recovery
+// ladder. SoftRetries arms one soft-sense attempt as the ladder's final
+// rung, but the rung only engages on reads whose budget clears the
+// device's FULL hard ladder — with the default 4-retry budget that is
+// the FTL's deep-retry path; raise MaxRetries past the device's
+// RetrySteps (e.g. WithReadRetry(7) on the default stress model) to
+// put it on the ordinary read path.
 func DefaultConfig() Config {
 	return Config{
-		HW:            bch.DefaultHWConfig(),
 		Bus:           timing.DefaultFlashBus(),
 		TargetUBERExp: 11,
-		InitialT:      65,
+		InitialLevel:  0,
 		Adaptive:      true,
 		MaxRetries:    4,
+		SoftRetries:   1,
 	}
 }
 
 // New wires a controller to a device and an adaptive codec. The codec's
 // message length must match the device page size.
-func New(dev *nand.Device, codec *bch.Codec, cfg Config) (*Controller, error) {
-	if codec.K != dev.Calibration().PageDataBits() {
+func New(dev *nand.Device, codec ecc.Codec, cfg Config) (*Controller, error) {
+	if codec.DataBits() != dev.Calibration().PageDataBits() {
 		return nil, fmt.Errorf("controller: codec protects %d bits but page holds %d",
-			codec.K, dev.Calibration().PageDataBits())
+			codec.DataBits(), dev.Calibration().PageDataBits())
 	}
-	maxParity, err := codec.ParityBytes(codec.TMax)
+	maxParity, err := codec.ParityBytes(codec.MaxLevel())
 	if err != nil {
 		return nil, err
 	}
@@ -76,18 +87,25 @@ func New(dev *nand.Device, codec *bch.Codec, cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("controller: worst-case parity %d B exceeds spare area %d B",
 			maxParity, dev.Calibration().PageSpareBytes)
 	}
+	bufBytes := dev.Calibration().PageDataBytes + dev.Calibration().PageSpareBytes
 	c := &Controller{
 		dev:        dev,
 		codec:      codec,
-		hw:         cfg.HW,
 		bus:        cfg.Bus,
-		pageBuffer: make([]byte, dev.Calibration().PageDataBytes+dev.Calibration().PageSpareBytes),
-		readBuffer: make([]byte, dev.Calibration().PageDataBytes+dev.Calibration().PageSpareBytes),
+		pageBuffer: make([]byte, bufBytes),
+		readBuffer: make([]byte, bufBytes),
+	}
+	if codec.SupportsSoft() {
+		c.llrBuffer = make([]int8, bufBytes*8)
 	}
 	if err := c.regs.Write(RegTargetUBERExp, cfg.TargetUBERExp); err != nil {
 		return nil, err
 	}
-	if err := c.regs.Write(RegECCCapability, cfg.InitialT); err != nil {
+	lvl := int(cfg.InitialLevel)
+	if lvl == 0 {
+		lvl = codec.MaxLevel()
+	}
+	if err := c.regs.Write(RegECCCapability, uint32(codec.ClampLevel(lvl))); err != nil {
 		return nil, err
 	}
 	if cfg.MaxRetries < 0 {
@@ -96,6 +114,13 @@ func New(dev *nand.Device, codec *bch.Codec, cfg Config) (*Controller, error) {
 	if err := c.regs.Write(RegReadRetry, uint32(cfg.MaxRetries)); err != nil {
 		return nil, err
 	}
+	if cfg.SoftRetries < 0 {
+		cfg.SoftRetries = 0
+	}
+	if err := c.regs.Write(RegSoftRetry, uint32(cfg.SoftRetries)); err != nil {
+		return nil, err
+	}
+	c.regs.setFamily(uint32(codec.Family()))
 	c.mgr = NewReliabilityManager(codec, c.targetUBER())
 	if cfg.Adaptive {
 		if err := c.regs.Write(RegAdaptive, 1); err != nil {
@@ -114,6 +139,9 @@ func (c *Controller) Manager() *ReliabilityManager { return c.mgr }
 
 // Device exposes the attached NAND device.
 func (c *Controller) Device() *nand.Device { return c.dev }
+
+// Codec exposes the attached adaptive codec.
+func (c *Controller) Codec() ecc.Codec { return c.codec }
 
 // targetUBER decodes RegTargetUBERExp.
 func (c *Controller) targetUBER() float64 {
@@ -145,10 +173,11 @@ func (c *Controller) SetAlgorithm(alg nand.Algorithm) {
 	_ = c.regs.Write(RegAlgorithm, v)
 }
 
-// SetCapability writes RegECCCapability (clamped to the codec range) and
-// disables the adaptive manager's override for subsequent operations.
-func (c *Controller) SetCapability(t int) {
-	_ = c.regs.Write(RegECCCapability, uint32(c.codec.ClampT(t)))
+// SetCapability writes RegECCCapability (clamped to the codec's level
+// range — t for BCH, rate index for LDPC) and disables the adaptive
+// manager's override for subsequent operations.
+func (c *Controller) SetCapability(level int) {
+	_ = c.regs.Write(RegECCCapability, uint32(c.codec.ClampLevel(level)))
 	_ = c.regs.Write(RegAdaptive, 0)
 }
 
@@ -161,18 +190,18 @@ func (c *Controller) SetAdaptive(on bool) {
 	_ = c.regs.Write(RegAdaptive, v)
 }
 
-// currentT resolves the capability for the next operation: the manager's
-// choice in adaptive mode, the register value otherwise.
-func (c *Controller) currentT(blockIdx int) int {
+// currentLevel resolves the capability level for the next operation: the
+// manager's choice in adaptive mode, the register value otherwise.
+func (c *Controller) currentLevel(blockIdx int) int {
 	if v, _ := c.regs.Read(RegAdaptive); v != 0 {
 		cycles, err := c.dev.Cycles(blockIdx)
 		if err != nil {
 			cycles = 0
 		}
-		return c.mgr.SelectT(c.algorithm(), cycles)
+		return c.mgr.SelectLevel(c.algorithm(), cycles)
 	}
 	v, _ := c.regs.Read(RegECCCapability)
-	return c.codec.ClampT(int(v))
+	return c.codec.ClampLevel(int(v))
 }
 
 // WriteLatency breaks down one page write.
@@ -187,6 +216,8 @@ func (l WriteLatency) Total() time.Duration { return l.Encode + l.Transfer + l.P
 
 // WriteResult reports one page write.
 type WriteResult struct {
+	// T is the capability level the page was encoded at (the BCH
+	// correction capability t, or the LDPC rate index).
 	T        int
 	Alg      nand.Algorithm
 	Latency  WriteLatency
@@ -196,14 +227,14 @@ type WriteResult struct {
 
 // WritePage encodes data (exactly one page) at the current capability and
 // programs it with the current algorithm. The modelled latency covers
-// encode (k/p cycles), codeword transfer and the ISPP run.
+// encode, codeword transfer and the ISPP run.
 func (c *Controller) WritePage(blockIdx, pageIdx int, data []byte) (WriteResult, error) {
 	var res WriteResult
 	if len(data) != c.dev.Calibration().PageDataBytes {
 		return res, fmt.Errorf("controller: page write needs %d bytes, got %d",
 			c.dev.Calibration().PageDataBytes, len(data))
 	}
-	res.T = c.currentT(blockIdx)
+	res.T = c.currentLevel(blockIdx)
 	res.Alg = c.algorithm()
 	pb, err := c.codec.ParityBytes(res.T)
 	if err != nil {
@@ -227,7 +258,7 @@ func (c *Controller) WritePage(blockIdx, pageIdx int, data []byte) (WriteResult,
 	}
 	res.Program = prog
 	res.Latency = WriteLatency{
-		Encode:   c.hw.EncodeLatency(c.codec.K),
+		Encode:   c.codec.EncodeLatency(res.T),
 		Transfer: c.bus.Transfer(len(data) + len(parity)),
 		Program:  prog.Duration,
 	}
@@ -237,11 +268,12 @@ func (c *Controller) WritePage(blockIdx, pageIdx int, data []byte) (WriteResult,
 
 // ReadLatency breaks down one page read. For a recovered read the
 // components are sums across every ladder stage (each retry pays full
-// tR + transfer + decode); ReadResult.Stages holds the per-stage split.
+// tR + transfer + decode; a soft stage pays one tR and transfer per
+// component sense); ReadResult.Stages holds the per-stage split.
 type ReadLatency struct {
 	TR       time.Duration // array-to-register sensing
 	Transfer time.Duration // codeword over the flash bus
-	Decode   time.Duration // syndrome + iBM + Chien at the codec clock
+	Decode   time.Duration // decoder occupancy at the codec clock
 }
 
 // Total returns the end-to-end read latency.
@@ -251,22 +283,41 @@ func (l ReadLatency) Total() time.Duration { return l.TR + l.Transfer + l.Decode
 type ReadStage struct {
 	// Step is the read-reference ladder step the page was sensed at.
 	Step int
-	// Latency is this attempt's full cost (tR + transfer + decode).
+	// Soft marks the soft-decision rung: a multi-sense read feeding the
+	// codec's soft-input decoder.
+	Soft bool
+	// Senses is the number of component array senses this attempt paid
+	// (1 for a hard read, StressConfig.SoftSenses for a soft read).
+	Senses int
+	// Latency is this attempt's full cost (tR + transfer + decode,
+	// summed over its component senses).
 	Latency ReadLatency
 }
 
 // ReadResult reports one page read.
 type ReadResult struct {
-	Data      []byte
+	Data []byte
+	// T is the capability level recovered from the stored parity
+	// geometry (BCH t, or LDPC rate index).
 	T         int
 	Alg       nand.Algorithm
 	Corrected int
-	// Retries counts the sense attempts beyond the first; 0 means the
-	// read at the predicted reference offset decoded immediately.
+	// Retries counts the decode attempts beyond the first (soft-rung
+	// attempts included); 0 means the read at the predicted reference
+	// offset decoded immediately.
 	Retries int
 	// AppliedOffset is the read-reference ladder step of the final
 	// attempt — the one that decoded, or the last failure.
 	AppliedOffset int
+	// Soft reports that the final attempt was the soft-decision rung;
+	// SoftSenses is the total number of component array senses the soft
+	// rung paid (0 when the read never went soft).
+	Soft       bool
+	SoftSenses int
+	// BlockReads is the block's reads-since-erase counter after this
+	// read (its senses included) — the disturb telemetry the FTL's
+	// retry guard budgets against without a control-plane round trip.
+	BlockReads float64
 	// Latency is the end-to-end cost, summed over every ladder stage.
 	Latency ReadLatency
 	// Stages breaks the ladder down per attempt. It is nil for
@@ -287,18 +338,52 @@ func (c *Controller) ReadPage(blockIdx, pageIdx int) (ReadResult, error) {
 	return c.ReadPageRetry(blockIdx, pageIdx, int(v))
 }
 
+// noteStage accumulates one ladder attempt into the result: latency
+// components, the per-stage breakdown (materialised lazily once a second
+// attempt happens), retry count and applied offset.
+func (res *ReadResult) noteStage(step int, soft bool, senses, attempt, capHint int, stage ReadLatency) {
+	res.Latency.TR += stage.TR
+	res.Latency.Transfer += stage.Transfer
+	res.Latency.Decode += stage.Decode
+	if attempt == 1 {
+		// The ladder engaged: materialise the per-stage breakdown,
+		// back-filling the first attempt.
+		first := ReadStage{Step: res.AppliedOffset, Soft: res.Soft, Senses: 1, Latency: res.Latency}
+		first.Latency.TR -= stage.TR
+		first.Latency.Transfer -= stage.Transfer
+		first.Latency.Decode -= stage.Decode
+		res.Stages = append(make([]ReadStage, 0, capHint), first)
+	}
+	if res.Stages != nil {
+		res.Stages = append(res.Stages, ReadStage{Step: step, Soft: soft, Senses: senses, Latency: stage})
+	}
+	res.Retries = attempt
+	res.AppliedOffset = step
+	res.Soft = soft
+	if soft {
+		res.SoftSenses += senses
+	}
+}
+
 // ReadPageRetry is the read-recovery pipeline with an explicit retry
 // budget. The first sense happens at the read-reference offset the
 // reliability manager's calibration cache predicts for the block's wear;
 // a decode failure walks the remaining ladder steps (nominal references
 // first, then deeper shifts) until the decode succeeds or the budget is
 // exhausted. Every attempt pays the full tR + transfer + decode latency
-// and counts against the block's read-disturb stress. The decode runs at
-// the capability the page was written with, recovered from the stored
-// parity length (the geometry r = m·t makes the mapping exact) —
-// reconfiguring the controller between write and read therefore never
-// corrupts old pages. Uncorrectable pages return ErrUncorrectable with
-// the final attempt's raw data attached.
+// and counts against the block's read-disturb stress.
+//
+// When the budget extends past the deepest reference shift and the codec
+// has a soft-decision path, the ladder's final rung is a soft-sense
+// read: the device senses the page at adjacent references (each
+// component sense paying tR and disturb stress), derives per-bit
+// confidence, and the codec's soft-input decoder takes over — the
+// recovery endgame for pages no hard reference shift can save. The
+// decode runs at the capability level the page was written with,
+// recovered from the stored parity length — reconfiguring the
+// controller between write and read therefore never corrupts old
+// pages. Uncorrectable pages return ErrUncorrectable with the final
+// attempt's raw data attached.
 func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResult, error) {
 	var res ReadResult
 	res.Alg = c.algorithm()
@@ -349,77 +434,131 @@ func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResul
 	if n > maxRetries+1 {
 		n = maxRetries + 1
 	}
+	// Soft-decision rung: available only when the budget extends past
+	// the full hard ladder — it is the rung after the deepest reference
+	// shift, never a substitute for one. A capped budget (e.g. the
+	// FTL's disturb-aware retry guard) therefore skips the multi-sense
+	// walk entirely.
+	softAttempts := 0
+	if rem := maxRetries + 1 - n; rem > 0 && c.codec.SupportsSoft() {
+		v, _ := c.regs.Read(RegSoftRetry)
+		softAttempts = int(v)
+		if softAttempts > rem {
+			softAttempts = rem
+		}
+	}
+	capHint := n + softAttempts
 
-	var codeBits int
-	for attempt := 0; attempt < n; attempt++ {
+	var level int
+	attempt := 0
+	for ; attempt < n; attempt++ {
 		step := order[attempt]
 		nData, nSpare, rerr := c.dev.ReadInto(blockIdx, pageIdx, step, c.readBuffer)
 		if rerr != nil {
 			return res, rerr
 		}
 		if attempt == 0 {
-			res.T = nSpare * 8 / c.codec.M
-			parityBytes, perr := c.codec.ParityBytes(res.T)
-			if perr != nil || parityBytes != nSpare {
-				return res, fmt.Errorf("controller: page %d.%d spare (%d bytes) does not map to a supported capability",
-					blockIdx, pageIdx, nSpare)
+			level, err = c.codec.LevelForSpare(nSpare)
+			if err != nil {
+				return res, fmt.Errorf("controller: page %d.%d spare (%d bytes) does not map to a supported capability: %w",
+					blockIdx, pageIdx, nSpare, err)
 			}
-			code, cerr := c.codec.Code(res.T)
-			if cerr != nil {
-				return res, cerr
-			}
-			codeBits = code.CodewordBits()
+			res.T = level
 		}
 		codeword := c.readBuffer[:nData+nSpare]
-		nErr, decErr := c.codec.Decode(res.T, codeword)
+		nErr, decErr := c.codec.Decode(level, codeword)
 
 		stage := ReadLatency{
 			TR:       nand.PageReadTime,
 			Transfer: c.bus.Transfer(len(codeword)),
+			Decode:   c.codec.DecodeLatency(level, nErr == 0 && decErr == nil),
 		}
-		if nErr == 0 && decErr == nil {
-			stage.Decode = c.hw.DecodeCleanLatency(codeBits, res.T)
-		} else {
-			stage.Decode = c.hw.DecodeLatency(codeBits, res.T)
-		}
-		res.Latency.TR += stage.TR
-		res.Latency.Transfer += stage.Transfer
-		res.Latency.Decode += stage.Decode
-		if attempt == 1 {
-			// The ladder engaged: materialise the per-stage breakdown,
-			// back-filling the first attempt.
-			res.Stages = make([]ReadStage, 0, n)
-			res.Stages = append(res.Stages, ReadStage{Step: res.AppliedOffset, Latency: res.Latency})
-			res.Stages[0].Latency.TR -= stage.TR
-			res.Stages[0].Latency.Transfer -= stage.Transfer
-			res.Stages[0].Latency.Decode -= stage.Decode
-		}
-		if res.Stages != nil {
-			res.Stages = append(res.Stages, ReadStage{Step: step, Latency: stage})
-		}
-		res.Retries = attempt
-		res.AppliedOffset = step
+		res.noteStage(step, false, 1, attempt, capHint, stage)
 
 		if decErr == nil {
 			res.Corrected = nErr
 			res.Data = make([]byte, nData)
 			copy(res.Data, codeword[:nData])
 			c.regs.setStatus(StatusOK, uint32(nErr))
-			c.mgr.ObserveDecode(res.Alg, codeBits, nErr)
+			c.mgr.ObserveDecode(res.Alg, c.codewordBits(level), nErr)
 			c.mgr.ObserveRetry(cycles, step, attempt, true)
+			c.noteBlockReads(blockIdx, &res)
 			return res, nil
 		}
-		if attempt == n-1 {
+		if attempt == n-1 && softAttempts == 0 {
 			// Budget exhausted: surface the final attempt's raw data.
 			res.Data = make([]byte, nData)
 			copy(res.Data, codeword[:nData])
 		}
 	}
+
+	// Final rung: soft-sense reads feeding the soft-input decoder. The
+	// multi-sense read centers one step short of the deepest reference
+	// shift (its component senses bracket the center, covering the deep
+	// end of the ladder) — the region retention drift pushed the cells
+	// into, which is the regime the soft path exists for.
+	softStep := steps - 1
+	if softStep < 0 {
+		softStep = 0
+	}
+	for s := 0; s < softAttempts; s, attempt = s+1, attempt+1 {
+		nData, nSpare, senses, rerr := c.dev.ReadSoft(blockIdx, pageIdx, softStep, c.readBuffer, c.llrBuffer)
+		if rerr != nil {
+			return res, rerr
+		}
+		codeword := c.readBuffer[:nData+nSpare]
+		nErr, decErr := c.codec.DecodeSoft(level, codeword, c.llrBuffer[:(nData+nSpare)*8])
+
+		stage := ReadLatency{
+			TR:       time.Duration(senses) * nand.PageReadTime,
+			Transfer: time.Duration(senses) * c.bus.Transfer(len(codeword)),
+			Decode:   c.codec.SoftDecodeLatency(level),
+		}
+		res.noteStage(softStep, true, senses, attempt, capHint, stage)
+
+		if decErr == nil {
+			res.Corrected = nErr
+			res.Data = make([]byte, nData)
+			copy(res.Data, codeword[:nData])
+			c.regs.setStatus(StatusOK, uint32(nErr))
+			c.mgr.ObserveDecode(res.Alg, c.codewordBits(level), nErr)
+			c.mgr.ObserveRetry(cycles, softStep, attempt, true)
+			c.mgr.ObserveSoft(true)
+			c.noteBlockReads(blockIdx, &res)
+			return res, nil
+		}
+		c.mgr.ObserveSoft(false)
+		if s == softAttempts-1 {
+			res.Data = make([]byte, nData)
+			copy(res.Data, codeword[:nData])
+		}
+	}
+
 	c.regs.setStatus(StatusUncorrectable, 0)
 	c.mgr.ObserveUncorrectable()
 	c.mgr.ObserveRetry(cycles, res.AppliedOffset, res.Retries, false)
+	c.noteBlockReads(blockIdx, &res)
 	return res, fmt.Errorf("%w: block %d page %d (after %d retries)",
 		ErrUncorrectable, blockIdx, pageIdx, res.Retries)
+}
+
+// noteBlockReads attaches the block's post-read disturb counter to the
+// result (upstream retry guards budget against it without a separate
+// control-plane hop).
+func (c *Controller) noteBlockReads(blockIdx int, res *ReadResult) {
+	if r, err := c.dev.BlockReads(blockIdx); err == nil {
+		res.BlockReads = r
+	}
+}
+
+// codewordBits resolves the codeword length for telemetry; level is
+// always valid here (it decoded a parity geometry already).
+func (c *Controller) codewordBits(level int) int {
+	n, err := c.codec.CodewordBits(level)
+	if err != nil {
+		return c.codec.DataBits()
+	}
+	return n
 }
 
 // SetReadRetry reconfigures the recovery ladder budget (RegReadRetry).
@@ -433,6 +572,22 @@ func (c *Controller) SetReadRetry(n int) {
 // ReadRetry returns the configured recovery ladder budget.
 func (c *Controller) ReadRetry() int {
 	v, _ := c.regs.Read(RegReadRetry)
+	return int(v)
+}
+
+// SetSoftRetry reconfigures the soft-decision rung budget (RegSoftRetry):
+// how many soft-sense decode attempts may follow an exhausted hard
+// ladder. It has no effect on codecs without a soft path.
+func (c *Controller) SetSoftRetry(n int) {
+	if n < 0 {
+		n = 0
+	}
+	_ = c.regs.Write(RegSoftRetry, uint32(n))
+}
+
+// SoftRetry returns the configured soft-decision rung budget.
+func (c *Controller) SoftRetry() int {
+	v, _ := c.regs.Read(RegSoftRetry)
 	return int(v)
 }
 

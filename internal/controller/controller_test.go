@@ -20,7 +20,7 @@ func newRig(t *testing.T, adaptive bool) *Controller {
 	}
 	cfg := DefaultConfig()
 	cfg.Adaptive = adaptive
-	c, err := New(dev, codec, cfg)
+	c, err := New(dev, bch.NewHWCodec(codec, bch.DefaultHWConfig()), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestNewRejectsMismatchedCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(dev, codec, DefaultConfig()); err == nil {
+	if _, err := New(dev, bch.NewHWCodec(codec, bch.DefaultHWConfig()), DefaultConfig()); err == nil {
 		t.Fatal("mismatched codec accepted")
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"math"
 	"sync"
 
-	"xlnand/internal/bch"
+	"xlnand/internal/ecc"
 	"xlnand/internal/nand"
 )
 
@@ -26,7 +26,7 @@ import (
 type ReliabilityManager struct {
 	mu sync.Mutex
 
-	codec      *bch.Codec
+	codec      ecc.Codec
 	targetUBER float64
 	cal        nand.Calibration
 
@@ -52,6 +52,11 @@ type ReliabilityManager struct {
 	// the count of reads that only succeeded after at least one retry.
 	retryHist [RetryHistBuckets]int
 	recovered int
+
+	// Soft-rung telemetry: soft-sense decode attempts and the subset
+	// that recovered the page.
+	softAttempts  int
+	softRecovered int
 
 	// SafetyMargin scales the RBER estimate before solving for t.
 	SafetyMargin float64
@@ -140,7 +145,7 @@ func algIndex(alg nand.Algorithm) int {
 }
 
 // NewReliabilityManager builds a manager for the codec and UBER target.
-func NewReliabilityManager(codec *bch.Codec, targetUBER float64) *ReliabilityManager {
+func NewReliabilityManager(codec ecc.Codec, targetUBER float64) *ReliabilityManager {
 	return &ReliabilityManager{
 		codec:        codec,
 		targetUBER:   targetUBER,
@@ -212,24 +217,47 @@ func (m *ReliabilityManager) EstimateRBER(alg nand.Algorithm, cycles float64) fl
 	return est
 }
 
-// SelectT returns the minimum capability meeting the UBER target at the
-// estimated RBER (with safety margin), clamped to the codec's range. If
-// even TMax cannot meet the target the manager pins TMax — the device is
-// end-of-life and the status path will surface uncorrectables.
-func (m *ReliabilityManager) SelectT(alg nand.Algorithm, cycles float64) int {
+// SelectLevel returns the minimum capability level meeting the UBER
+// target at the estimated RBER (with safety margin), clamped to the
+// codec's range. If even the strongest level cannot meet the target the
+// manager pins it — the device is end-of-life and the status path will
+// surface uncorrectables. For the BCH family the level is the
+// correction capability t; for LDPC it is the rate index.
+func (m *ReliabilityManager) SelectLevel(alg nand.Algorithm, cycles float64) int {
 	rber := m.EstimateRBER(alg, cycles) * m.SafetyMargin
-	t, err := bch.RequiredT(m.codec.M, m.codec.K, rber, m.targetUBER, m.codec.TMax)
+	lvl, err := m.codec.RequiredLevel(rber, m.targetUBER)
 	if err != nil {
-		return m.codec.TMax
+		return m.codec.MaxLevel()
 	}
-	return m.codec.ClampT(t)
+	return m.codec.ClampLevel(lvl)
+}
+
+// SelectT is the historical (BCH-era) name of SelectLevel.
+func (m *ReliabilityManager) SelectT(alg nand.Algorithm, cycles float64) int {
+	return m.SelectLevel(alg, cycles)
 }
 
 // ProjectedUBER reports the post-correction error rate the manager
-// expects for a capability/algorithm/wear triple (Eq. 1 in its sparse
-// validity regime, tail-accumulated otherwise).
-func (m *ReliabilityManager) ProjectedUBER(t int, alg nand.Algorithm, cycles float64) float64 {
+// expects for a level/algorithm/wear triple, per the codec family's
+// reliability model.
+func (m *ReliabilityManager) ProjectedUBER(level int, alg nand.Algorithm, cycles float64) float64 {
 	rber := m.EstimateRBER(alg, cycles)
-	n := m.codec.K + m.codec.M*t
-	return math.Exp(bch.LogUBERTail(n, t, rber))
+	return m.codec.ProjectedUBER(level, rber)
+}
+
+// ObserveSoft feeds one soft-rung decode attempt into the telemetry.
+func (m *ReliabilityManager) ObserveSoft(success bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.softAttempts++
+	if success {
+		m.softRecovered++
+	}
+}
+
+// SoftStats returns the soft-rung attempt and recovery counts.
+func (m *ReliabilityManager) SoftStats() (attempts, recovered int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.softAttempts, m.softRecovered
 }

@@ -13,7 +13,7 @@ func newManager(t *testing.T) *ReliabilityManager {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewReliabilityManager(codec, 1e-11)
+	return NewReliabilityManager(bch.NewHWCodec(codec, bch.DefaultHWConfig()), 1e-11)
 }
 
 func TestSelectTMonotoneInWear(t *testing.T) {

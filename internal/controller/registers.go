@@ -30,6 +30,13 @@ const (
 	// number of re-reads at shifted read references a failing decode may
 	// trigger (0 disables staged recovery).
 	RegReadRetry
+	// RegSoftRetry holds the soft-decision rung budget: how many
+	// soft-sense decode attempts may follow an exhausted hard ladder
+	// (0 disables the soft rung; ignored by codecs without a soft path).
+	RegSoftRetry
+	// RegCodecFamily is read-only: the attached codec family
+	// (0 = BCH, 1 = LDPC), fixed at construction.
+	RegCodecFamily
 	// RegStatus is read-only: bit 0 = last op OK, bit 1 = uncorrectable,
 	// bit 2 = program failure.
 	RegStatus
@@ -51,6 +58,10 @@ func (r Register) String() string {
 		return "ADAPTIVE"
 	case RegReadRetry:
 		return "READ_RETRY"
+	case RegSoftRetry:
+		return "SOFT_RETRY"
+	case RegCodecFamily:
+		return "CODEC_FAMILY"
 	case RegStatus:
 		return "STATUS"
 	case RegErrCount:
@@ -78,7 +89,7 @@ func (rf *RegisterFile) Write(r Register, v uint32) error {
 	if r < 0 || r >= numRegisters {
 		return fmt.Errorf("controller: write to unknown register %d", int(r))
 	}
-	if r == RegStatus || r == RegErrCount {
+	if r == RegStatus || r == RegErrCount || r == RegCodecFamily {
 		return fmt.Errorf("controller: register %v is read-only", r)
 	}
 	rf.regs[r] = v
@@ -97,4 +108,9 @@ func (rf *RegisterFile) Read(r Register) (uint32, error) {
 func (rf *RegisterFile) setStatus(status, errCount uint32) {
 	rf.regs[RegStatus] = status
 	rf.regs[RegErrCount] = errCount
+}
+
+// setFamily is the internal (construction-time) codec-family strap.
+func (rf *RegisterFile) setFamily(family uint32) {
+	rf.regs[RegCodecFamily] = family
 }

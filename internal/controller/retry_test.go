@@ -23,7 +23,7 @@ func retryRig(t testing.TB, maxRetries int, seed uint64) *Controller {
 	}
 	cfg := DefaultConfig()
 	cfg.MaxRetries = maxRetries
-	c, err := New(dev, codec, cfg)
+	c, err := New(dev, bch.NewHWCodec(codec, bch.DefaultHWConfig()), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,8 @@ import (
 
 	"xlnand/internal/bch"
 	"xlnand/internal/controller"
+	"xlnand/internal/ecc"
+	"xlnand/internal/ldpc"
 	"xlnand/internal/nand"
 	"xlnand/internal/sim"
 )
@@ -149,12 +151,16 @@ type Config struct {
 	Seed         uint64
 	Env          sim.Env
 	Controller   controller.Config
+	// Family selects the shared codec's ECC family (the zero value is
+	// the paper's adaptive BCH; ecc.FamilyLDPC builds the soft-decision
+	// LDPC codec instead).
+	Family ecc.Family
 }
 
 // Dispatcher drives N dies behind shared bus and codec clocks.
 type Dispatcher struct {
 	env   sim.Env
-	codec *bch.Codec
+	codec ecc.Codec
 	dies  []*die
 
 	bus      calendar
@@ -163,7 +169,8 @@ type Dispatcher struct {
 	// policy holds the sub-system-wide defaults a request may override.
 	policyMu    sync.Mutex
 	defaultMode sim.Mode
-	pinnedT     int // 0 = adaptive (reliability manager in charge)
+	pinnedT     int  // pinned capability level; meaningful only when pinned
+	pinned      bool // false = adaptive (reliability manager in charge)
 	algOverride *nand.Algorithm
 
 	// vnow is the high-water mark of the modelled timeline; submissions
@@ -182,6 +189,27 @@ type Dispatcher struct {
 // same fault-injection behaviour.
 const dieSeedStride = 0x9e3779b97f4a7c15
 
+// buildCodec constructs the shared adaptive codec for the configured
+// family — the single hardware ECC block every die contends for.
+func buildCodec(cfg Config) (ecc.Codec, error) {
+	switch cfg.Family {
+	case ecc.FamilyBCH:
+		c, err := bch.NewCodec(cfg.Env.M, cfg.Env.K, cfg.Env.TMin, cfg.Env.TMax)
+		if err != nil {
+			return nil, err
+		}
+		return bch.NewHWCodec(c, cfg.Env.HW), nil
+	case ecc.FamilyLDPC:
+		c, err := ldpc.NewPageCodec()
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("dispatch: unknown codec family %d", int(cfg.Family))
+	}
+}
+
 // New builds a dispatcher: one device + controller per die sharing a
 // single adaptive codec, workers started.
 func New(cfg Config) (*Dispatcher, error) {
@@ -191,7 +219,7 @@ func New(cfg Config) (*Dispatcher, error) {
 	if cfg.BlocksPerDie < 0 {
 		return nil, fmt.Errorf("dispatch: negative block count %d", cfg.BlocksPerDie)
 	}
-	codec, err := bch.NewCodec(cfg.Env.M, cfg.Env.K, cfg.Env.TMin, cfg.Env.TMax)
+	codec, err := buildCodec(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +283,10 @@ func (d *Dispatcher) Geometry() Geometry {
 // against.
 func (d *Dispatcher) Env() sim.Env { return d.env }
 
+// Codec exposes the shared adaptive codec (one hardware ECC block for
+// every die).
+func (d *Dispatcher) Codec() ecc.Codec { return d.codec }
+
 // Now returns the high-water mark of the modelled timeline.
 func (d *Dispatcher) Now() time.Duration {
 	d.nowMu.Lock()
@@ -287,25 +319,32 @@ func (d *Dispatcher) DefaultMode() sim.Mode {
 	return d.defaultMode
 }
 
-// PinCapability fixes the write capability (manual ECC), silencing the
-// reliability manager until Unpin. t is clamped to the codec range.
+// PinCapability fixes the write capability level (manual ECC), silencing
+// the reliability manager until Unpin. The level is clamped to the codec
+// range (t for BCH, rate index for LDPC).
 func (d *Dispatcher) PinCapability(t int) {
 	d.policyMu.Lock()
-	d.pinnedT = d.codec.ClampT(t)
+	d.pinnedT = d.codec.ClampLevel(t)
+	d.pinned = true
 	d.policyMu.Unlock()
 }
 
 // Unpin returns capability selection to the reliability manager.
 func (d *Dispatcher) Unpin() {
 	d.policyMu.Lock()
-	d.pinnedT = 0
+	d.pinned = false
 	d.policyMu.Unlock()
 }
 
-// PinnedT reports the manual capability (0 when adaptive).
+// PinnedT reports the manual capability level, or -1 when adaptive.
+// (Level 0 is a valid pin for the LDPC family, so "nothing pinned"
+// needs a value outside every family's level range.)
 func (d *Dispatcher) PinnedT() int {
 	d.policyMu.Lock()
 	defer d.policyMu.Unlock()
+	if !d.pinned {
+		return -1
+	}
 	return d.pinnedT
 }
 
@@ -318,10 +357,10 @@ func (d *Dispatcher) SetAlgorithmOverride(alg nand.Algorithm) {
 	d.policyMu.Unlock()
 }
 
-func (d *Dispatcher) policySnapshot() (mode sim.Mode, pinnedT int, algOv *nand.Algorithm) {
+func (d *Dispatcher) policySnapshot() (mode sim.Mode, pinnedT int, pinned bool, algOv *nand.Algorithm) {
 	d.policyMu.Lock()
 	defer d.policyMu.Unlock()
-	return d.defaultMode, d.pinnedT, d.algOverride
+	return d.defaultMode, d.pinnedT, d.pinned, d.algOverride
 }
 
 // validate range-checks a request against the geometry.
@@ -364,7 +403,7 @@ func (d *Dispatcher) worker(w *die) {
 //   - min-UBER keeps the SV-sized capability while programming with DV;
 //   - otherwise the die's reliability manager picks t for the wear.
 func (d *Dispatcher) resolveWrite(w *die, req Request) (nand.Algorithm, int) {
-	mode, pinnedT, algOv := d.policySnapshot()
+	mode, pinnedT, pinned, algOv := d.policySnapshot()
 	if req.Mode != nil {
 		mode = *req.Mode
 		algOv = nil // per-request mode is authoritative
@@ -384,14 +423,28 @@ func (d *Dispatcher) resolveWrite(w *die, req Request) (nand.Algorithm, int) {
 	switch {
 	case req.T > 0:
 		t = req.T
-	case pinnedT > 0:
+	case pinned:
 		t = pinnedT
 	case mode == sim.ModeMinUBER:
-		t = d.env.RequiredT(nand.ISPPSV, cycles)
+		t = d.requiredLevelSV(cycles)
 	default:
-		t = w.ctrl.Manager().SelectT(alg, cycles)
+		t = w.ctrl.Manager().SelectLevel(alg, cycles)
 	}
 	return alg, t
+}
+
+// requiredLevelSV resolves the min-UBER placement level: the capability
+// the configured family needs for the *SV* error rate at this wear —
+// kept while programming with DV, which is what buys the UBER margin.
+// Family-aware: the BCH family reproduces the paper's t staircase, LDPC
+// resolves a rate index against its own reliability model.
+func (d *Dispatcher) requiredLevelSV(cycles float64) int {
+	rber := d.env.Cal.RBER(nand.ISPPSV, cycles)
+	lvl, err := d.codec.RequiredLevel(rber, d.env.TargetUBER)
+	if err != nil {
+		return d.codec.MaxLevel()
+	}
+	return d.codec.ClampLevel(lvl)
 }
 
 // execute runs one request on the worker's die and books its pipeline
@@ -438,6 +491,7 @@ func (d *Dispatcher) execute(w *die, j *job) Completion {
 		comp.Read = &res
 		comp.Data, comp.T, comp.Alg, comp.Corrected = res.Data, res.T, res.Alg, res.Corrected
 		comp.Retries = res.Retries
+		comp.SoftSenses = res.SoftSenses
 		// Book every recovery-ladder stage on the calendars: each
 		// re-sense occupies the die array again, each re-transfer the
 		// shared bus, each re-decode the shared codec — so multi-die
@@ -512,6 +566,20 @@ func (d *Dispatcher) Cycles(dieIdx, block int) (float64, error) {
 		return 0, err
 	}
 	return cycles, cerr
+}
+
+// BlockReads returns a block's reads since its last erase (the
+// read-disturb stress counter the FTL's retry guard budgets against).
+func (d *Dispatcher) BlockReads(dieIdx, block int) (float64, error) {
+	var reads float64
+	var cerr error
+	err := d.control(dieIdx, func(c *controller.Controller) {
+		reads, cerr = c.Device().BlockReads(block)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return reads, cerr
 }
 
 // SetCycles fast-forwards a block's wear (lifetime studies).

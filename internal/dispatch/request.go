@@ -121,6 +121,10 @@ type Completion struct {
 	// Retries is the number of recovery-ladder re-senses a read needed
 	// (each one was charged on the modelled timeline).
 	Retries int
+	// SoftSenses is the number of component array senses the read's
+	// soft-decision rung paid (0 when the read never went soft); every
+	// sense was charged on the modelled timeline.
+	SoftSenses int
 	// ParityBytes is the spare-area consumption of a write.
 	ParityBytes int
 

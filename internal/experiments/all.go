@@ -58,6 +58,8 @@ func All() []Runner {
 			func(e sim.Env, s uint64) (Figure, error) { return ExtLifetime(e, s) }},
 		{"ext-readretry", "extension: recovered UBER vs read-retry ladder depth across lifetime",
 			func(e sim.Env, s uint64) (Figure, error) { return ExtReadRetry(e), nil }},
+		{"ext-ldpc", "extension: codec families at the recovery endgame (BCH ladder vs LDPC hard vs LDPC soft)",
+			func(e sim.Env, s uint64) (Figure, error) { return ExtLDPCFamilies(e) }},
 	}
 }
 

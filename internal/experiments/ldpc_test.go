@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"xlnand/internal/sim"
+)
+
+// TestExtLDPCFamiliesAcceptance pins the figure's load-bearing claims:
+// there is a P/E range where the full BCH hard-retry ladder is
+// uncorrectable (UBER above the target) while soft-decision LDPC still
+// sustains UBER at or below it, and the soft path's extra sense time is
+// visible as the lowest modelled read throughput.
+func TestExtLDPCFamiliesAcceptance(t *testing.T) {
+	env := sim.DefaultEnv()
+	f, err := ExtLDPCFamilies(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string][]float64{}
+	var xs []float64
+	for _, s := range f.Series {
+		series[s.Name] = s.Y
+		xs = s.X
+	}
+	bch := series["BCH t=65 + hard ladder"]
+	hard := series["LDPC hard + ladder"]
+	soft := series["LDPC soft (ladder + soft rung)"]
+	if bch == nil || hard == nil || soft == nil {
+		t.Fatalf("missing UBER series; have %v", seriesNames(f))
+	}
+	crossover := false
+	for i := range xs {
+		if soft[i] > bch[i]+1e-300 {
+			t.Fatalf("soft LDPC worse than the BCH ladder at %.3g cycles: %.3e > %.3e",
+				xs[i], soft[i], bch[i])
+		}
+		if bch[i] > env.TargetUBER && soft[i] <= env.TargetUBER {
+			crossover = true
+		}
+	}
+	if !crossover {
+		t.Fatalf("no P/E range where the BCH ladder dies and LDPC soft holds the %g target", env.TargetUBER)
+	}
+	// The hard LDPC ladder must also die before the soft path does.
+	hardCross := false
+	for i := range xs {
+		if hard[i] > env.TargetUBER && soft[i] <= env.TargetUBER {
+			hardCross = true
+		}
+	}
+	if !hardCross {
+		t.Fatal("soft rung never extends past the hard LDPC ladder")
+	}
+
+	mbBCH := series["BCH ladder walk [MB/s]"][0]
+	mbHard := series["LDPC hard walk [MB/s]"][0]
+	mbSoft := series["LDPC soft path [MB/s]"][0]
+	if !(mbSoft < mbHard && mbSoft < mbBCH) {
+		t.Fatalf("soft path's sense time not visible: soft %.2f, LDPC-hard %.2f, BCH %.2f MB/s",
+			mbSoft, mbHard, mbBCH)
+	}
+}
+
+// TestExtLDPCRegistered: the runner registry resolves ext-ldpc.
+func TestExtLDPCRegistered(t *testing.T) {
+	r, err := ByID("ext-ldpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Description, "LDPC") {
+		t.Fatalf("runner description %q", r.Description)
+	}
+	if _, err := r.Run(sim.DefaultEnv(), 1); err != nil {
+		t.Fatal(err)
+	}
+}

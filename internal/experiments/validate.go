@@ -42,7 +42,7 @@ func ExtWorkloadValidation(env sim.Env, seed uint64) (Figure, error) {
 		if err != nil {
 			return f, err
 		}
-		ctrl, err := controller.New(dev, codec, controller.DefaultConfig())
+		ctrl, err := controller.New(dev, bch.NewHWCodec(codec, env.HW), controller.DefaultConfig())
 		if err != nil {
 			return f, err
 		}

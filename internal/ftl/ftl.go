@@ -62,6 +62,12 @@ type blockState struct {
 	// live mappings left behind by an uncorrectable relocation read keep
 	// serving reads from the retired block.
 	retired bool
+	// lastReads caches the block's reads-since-erase counter as last
+	// reported by a read result (ReadResult.BlockReads): the
+	// disturb-aware retry guard budgets against it without paying a
+	// control-plane round trip per host read. At most one read stale,
+	// which a threshold guard tolerates by construction.
+	lastReads float64
 }
 
 // Partition is one differentiated storage service.
@@ -96,6 +102,10 @@ type Partition struct {
 	// LostPages counts logical pages whose only copy failed decode
 	// during a GC relocation (tracked media errors).
 	LostPages int
+	// DisturbCapped counts host reads whose recovery budget was capped
+	// by the disturb-aware retry guard (the block was near its
+	// read-disturb budget and got marked for relocation instead).
+	DisturbCapped int
 	// DeepRecovered counts pages that failed the normal read during a
 	// relocation (GC, scrub, retirement) but were saved by the one
 	// deep-retry attempt at the device's full recovery ladder.
@@ -123,6 +133,13 @@ type FTL struct {
 	// (SetDeepRetry): recovery ablations need relocation losses to be
 	// as honest as host-read losses.
 	noDeepRetry bool
+
+	// retryGuard holds the disturb-aware retry policy (SetRetryGuard):
+	// host reads of blocks past ScrubPolicy.DisturbRetryBudget reads
+	// since erase are capped at DisturbRetryCap hard retries — skipping
+	// soft multi-sense walks entirely — and their block is marked for
+	// early scrub relocation instead of deeper recovery.
+	retryGuard ScrubPolicy
 }
 
 // New builds an FTL over the dispatcher, carving the device's blocks
@@ -207,6 +224,30 @@ func (f *FTL) readPhys(global, page int) (*controller.ReadResult, error) {
 		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
 	})
 	return comp.Read, err
+}
+
+// readPhysCapped reads one physical page with an explicit recovery
+// budget override (the disturb-aware retry guard's capped path).
+func (f *FTL) readPhysCapped(global, page, retries int) (*controller.ReadResult, error) {
+	die, block := f.addr(global)
+	comp, err := f.q.Do(context.Background(), dispatch.Request{
+		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
+		Retries: &retries,
+	})
+	return comp.Read, err
+}
+
+// SetRetryGuard installs the disturb-aware retry policy (the
+// DisturbRetryBudget/DisturbRetryCap knobs of a ScrubPolicy; a zero
+// budget disables the guard).
+func (f *FTL) SetRetryGuard(pol ScrubPolicy) { f.retryGuard = pol }
+
+// disturbGuarded reports whether a host read of the block must run with
+// the capped recovery budget: the block's last-observed reads-since-
+// erase counter has reached the configured disturb budget.
+func (f *FTL) disturbGuarded(bs *blockState) bool {
+	return f.retryGuard.DisturbRetryBudget > 0 &&
+		bs.lastReads >= f.retryGuard.DisturbRetryBudget
 }
 
 // deepRetryBudget is the per-request retry override of a last-chance
@@ -370,8 +411,25 @@ func (f *FTL) Read(part string, lpa int) ([]byte, *controller.ReadResult, error)
 		return nil, nil, fmt.Errorf("ftl: lpa %d of %q lost to an unrecoverable relocation read: %w",
 			lpa, part, controller.ErrUncorrectable)
 	}
-	bs := p.blocks[enc/p.pages]
-	res, err := f.readPhys(bs.id, enc%p.pages)
+	blk := enc / p.pages
+	bs := p.blocks[blk]
+	var res *controller.ReadResult
+	if f.disturbGuarded(bs) {
+		// Near the disturb budget: cap the ladder (no soft multi-sense —
+		// it only unlocks past the full hard walk) and queue the block
+		// for relocation, which heals the disturb count outright.
+		res, err = f.readPhysCapped(bs.id, enc%p.pages, f.retryGuard.DisturbRetryCap)
+		p.DisturbCapped++
+		if p.scrubMarks == nil {
+			p.scrubMarks = make(map[int]bool)
+		}
+		p.scrubMarks[blk] = true
+	} else {
+		res, err = f.readPhys(bs.id, enc%p.pages)
+	}
+	if res != nil {
+		bs.lastReads = res.BlockReads
+	}
 	if err != nil {
 		return nil, res, err
 	}
@@ -494,6 +552,7 @@ func (f *FTL) collect(p *Partition) error {
 		res, err := f.readPhys(vb.id, page)
 		if res != nil {
 			p.RelocRetries += res.Retries
+			vb.lastReads = res.BlockReads
 		}
 		if err != nil {
 			if !errors.Is(err, controller.ErrUncorrectable) {
@@ -540,6 +599,7 @@ func (f *FTL) collect(p *Partition) error {
 	}
 	vb.writePtr = 0
 	vb.livePages = 0
+	vb.lastReads = 0 // erase heals the disturb counter
 	for i := range vb.lbaOf {
 		vb.lbaOf[i] = invalidPPA
 	}
@@ -628,6 +688,7 @@ func (f *FTL) relocateLive(p *Partition, bs *blockState) (moved, uncorrectable i
 		res, err := f.readPhys(bs.id, le.page)
 		if res != nil {
 			p.RelocRetries += res.Retries
+			bs.lastReads = res.BlockReads
 		}
 		if err != nil {
 			if !errors.Is(err, controller.ErrUncorrectable) {

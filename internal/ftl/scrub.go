@@ -22,11 +22,30 @@ type ScrubPolicy struct {
 	// marking). A page paying the ladder is a page drifting toward
 	// uncorrectable: relocating it re-centres its references for free.
 	RetryAlarm int
+	// DisturbRetryBudget is the reads-since-erase count past which a
+	// block is considered near its read-disturb budget (0 disables the
+	// guard). Every recovery-ladder re-sense — and every component
+	// sense of a soft multi-sense read — is itself a disturb event, so
+	// deep recovery walks on an already-stressed block push its
+	// NEIGHBOURING pages toward the very failures the walk is trying to
+	// fix. Past the budget, host reads are capped at DisturbRetryCap
+	// hard retries (which also skips the soft multi-sense rung — it
+	// only unlocks past the full hard ladder) and the block is marked
+	// for scrub relocation instead: the refresh heals the disturb count
+	// outright, where a deeper ladder would only have compounded it.
+	DisturbRetryBudget float64
+	// DisturbRetryCap is the per-read hard-retry budget applied past
+	// DisturbRetryBudget (0 = single-shot).
+	DisturbRetryCap int
 }
 
 // DefaultScrubPolicy alarms at 70% of the correction budget, or on any
-// read that needed the recovery ladder.
-func DefaultScrubPolicy() ScrubPolicy { return ScrubPolicy{FractionOfT: 0.7, RetryAlarm: 1} }
+// read that needed the recovery ladder; the disturb-aware retry guard
+// engages at 50k reads since erase, capping stressed blocks at one
+// re-sense and preferring early relocation.
+func DefaultScrubPolicy() ScrubPolicy {
+	return ScrubPolicy{FractionOfT: 0.7, RetryAlarm: 1, DisturbRetryBudget: 5e4, DisturbRetryCap: 1}
+}
 
 // ScrubReport summarises one scrub pass.
 type ScrubReport struct {
@@ -47,6 +66,10 @@ func (f *FTL) CheckReadHealth(part string, lpa int, res *controller.ReadResult, 
 	}
 	if pol.RetryAlarm < 0 {
 		return false, fmt.Errorf("ftl: negative scrub retry alarm %d", pol.RetryAlarm)
+	}
+	if pol.DisturbRetryBudget < 0 || pol.DisturbRetryCap < 0 {
+		return false, fmt.Errorf("ftl: negative disturb retry guard (%g, %d)",
+			pol.DisturbRetryBudget, pol.DisturbRetryCap)
 	}
 	p, err := f.Partition(part)
 	if err != nil {
@@ -160,6 +183,7 @@ func (f *FTL) Scrub(part string) (ScrubReport, error) {
 				return rep, err
 			}
 			bs.writePtr = 0
+			bs.lastReads = 0 // erase heals the disturb counter
 			for i := range bs.lbaOf {
 				bs.lbaOf[i] = invalidPPA
 			}

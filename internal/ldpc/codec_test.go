@@ -1,0 +1,378 @@
+package ldpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+// testRig returns the page codec plus helpers shared by the tests.
+func testRig(t testing.TB) *Codec {
+	t.Helper()
+	c, err := NewPageCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// makeCodeword encodes a seeded random message at level, returning the
+// codeword (msg ++ parity).
+func makeCodeword(t testing.TB, c *Codec, level int, seed uint64) []byte {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	msg := make([]byte, c.DataBits()/8)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(256))
+	}
+	pb, err := c.ParityBytes(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := make([]byte, len(msg)+pb)
+	copy(cw, msg)
+	if err := c.EncodeInto(level, cw[len(msg):], msg); err != nil {
+		t.Fatal(err)
+	}
+	return cw
+}
+
+// flip injects nerr distinct bit errors drawn from the seeded stream.
+func flip(cw []byte, nerr int, rng *stats.RNG) []int {
+	pos := rng.SampleK(len(cw)*8, nerr)
+	for _, p := range pos {
+		cw[p/8] ^= 1 << uint(7-p%8)
+	}
+	return pos
+}
+
+// softLLR builds the device-model confidence for the corrupted codeword:
+// signs from the hard decisions, error positions weak with the default
+// capture probability, plus false-weak noise.
+func softLLR(cw []byte, errPos []int, rng *stats.RNG) []int8 {
+	nbits := len(cw) * 8
+	llr := make([]int8, nbits)
+	for i := 0; i < nbits; i++ {
+		if cw[i/8]&(1<<uint(7-i%8)) == 0 {
+			llr[i] = 7
+		} else {
+			llr[i] = -7
+		}
+	}
+	weaken := func(p int) {
+		if llr[p] > 0 {
+			llr[p] = 1
+		} else {
+			llr[p] = -1
+		}
+	}
+	for _, p := range errPos {
+		if rng.Bernoulli(0.92) {
+			weaken(p)
+		}
+	}
+	for _, p := range rng.SampleK(nbits, rng.Binomial(nbits, 0.015)) {
+		weaken(p)
+	}
+	return llr
+}
+
+// TestCleanRoundtrip: every level encodes and decodes an uncorrupted
+// codeword with zero corrections (the early-termination fast path).
+func TestCleanRoundtrip(t *testing.T) {
+	c := testRig(t)
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		cw := makeCodeword(t, c, lvl, uint64(77+lvl))
+		want := append([]byte(nil), cw...)
+		n, err := c.Decode(lvl, cw)
+		if err != nil || n != 0 {
+			t.Fatalf("level %d: clean decode (n=%d, err=%v)", lvl, n, err)
+		}
+		if !bytes.Equal(cw, want) {
+			t.Fatalf("level %d: clean decode modified the codeword", lvl)
+		}
+	}
+}
+
+// TestCalibratedCaps re-verifies the committed capability tables: at the
+// calibrated cap every seeded trial decodes exactly, hard and soft —
+// the tables are measurements of this decoder, and this test is what
+// keeps them honest when the construction or the decoder changes.
+func TestCalibratedCaps(t *testing.T) {
+	c := testRig(t)
+	const trials = 8
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		for _, soft := range []bool{false, true} {
+			cap := c.CorrectionCap(lvl)
+			if soft {
+				cap = c.SoftCorrectionCap(lvl)
+			}
+			for s := uint64(0); s < trials; s++ {
+				rng := stats.NewRNG(4200 + s*31 + uint64(lvl)*977)
+				cw := makeCodeword(t, c, lvl, 4200+s*31+uint64(lvl)*977)
+				want := append([]byte(nil), cw...)
+				pos := flip(cw, cap, rng)
+				var n int
+				var err error
+				if soft {
+					n, err = c.DecodeSoft(lvl, cw, softLLR(cw, pos, rng))
+				} else {
+					n, err = c.Decode(lvl, cw)
+				}
+				if err != nil {
+					t.Fatalf("level %d soft=%v: decode failed at calibrated cap %d (trial %d): %v",
+						lvl, soft, cap, s, err)
+				}
+				if n != cap {
+					t.Fatalf("level %d soft=%v: corrected %d of %d", lvl, soft, n, cap)
+				}
+				if !bytes.Equal(cw, want) {
+					t.Fatalf("level %d soft=%v: decode did not restore the codeword", lvl, soft)
+				}
+			}
+		}
+	}
+}
+
+// TestErrorMatrix plays the conformance error weights {1, cap/2, cap}
+// per level and pins exact restoration; beyond the flip guard the
+// decode must fail with the codeword rolled back untouched.
+func TestErrorMatrix(t *testing.T) {
+	c := testRig(t)
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		cap := c.CorrectionCap(lvl)
+		for _, nerr := range []int{1, cap / 2, cap} {
+			rng := stats.NewRNG(900 + uint64(lvl*131+nerr))
+			cw := makeCodeword(t, c, lvl, 900+uint64(lvl*131+nerr))
+			want := append([]byte(nil), cw...)
+			flip(cw, nerr, rng)
+			n, err := c.Decode(lvl, cw)
+			if err != nil || n != nerr || !bytes.Equal(cw, want) {
+				t.Fatalf("level %d nerr %d: n=%d err=%v equal=%v", lvl, nerr, n, err, bytes.Equal(cw, want))
+			}
+		}
+		// Far past the guard: failure with rollback, never silent data.
+		rng := stats.NewRNG(1700 + uint64(lvl))
+		cw := makeCodeword(t, c, lvl, 1700+uint64(lvl))
+		flip(cw, 3*cap, rng)
+		dirty := append([]byte(nil), cw...)
+		if _, err := c.Decode(lvl, cw); err == nil {
+			t.Fatalf("level %d: decode of %d errors succeeded past the flip guard", lvl, 3*cap)
+		} else if !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("level %d: wrong failure type %v", lvl, err)
+		}
+		if !bytes.Equal(cw, dirty) {
+			t.Fatalf("level %d: failed decode modified the codeword", lvl)
+		}
+	}
+}
+
+// TestSoftBeatsHard: at every level there is an error weight the hard
+// decode refuses and the soft decode repairs exactly — the reason the
+// family exists.
+func TestSoftBeatsHard(t *testing.T) {
+	c := testRig(t)
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		nerr := c.SoftCorrectionCap(lvl)
+		if nerr <= c.CorrectionCap(lvl) {
+			t.Fatalf("level %d: soft cap %d not above hard cap %d", lvl, nerr, c.CorrectionCap(lvl))
+		}
+		rng := stats.NewRNG(3100 + uint64(lvl))
+		cw := makeCodeword(t, c, lvl, 3100+uint64(lvl))
+		want := append([]byte(nil), cw...)
+		pos := flip(cw, nerr, rng)
+		llr := softLLR(cw, pos, rng)
+		hardCopy := append([]byte(nil), cw...)
+		if _, err := c.Decode(lvl, hardCopy); err == nil {
+			t.Fatalf("level %d: hard decode repaired %d errors (soft cap); hard cap %d is far too conservative",
+				lvl, nerr, c.CorrectionCap(lvl))
+		}
+		n, err := c.DecodeSoft(lvl, cw, llr)
+		if err != nil || n != nerr || !bytes.Equal(cw, want) {
+			t.Fatalf("level %d: soft decode of %d errors: n=%d err=%v", lvl, nerr, n, err)
+		}
+	}
+}
+
+// TestLevelGeometry pins the spare-footprint contract: ParityBytes is
+// strictly ascending and LevelForSpare inverts it exactly; unknown
+// spare sizes are rejected.
+func TestLevelGeometry(t *testing.T) {
+	c := testRig(t)
+	prev := 0
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		pb, err := c.ParityBytes(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pb <= prev {
+			t.Fatalf("parity bytes not ascending at level %d", lvl)
+		}
+		prev = pb
+		got, err := c.LevelForSpare(pb)
+		if err != nil || got != lvl {
+			t.Fatalf("LevelForSpare(%d) = %d, %v; want %d", pb, got, err, lvl)
+		}
+	}
+	if _, err := c.LevelForSpare(13); err == nil {
+		t.Fatal("bogus spare size accepted")
+	}
+	if _, err := c.ParityBytes(c.MaxLevel() + 1); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+}
+
+// TestRequiredLevelMonotone: the level solver returns ascending levels
+// for ascending RBER and errors out once no level meets the target.
+func TestRequiredLevelMonotone(t *testing.T) {
+	c := testRig(t)
+	prev := 0
+	for _, rber := range []float64{1e-6, 1e-5, 5e-5, 1e-4, 3e-4, 6e-4} {
+		lvl, err := c.RequiredLevel(rber, 1e-11)
+		if err != nil {
+			t.Fatalf("RBER %g: %v", rber, err)
+		}
+		if lvl < prev {
+			t.Fatalf("RequiredLevel not monotone: %d after %d at RBER %g", lvl, prev, rber)
+		}
+		prev = lvl
+	}
+	if _, err := c.RequiredLevel(0.05, 1e-11); err == nil {
+		t.Fatal("impossible target accepted")
+	}
+	// The projected UBER at the selected level must meet the target.
+	lvl, err := c.RequiredLevel(2e-4, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := c.ProjectedUBER(lvl, 2e-4); u > 1e-11 {
+		t.Fatalf("selected level %d projects UBER %.3e above target", lvl, u)
+	}
+}
+
+// TestLatencyDescriptors pins the architectural ordering: clean decode
+// is the cheapest, dirty hard decode costs more, soft decode the most;
+// encode latency is level-insensitive to first order but never zero.
+func TestLatencyDescriptors(t *testing.T) {
+	c := testRig(t)
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		clean := c.DecodeLatency(lvl, true)
+		dirty := c.DecodeLatency(lvl, false)
+		soft := c.SoftDecodeLatency(lvl)
+		if clean <= 0 || !(clean < dirty && dirty < soft) {
+			t.Fatalf("level %d: latency ordering clean=%v dirty=%v soft=%v", lvl, clean, dirty, soft)
+		}
+		if c.EncodeLatency(lvl) <= 0 {
+			t.Fatalf("level %d: zero encode latency", lvl)
+		}
+	}
+}
+
+// TestDecodeAllocs pins the pooled scratch: steady-state decode of an
+// errored codeword allocates nothing, hard or soft.
+func TestDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	c := testRig(t)
+	lvl := c.MaxLevel()
+	cap := c.CorrectionCap(lvl)
+	rng := stats.NewRNG(5000)
+	cw := makeCodeword(t, c, lvl, 5000)
+	clean := append([]byte(nil), cw...)
+	pos := flip(cw, cap/2, rng)
+	dirty := append([]byte(nil), cw...)
+	llr := softLLR(cw, pos, rng)
+	if _, err := c.Decode(lvl, cw); err != nil {
+		t.Fatal(err) // warm the level and its scratch pool
+	}
+	copy(cw, dirty)
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(cw, dirty)
+		if _, err := c.Decode(lvl, cw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("hard decode allocates %.1f objects/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(10, func() {
+		copy(cw, dirty)
+		if _, err := c.DecodeSoft(lvl, cw, llr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("soft decode allocates %.1f objects/op, want 0", allocs)
+	}
+	copy(cw, clean)
+	allocs = testing.AllocsPerRun(10, func() {
+		if _, err := c.Decode(lvl, cw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("clean decode allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEncodeAllocs pins the allocation-free encode path.
+func TestEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	c := testRig(t)
+	lvl := c.MaxLevel()
+	rng := stats.NewRNG(600)
+	msg := make([]byte, c.DataBits()/8)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(256))
+	}
+	pb, _ := c.ParityBytes(lvl)
+	parity := make([]byte, pb)
+	if err := c.EncodeInto(lvl, parity, msg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := c.EncodeInto(lvl, parity, msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("EncodeInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentSharedCodec hammers one codec from several goroutines
+// across levels — the dispatcher shares a single codec across dies.
+func TestConcurrentSharedCodec(t *testing.T) {
+	c := testRig(t)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			lvl := g % (c.MaxLevel() + 1)
+			rng := stats.NewRNG(uint64(9000 + g))
+			cw := makeCodeword(t, c, lvl, uint64(9000+g))
+			want := append([]byte(nil), cw...)
+			for i := 0; i < 8; i++ {
+				flip(cw, c.CorrectionCap(lvl)/2, rng)
+				if _, err := c.Decode(lvl, cw); err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(cw, want) {
+					done <- errors.New("concurrent decode corrupted the codeword")
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package ldpc_test
+
+import (
+	"testing"
+
+	"xlnand/internal/codectest"
+	"xlnand/internal/ldpc"
+)
+
+// TestCodecConformance runs the shared ecc.Codec conformance suite
+// against the LDPC family — identical to the BCH package's run, so the
+// two families stay behaviourally interchangeable behind the interface.
+func TestCodecConformance(t *testing.T) {
+	codec, err := ldpc.NewPageCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codectest.Run(t, codec, codectest.Options{
+		// Iterative decoding with a conservative calibrated cap: cap+1
+		// may still repair (exactly), or fail with rollback.
+		StrictCapPlusOne: false,
+	})
+}

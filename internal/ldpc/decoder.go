@@ -1,0 +1,230 @@
+package ldpc
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+)
+
+// Decoding parameters. Min-sum is scale-invariant in the channel LLRs,
+// so the hard-input channel is ±1 and the soft-input channel uses the
+// device's quantised confidence directly; the normalization factor and
+// the posterior clamp are the two standard knobs.
+const (
+	// minSumAlpha is the normalized-min-sum scaling of check-to-variable
+	// messages (compensates min-sum's overestimate vs sum-product).
+	minSumAlpha = 0.78
+	// llrClamp bounds posterior magnitudes for numerical sanity.
+	llrClamp = 96.0
+	// maxIterHard / maxIterSoft bound the iteration count per decode.
+	maxIterHard = 32
+	maxIterSoft = 40
+	// stallPatience aborts a decode whose unsatisfied-check count has
+	// not improved for this many iterations — hopeless inputs (far past
+	// the decoding cliff) then fail in a handful of iterations instead
+	// of burning the full budget.
+	stallPatience = 6
+)
+
+// Decoder is the min-sum engine of one capability level. It is safe for
+// concurrent use: all mutable state lives in pooled scratch.
+type Decoder struct {
+	c    *code
+	pool sync.Pool
+}
+
+// decodeScratch is one decode's working set: posterior LLRs, per-edge
+// check-to-variable messages, and the packed hard-decision words the
+// word-parallel syndrome check runs over.
+type decodeScratch struct {
+	post  []float32 // posterior LLR per codeword bit
+	r     []float32 // check-to-variable message per edge
+	hard  []uint64  // packed hard decisions (n/64 words)
+	syn   []uint64  // syndrome scratch (m/64 words)
+	chans []float32 // channel LLR per codeword bit
+	out   []byte    // byte image of a convergence, for the CRC verdict
+}
+
+func newDecoder(c *code) *Decoder {
+	d := &Decoder{c: c}
+	d.pool.New = func() any {
+		return &decodeScratch{
+			post:  make([]float32, c.n),
+			r:     make([]float32, c.edges),
+			hard:  make([]uint64, c.n/Z),
+			syn:   make([]uint64, c.m/Z),
+			chans: make([]float32, c.n),
+			out:   make([]byte, c.n/8),
+		}
+	}
+	return d
+}
+
+// packWords packs the codeword bytes into big-endian words (bit v at
+// position 63-v%64 of word v/64 — the encoder's convention).
+func packWords(dst []uint64, cw []byte) {
+	for i := range dst {
+		dst[i] = binary.BigEndian.Uint64(cw[i*8:])
+	}
+}
+
+// decode runs normalized min-sum. llr is nil for hard-input decoding
+// (channel = ±1 from the codeword bits); otherwise one signed
+// confidence per codeword bit, sign agreeing with the hard decisions.
+// flipGuard bounds the accepted repair size: a convergence that flips
+// more bits is refused as uncorrectable — beyond-rating inputs
+// occasionally converge onto a *wrong* codeword, and refusing outsized
+// repairs turns that rare silent miscorrection into an honest failure
+// (the rung above, or the FTL's lost-page path, then owns the page).
+// On success the corrected word is written back into cw and the number
+// of flipped bits returned; on failure cw is untouched.
+func (d *Decoder) decode(cw []byte, llr []int8, maxIter, flipGuard int) (int, error) {
+	c := d.c
+	s := d.pool.Get().(*decodeScratch)
+	defer d.pool.Put(s)
+
+	// Fast path: the stored codeword may already be consistent — one
+	// word-parallel syndrome pass, no scratch initialisation beyond the
+	// packed words (the common case for young media). A zero syndrome
+	// with a failing CRC means the channel hit an exact codeword-shaped
+	// error pattern; iterating cannot move off a fixed point, so the
+	// verdict is immediate.
+	packWords(s.hard, cw)
+	if c.syndromeZero(s.hard, s.syn) {
+		if !c.crcOK(cw) {
+			return 0, ErrUncorrectable
+		}
+		return 0, nil
+	}
+
+	// Channel initialisation.
+	if llr == nil {
+		for v := 0; v < c.n; v++ {
+			if s.hard[v/Z]&(1<<uint(63-v%Z)) == 0 {
+				s.chans[v] = 1
+			} else {
+				s.chans[v] = -1
+			}
+		}
+	} else {
+		for v := 0; v < c.n; v++ {
+			s.chans[v] = float32(llr[v])
+		}
+	}
+	copy(s.post, s.chans)
+	for e := range s.r {
+		s.r[e] = 0
+	}
+
+	bestUnsat := c.m + 1
+	stall := 0
+	for iter := 0; iter < maxIter; iter++ {
+		// Layered check-node pass with posterior tracking: for each
+		// check, peel the old message out of the posterior, run the
+		// min/sign kernel, fold the new message back in.
+		for ci := 0; ci < c.m; ci++ {
+			lo, hi := c.checkStart[ci], c.checkStart[ci+1]
+			min1, min2 := float32(llrClamp*2), float32(llrClamp*2)
+			minAt := lo
+			negs := 0
+			for e := lo; e < hi; e++ {
+				q := s.post[c.checkVar[e]] - s.r[e]
+				if q < 0 {
+					negs++
+					q = -q
+				}
+				if q < min1 {
+					min2, min1, minAt = min1, q, e
+				} else if q < min2 {
+					min2 = q
+				}
+			}
+			m1 := min1 * minSumAlpha
+			m2 := min2 * minSumAlpha
+			for e := lo; e < hi; e++ {
+				v := c.checkVar[e]
+				q := s.post[v] - s.r[e]
+				mag := m1
+				if e == minAt {
+					mag = m2
+				}
+				// Sign: product of the *other* incoming signs — the
+				// total parity, with this edge's own sign divided out.
+				nr := mag
+				if (negs&1 == 1) != (q < 0) {
+					nr = -mag
+				}
+				p := q + nr
+				if p > llrClamp {
+					p = llrClamp
+				} else if p < -llrClamp {
+					p = -llrClamp
+				}
+				s.r[e] = nr
+				s.post[v] = p
+			}
+		}
+
+		// Hard decisions and word-parallel convergence check.
+		for w := 0; w < c.n/Z; w++ {
+			var word uint64
+			base := w * Z
+			for b := 0; b < Z; b++ {
+				if s.post[base+b] < 0 {
+					word |= 1 << uint(63-b)
+				}
+			}
+			s.hard[w] = word
+		}
+		unsat := c.unsatisfied(s.hard, s.syn)
+		if unsat == 0 {
+			flips := 0
+			for w, word := range s.hard {
+				flips += popcountDiff(word, binary.BigEndian.Uint64(cw[w*8:]))
+			}
+			if flips > flipGuard {
+				return 0, ErrUncorrectable
+			}
+			// The embedded CRC is the authoritative verdict: a min-sum
+			// convergence onto a wrong codeword (possible past the
+			// rating) fails it and surfaces as an honest uncorrectable
+			// instead of silent corruption.
+			for w, word := range s.hard {
+				binary.BigEndian.PutUint64(s.out[w*8:], word)
+			}
+			if !c.crcOK(s.out) {
+				return 0, ErrUncorrectable
+			}
+			copy(cw, s.out)
+			return flips, nil
+		}
+		if unsat < bestUnsat {
+			bestUnsat, stall = unsat, 0
+		} else if stall++; stall >= stallPatience {
+			break
+		}
+	}
+	return 0, ErrUncorrectable
+}
+
+// unsatisfied counts failing parity checks for the packed hard
+// decisions (the stall detector's progress metric).
+func (c *code) unsatisfied(cw []uint64, scratch []uint64) int {
+	pw := cw[c.k/Z:]
+	c.msgSyndrome(scratch, cw[:c.k/Z])
+	var carry uint64
+	unsat := 0
+	for r := range scratch {
+		prev := pw[r] >> 1
+		if carry != 0 {
+			prev |= 1 << 63
+		}
+		unsat += popcount(scratch[r] ^ pw[r] ^ prev)
+		carry = pw[r] & 1
+	}
+	return unsat
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+func popcountDiff(a, b uint64) int { return bits.OnesCount64(a ^ b) }

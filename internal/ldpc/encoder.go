@@ -1,0 +1,81 @@
+package ldpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+)
+
+// encodeInto computes the spare block of msg (exactly kHost/8 bytes)
+// into parity: the embedded CRC64 first, then the systematic LDPC
+// parity of the extended message (msg ‖ crc) — s = A·msg' word-parallel
+// followed by the accumulator's prefix-XOR p_i = s_i ⊕ p_{i-1}.
+// Allocation-free: the syndrome scratch lives on the stack
+// (maxParityWords bounds it) and the CRC table is package-global.
+func (c *code) encodeInto(parity, msg []byte) error {
+	if len(msg)*8 != c.kHost {
+		return fmt.Errorf("ldpc: message %d bytes, code protects %d bits", len(msg), c.kHost)
+	}
+	if len(parity)*8 != crcBits+c.m {
+		return fmt.Errorf("ldpc: parity buffer %d bytes, level needs %d", len(parity), (crcBits+c.m)/8)
+	}
+	crc := crc64.Checksum(msg, crcTable)
+	binary.BigEndian.PutUint64(parity[:8], crc)
+
+	var sbuf [maxParityWords]uint64
+	s := sbuf[:c.m/Z]
+	for i := range s {
+		s[i] = 0
+	}
+	// Inline A·msg' over the message bytes plus the CRC word (packed on
+	// the fly so the encoder needs no message-word scratch).
+	hostWords := c.kHost / Z
+	for j, col := range c.blocks {
+		var w uint64
+		if j < hostWords {
+			w = binary.BigEndian.Uint64(msg[j*8:])
+		} else {
+			w = crc
+		}
+		if w == 0 {
+			continue
+		}
+		for _, be := range col {
+			s[be.Row] ^= rotr(w, int(be.Shift))
+		}
+	}
+
+	// Prefix-XOR along the bit sequence (bit i sits at position 63-i of
+	// its word, so the in-word prefix runs MSB→LSB via right shifts; the
+	// carry is the previous word's last bit, flipping the whole next
+	// word when set).
+	carry := uint64(0)
+	for r := range s {
+		x := s[r]
+		x ^= x >> 1
+		x ^= x >> 2
+		x ^= x >> 4
+		x ^= x >> 8
+		x ^= x >> 16
+		x ^= x >> 32
+		x ^= carry // all-ones when the previous word ended on parity 1
+		s[r] = x
+		carry = -(x & 1) // 0 or ^uint64(0)
+	}
+	for r := range s {
+		binary.BigEndian.PutUint64(parity[8+r*8:], s[r])
+	}
+	return nil
+}
+
+// crcOK verifies the embedded CRC64 of a codeword image (msg ‖ crc ‖
+// parity, byte-packed).
+func (c *code) crcOK(cw []byte) bool {
+	hostBytes := c.kHost / 8
+	return crc64.Checksum(cw[:hostBytes], crcTable) ==
+		binary.BigEndian.Uint64(cw[hostBytes:])
+}
+
+// maxParityWords bounds the on-stack encoder/syndrome scratch; the
+// deepest page-geometry level uses 27 words (1728 parity bits).
+const maxParityWords = 64

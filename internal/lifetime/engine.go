@@ -100,6 +100,7 @@ func Run(sc Scenario) (*Report, error) {
 		Seed:         sc.Seed,
 		Env:          env,
 		Controller:   ctrlCfg,
+		Family:       sc.Codec,
 	})
 	if err != nil {
 		return nil, err
@@ -119,6 +120,9 @@ func Run(sc Scenario) (*Report, error) {
 		// end to end: no FTL deep-retry rescue either.
 		f.SetDeepRetry(false)
 	}
+	// The disturb-aware retry guard rides on the scrub policy's knobs (a
+	// zero DisturbRetryBudget leaves it disabled).
+	f.SetRetryGuard(sc.Scrub)
 
 	e := &engine{
 		sc:        sc,
@@ -212,6 +216,15 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 			return nil, err
 		}
 	}
+	if ph.AgeCyclesByDie != nil {
+		for die, delta := range ph.AgeCyclesByDie {
+			if delta > 0 {
+				if err := e.agePhasedDie(ph.Name, die, delta, pr); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	if ph.BakeHours > 0 {
 		if err := e.disp.AdvanceTime(ph.BakeHours); err != nil {
 			return nil, err
@@ -301,6 +314,26 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 		}
 	}
 	e.prevWear = wear
+
+	// Per-die calibration-cache state: the read-reference step each
+	// die's manager predicts for its own most-worn blocks — the
+	// observable that asymmetric-wear scenarios pin (diverged caches)
+	// and uniform ones keep in lockstep.
+	pr.CalibSteps = make([]int, e.geo.Dies)
+	for die := 0; die < e.geo.Dies; die++ {
+		maxWear := 0.0
+		for _, w := range wear[die] {
+			if w > maxWear {
+				maxWear = w
+			}
+		}
+		die := die
+		if err := e.disp.WithController(die, func(c *controller.Controller) {
+			pr.CalibSteps[die] = c.Manager().PredictStep(maxWear)
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	// Per-partition slice, observation and policy retune.
 	for i, ps := range e.parts {
@@ -436,6 +469,12 @@ func (e *engine) verifiedRead(phase string, ps *partState, lpa int, pr *PhaseRep
 		if err == nil && res.Retries > 0 {
 			pr.RecoveredReads++
 			ps.recovered++
+		}
+		// Soft-decision climate: component senses paid by the soft rung,
+		// and reads only it could save.
+		pr.SoftSenses += res.SoftSenses
+		if err == nil && res.Soft {
+			pr.SoftRecovered++
 		}
 	}
 	expect := e.content(ps, lpa, ps.versions[lpa])
@@ -623,6 +662,50 @@ func (e *engine) refresh(phase string, pr *PhaseReport) error {
 	return nil
 }
 
+// agePhasedDie is agePhased for ONE die — the asymmetric-wear stress.
+// The same multiplicative stepping and live-data refresh discipline
+// applies (refreshes span every partition, since partitions stripe over
+// all dies), but only the target die's blocks advance.
+func (e *engine) agePhasedDie(phase string, die int, delta float64, pr *PhaseReport) error {
+	if die < 0 || die >= e.geo.Dies {
+		return fmt.Errorf("lifetime: %s: aging die %d of %d", e.sc.Name, die, e.geo.Dies)
+	}
+	cur := 0.0
+	for blk := 0; blk < e.geo.BlocksPerDie; blk++ {
+		c, err := e.disp.Cycles(die, blk)
+		if err != nil {
+			return err
+		}
+		if c > cur {
+			cur = c
+		}
+	}
+	target := cur + delta
+	for cur < target {
+		next := cur * ageStepFactor
+		if next < ageStepFloor {
+			next = ageStepFloor
+		}
+		if next > target {
+			next = target
+		}
+		for blk := 0; blk < e.geo.BlocksPerDie; blk++ {
+			c, err := e.disp.Cycles(die, blk)
+			if err != nil {
+				return err
+			}
+			if err := e.disp.SetCycles(die, blk, c+next-cur); err != nil {
+				return err
+			}
+		}
+		cur = next
+		if err := e.refresh(phase, pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // age fast-forwards every block's program/erase wear.
 func (e *engine) age(delta float64) error {
 	for die := 0; die < e.geo.Dies; die++ {
@@ -715,6 +798,8 @@ func (e *engine) total(rep *Report) {
 		t.RecoveredReads += ph.RecoveredReads
 		t.RelocRetries += ph.RelocRetries
 		t.DeepRecovered += ph.DeepRecovered
+		t.SoftSenses += ph.SoftSenses
+		t.SoftRecovered += ph.SoftRecovered
 		t.ScrubPasses += ph.ScrubPasses
 		t.PagesScrubbed += ph.PagesScrubbed
 		t.GCMoves += ph.GCMoves

@@ -117,6 +117,15 @@ type PhaseReport struct {
 	// never cross the host read path but occupy the same timeline.
 	RelocRetries  int `json:"reloc_retries"`  // delta over the phase
 	DeepRecovered int `json:"deep_recovered"` // delta over the phase
+	// Soft-decision climate: component array senses the soft-sense rung
+	// paid this phase, and verified reads only the soft-input decoder
+	// could bring back (both 0 for hard-only codec families).
+	SoftSenses    int `json:"soft_senses"`
+	SoftRecovered int `json:"soft_recovered"`
+	// CalibSteps is each die's predicted read-reference ladder step for
+	// its most-worn blocks at phase end — the per-die calibration-cache
+	// state (asymmetric wear makes the entries diverge).
+	CalibSteps []int `json:"calib_steps"`
 	// UBER is the phase's post-correction error rate: lost bits / bits
 	// read (0 when nothing was read).
 	UBER float64 `json:"uber"`
@@ -153,6 +162,8 @@ type Totals struct {
 	RecoveredReads     int     `json:"recovered_reads"`
 	RelocRetries       int     `json:"reloc_retries"`
 	DeepRecovered      int     `json:"deep_recovered"`
+	SoftSenses         int     `json:"soft_senses"`
+	SoftRecovered      int     `json:"soft_recovered"`
 	ScrubPasses        int     `json:"scrub_passes"`
 	PagesScrubbed      int     `json:"pages_scrubbed"`
 	GCMoves            int     `json:"gc_moves"`
@@ -182,17 +193,17 @@ func (r *Report) JSON() ([]byte, error) {
 func (r *Report) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "scenario %s (seed %d, %d dies x %d blocks)\n",
 		r.Scenario, r.Seed, r.Dies, r.BlocksPerDie)
-	fmt.Fprintf(w, "%-16s %8s %8s %10s %9s %7s %7s %7s %7s %8s %9s %9s\n",
-		"phase", "reads", "writes", "corrected", "uncorr", "retry", "recov", "scrub", "retired", "wearmax", "readMB/s", "UBER")
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %9s %7s %7s %7s %7s %7s %8s %9s %9s\n",
+		"phase", "reads", "writes", "corrected", "uncorr", "retry", "recov", "soft", "scrub", "retired", "wearmax", "readMB/s", "UBER")
 	for _, ph := range r.Phases {
-		fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %7d %7d %8.0f %9.2f %9.2e\n",
+		fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %7d %7d %7d %8.0f %9.2f %9.2e\n",
 			ph.Name, ph.HostReads, ph.HostWrites, ph.CorrectedBits, ph.UncorrectableReads,
-			ph.Retries, ph.RecoveredReads, ph.PagesScrubbed, ph.RetiredBlocks, ph.WearMax, ph.ReadMBps, ph.UBER)
+			ph.Retries, ph.RecoveredReads, ph.SoftRecovered, ph.PagesScrubbed, ph.RetiredBlocks, ph.WearMax, ph.ReadMBps, ph.UBER)
 	}
 	t := r.Totals
-	fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %7d %7d %8.0f %9s %9.2e\n",
+	fmt.Fprintf(w, "%-16s %8d %8d %10d %9d %7d %7d %7d %7d %7d %8.0f %9s %9.2e\n",
 		"TOTAL", t.HostReads, t.HostWrites, t.CorrectedBits, t.UncorrectableReads,
-		t.Retries, t.RecoveredReads, t.PagesScrubbed, t.RetiredBlocks, t.FinalWearMax, "", t.UBER)
+		t.Retries, t.RecoveredReads, t.SoftRecovered, t.PagesScrubbed, t.RetiredBlocks, t.FinalWearMax, "", t.UBER)
 }
 
 // PhaseSummary is the golden-fixture slice of a phase: exact counters
@@ -207,11 +218,17 @@ type PhaseSummary struct {
 	Uncorrectable int    `json:"uncorrectable"`
 	Retries       int    `json:"retries"`
 	Recovered     int    `json:"recovered"`
+	SoftSenses    int    `json:"soft_senses"`
+	SoftRecovered int    `json:"soft_recovered"`
 	PagesScrubbed int    `json:"pages_scrubbed"`
 	Retired       int    `json:"retired"`
 	UBER          string `json:"uber"`
 	WearMax       string `json:"wear_max"`
 	Modes         string `json:"modes"`
+	// CalibSteps renders the per-die calibration-cache state, e.g.
+	// "5,0" for a worn die predicting step 5 next to a young one at
+	// nominal references.
+	CalibSteps string `json:"calib_steps"`
 }
 
 // Summary projects the report onto its golden-fixture form.
@@ -224,6 +241,7 @@ type Summary struct {
 		Uncorrectable int    `json:"uncorrectable"`
 		Retries       int    `json:"retries"`
 		Recovered     int    `json:"recovered"`
+		SoftRecovered int    `json:"soft_recovered"`
 		LostBits      int64  `json:"lost_bits"`
 		Retired       int    `json:"retired"`
 		UBER          string `json:"uber"`
@@ -241,6 +259,13 @@ func (r *Report) Summarize() Summary {
 			}
 			modes += pp.Name + "=" + pp.Mode
 		}
+		calib := ""
+		for i, st := range ph.CalibSteps {
+			if i > 0 {
+				calib += ","
+			}
+			calib += strconv.Itoa(st)
+		}
 		s.Phases = append(s.Phases, PhaseSummary{
 			Name:          ph.Name,
 			HostReads:     ph.HostReads,
@@ -249,17 +274,21 @@ func (r *Report) Summarize() Summary {
 			Uncorrectable: ph.UncorrectableReads,
 			Retries:       ph.Retries,
 			Recovered:     ph.RecoveredReads,
+			SoftSenses:    ph.SoftSenses,
+			SoftRecovered: ph.SoftRecovered,
 			PagesScrubbed: ph.PagesScrubbed,
 			Retired:       ph.RetiredBlocks,
 			UBER:          fmt.Sprintf("%.3g", ph.UBER),
 			WearMax:       fmt.Sprintf("%.3g", ph.WearMax),
 			Modes:         modes,
+			CalibSteps:    calib,
 		})
 	}
 	s.Totals.CorrectedBits = r.Totals.CorrectedBits
 	s.Totals.Uncorrectable = r.Totals.UncorrectableReads
 	s.Totals.Retries = r.Totals.Retries
 	s.Totals.Recovered = r.Totals.RecoveredReads
+	s.Totals.SoftRecovered = r.Totals.SoftRecovered
 	s.Totals.LostBits = r.Totals.LostBits
 	s.Totals.Retired = r.Totals.RetiredBlocks
 	s.Totals.UBER = fmt.Sprintf("%.3g", r.Totals.UBER)

@@ -21,6 +21,7 @@ package lifetime
 import (
 	"fmt"
 
+	"xlnand/internal/ecc"
 	"xlnand/internal/ftl"
 	"xlnand/internal/sim"
 )
@@ -48,6 +49,12 @@ type Phase struct {
 	// many cycles before the phase's traffic (the Calibration.Age model
 	// scales all wear-dependent variability from the new count).
 	AgeCycles float64
+	// AgeCyclesByDie, when non-nil, fast-forwards each die by its own
+	// extra cycle count (index = die; missing entries age by 0) instead
+	// of the uniform AgeCycles — the asymmetric-wear stress that makes
+	// the per-die read-reference calibration caches diverge. Dies are
+	// aged one at a time with the same stepped-refresh discipline.
+	AgeCyclesByDie []float64
 	// BakeHours advances the retention clock, baking every stored page.
 	BakeHours float64
 	// DisturbReads performs this many raw array reads (ECC bypassed) of
@@ -111,6 +118,12 @@ type Scenario struct {
 	// the end of every phase from the measured error climate.
 	Policy Policy
 
+	// Codec selects the ECC family behind every die's controller (the
+	// zero value is the paper's adaptive BCH; ecc.FamilyLDPC swaps in
+	// the soft-decision LDPC codec, whose soft-sense rung unlocks once
+	// ReadRetry extends past the device's hard reference ladder).
+	Codec ecc.Family
+
 	// Env overrides the analytic environment (nil uses sim.DefaultEnv).
 	Env *sim.Env
 }
@@ -168,6 +181,15 @@ func (sc Scenario) Validate() error {
 		if ph.AgeCycles < 0 || ph.BakeHours < 0 || ph.DisturbReads < 0 {
 			return fmt.Errorf("lifetime: %s: phase %q has negative stress", sc.Name, ph.Name)
 		}
+		if len(ph.AgeCyclesByDie) > sc.Dies {
+			return fmt.Errorf("lifetime: %s: phase %q ages %d dies, device has %d",
+				sc.Name, ph.Name, len(ph.AgeCyclesByDie), sc.Dies)
+		}
+		for _, d := range ph.AgeCyclesByDie {
+			if d < 0 {
+				return fmt.Errorf("lifetime: %s: phase %q has negative per-die aging", sc.Name, ph.Name)
+			}
+		}
 	}
 	if sc.ScrubEvery < 0 {
 		return fmt.Errorf("lifetime: %s: negative scrub cadence", sc.Name)
@@ -196,6 +218,7 @@ func Catalog() []Scenario {
 		MixedMultiTenant(),
 		MissionCriticalMinUBER(),
 		ColdStorageDeepBake(),
+		SoftDecisionLDPCArchive(),
 	}
 }
 
@@ -354,6 +377,78 @@ func ColdStorageDeepBake() Scenario {
 	}
 }
 
+// SoftDecisionLDPCArchive is the beyond-datasheet cold-archive persona
+// the LDPC family exists for: the device is aged and shelf-baked so far
+// past its rating that the raw error count at EVERY hard read-reference
+// shift exceeds what any hard-decision decode can repair — the regime
+// where a BCH controller (t <= 65, full retry ladder) loses the medium
+// outright. The LDPC controller, with the retry budget opened one rung
+// past the hard ladder, survives on soft-sense reads: every deep-shelf
+// audit walks the full hard ladder, fails, pays the multi-sense soft
+// read and decodes through min-sum — so the report's soft-sense column
+// is the acceptance evidence of the whole soft pipeline, and the phase
+// read throughput visibly collapses under the extra senses and decode
+// iterations.
+func SoftDecisionLDPCArchive() Scenario {
+	steps := 6 // nand.DefaultStressConfig().RetrySteps (kept literal: scenarios are data)
+	return Scenario{
+		Name:        "ldpc-soft-archive",
+		Description: "soft-decision LDPC cold archive: aged past the BCH cliff, audits survive on multi-sense soft reads",
+		Seed:        271,
+		Dies:        1, BlocksPerDie: 4,
+		Codec:        ecc.FamilyLDPC,
+		Partitions:   []PartitionConfig{{Name: "vault", Blocks: 4, Mode: sim.ModeNominal, WorkingSet: 48}},
+		Scrub:        ftl.ScrubPolicy{FractionOfT: 0.7, RetryAlarm: 3},
+		ScrubEvery:   80,
+		MaxUBER:      1e-9,
+		SafetyMargin: 1.7,
+		ReadRetry:    steps + 1, // one rung past the hard ladder: soft unlocked
+		Phases: []Phase{
+			{Name: "ingest", Ops: 120, ReadFraction: 0.15},
+			{Name: "shelf-audit", AgeCycles: 1e4, BakeHours: 2500, Ops: 100, ReadFraction: 0.9},
+			// Past the BCH cliff: raw RBER pins at the physical ceiling,
+			// the best reference shift still leaves ~2x the strongest
+			// hard-decision capability — only the soft rung reads back.
+			{Name: "beyond-datasheet-shelf", AgeCycles: 2e7, BakeHours: 1e5, Ops: 90, ReadFraction: 0.95},
+		},
+	}
+}
+
+// AsymmetricDieWear is the golden regression scenario for per-die
+// calibration-cache divergence: one die of a two-die array ages hard
+// while the other stays young, a shared shelf bake drifts both, and the
+// following audit reads teach each die's reliability manager its own
+// read-reference offset — the report's per-die calibration column must
+// show the caches diverging (worn die at a deep step, young die at or
+// near nominal).
+func AsymmetricDieWear() Scenario {
+	return Scenario{
+		Name:        "golden-asym",
+		Description: "golden fixture: asymmetric per-die wear drives calibration-cache divergence",
+		Seed:        616,
+		Dies:        2, BlocksPerDie: 2,
+		// The live set exceeds what the young die alone can hold (two
+		// blocks = 128 pages), so data MUST keep occupying the worn die
+		// by pigeonhole: the wear-levelling victim choice would otherwise
+		// drain it entirely (low-wear blocks are preferred frontiers) and
+		// the audit would never touch the climate this fixture pins.
+		Partitions:   []PartitionConfig{{Name: "p0", Blocks: 4, Mode: sim.ModeNominal, WorkingSet: 150}},
+		Scrub:        ftl.ScrubPolicy{FractionOfT: 0.5, RetryAlarm: 2},
+		ScrubEvery:   90,
+		MaxUBER:      1e-8,
+		SafetyMargin: 1.7,
+		Policy:       DefaultWearLadder(),
+		Phases: []Phase{
+			{Name: "fill", Ops: 420, ReadFraction: 0.05},
+			// Die 0 takes three decades more wear than die 1; the bake
+			// then drifts stored charge on both, but only die 0's climate
+			// needs deep reference shifts.
+			{Name: "asym-age", AgeCyclesByDie: []float64{9e5, 2e3}, BakeHours: 9e3, Ops: 130, ReadFraction: 0.85},
+			{Name: "late-audit", BakeHours: 4e3, Ops: 110, ReadFraction: 0.9},
+		},
+	}
+}
+
 // GoldenShort returns the two canned regression scenarios whose report
 // summaries are pinned as golden fixtures in testdata/: tiny biographies
 // that still cross an aging step, a scrub pass and (for golden-churn) GC
@@ -361,6 +456,7 @@ func ColdStorageDeepBake() Scenario {
 // stack moves the fixture.
 func GoldenShort() []Scenario {
 	return []Scenario{
+		AsymmetricDieWear(),
 		{
 			Name:        "golden-stream",
 			Description: "golden fixture: fill + aged streaming reads",

@@ -56,6 +56,24 @@ type StressConfig struct {
 	// RetryOvershoot grows the RBER per step past the optimal offset
 	// (over-shifted references misclassify cells the other way).
 	RetryOvershoot float64
+
+	// --- Soft-sense reads (multi-sense per-bit confidence) ---
+
+	// SoftSenses is the number of component array senses one soft read
+	// performs: the center sense at the requested ladder step plus
+	// adjacent-reference senses bracketing each read boundary. Every
+	// component sense pays one tR and one read-disturb count.
+	SoftSenses int
+	// SoftCapture is the probability that a cell misread by the center
+	// sense lands between the bracketing references — i.e. is flagged
+	// low-confidence. Cells whose V_TH drifted across a read boundary
+	// sit near it, so most raw errors are captured (Cai et al.'s
+	// retention-failure characterisation).
+	SoftCapture float64
+	// SoftFalseWeak is the probability that a correctly-read cell is
+	// flagged low-confidence anyway (cells legitimately near a
+	// boundary).
+	SoftFalseWeak float64
 }
 
 // DefaultStressConfig returns stress constants in the ranges reported by
@@ -77,6 +95,10 @@ func DefaultStressConfig() StressConfig {
 		RetryResidual:           0.35,
 		RetryFloorFrac:          0.08,
 		RetryOvershoot:          1.15,
+
+		SoftSenses:    3,
+		SoftCapture:   0.92,
+		SoftFalseWeak: 0.015,
 	}
 }
 

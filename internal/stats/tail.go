@@ -104,7 +104,13 @@ func LogBinomTail(n, k int, p float64) float64 {
 			break
 		}
 	}
-	return l0 + math.Log(sum)
+	// Far past the cliff (k << n·p) the relative terms grow without
+	// bound and the accumulator can overflow — but the tail is a
+	// probability: its log never exceeds 0.
+	if v := l0 + math.Log(sum); v < 0 {
+		return v
+	}
+	return 0
 }
 
 // LogSumExp returns ln(exp(a) + exp(b)) without overflow.

@@ -59,6 +59,20 @@
 // AppliedOffset and the per-stage latency breakdown; every retry is
 // charged on the modelled timeline.
 //
+// # Codec families
+//
+// The ECC block behind the controller is selectable at Open time:
+// WithCodec(CodecBCH) is the paper's adaptive hard-decision BCH (the
+// default), WithCodec(CodecLDPC) swaps in a rate-compatible
+// quasi-cyclic LDPC codec with normalized min-sum decoding. The LDPC
+// family adds the recovery ladder's final rung: once a read's budget
+// extends past every hard reference shift, the device performs a
+// multi-sense soft read (per-bit confidence from bracketing senses,
+// each component sense paying real tR, bus and disturb cost) and the
+// soft-input decoder takes over — recovering pages no hard-decision
+// path can, at a visible throughput price. WithSoftRetry configures
+// that rung; ReadResult.Soft and Completion.SoftSenses report it.
+//
 // # Migrating from WritePage/ReadPage
 //
 // The blocking single-page calls remain as convenience wrappers over
@@ -87,9 +101,25 @@ import (
 
 	"xlnand/internal/controller"
 	"xlnand/internal/dispatch"
+	"xlnand/internal/ecc"
 	"xlnand/internal/nand"
 	"xlnand/internal/sim"
 	"xlnand/internal/timing"
+)
+
+// CodecFamily selects the ECC family behind the controller.
+type CodecFamily = ecc.Family
+
+// Codec families for WithCodec.
+const (
+	// CodecBCH is the paper's adaptive hard-decision BCH codec
+	// (capability level = correction capability t in [3, 65]).
+	CodecBCH = ecc.FamilyBCH
+	// CodecLDPC is the rate-compatible quasi-cyclic LDPC codec with
+	// normalized min-sum decoding and a soft-decision read path
+	// (capability level = rate index; six levels whose spare footprint
+	// spans 72-224 B, an embedded CRC64 included).
+	CodecLDPC = ecc.FamilyLDPC
 )
 
 // Algorithm selects the NAND program algorithm (the physical-layer knob).
@@ -119,6 +149,8 @@ type config struct {
 	targetUBERExp uint32
 	manualECC     bool
 	readRetry     *int
+	softRetry     *int
+	family        ecc.Family
 	bus           *timing.FlashBus
 	hw            *codecHW
 }
@@ -173,6 +205,33 @@ func WithReadRetry(n int) Option {
 			n = 0
 		}
 		c.readRetry = &n
+	})
+}
+
+// WithCodec selects the ECC family the sub-system's shared codec
+// implements (default CodecBCH, the paper's adaptive BCH block).
+// CodecLDPC swaps in the soft-decision LDPC family: hard decodes run
+// normalized min-sum, and once a read's budget extends past the full
+// hard-decision recovery ladder (see WithReadRetry), the final rung is
+// a multi-sense soft read feeding the soft-input decoder — each
+// component sense paying real tR, bus and disturb cost on the modelled
+// timeline. Reads always decode at the capability level recovered from
+// the stored parity geometry, so the two families never mix within one
+// sub-system instance.
+func WithCodec(f CodecFamily) Option {
+	return optionFunc(func(c *config) { c.family = f })
+}
+
+// WithSoftRetry sets the soft-decision rung budget: how many soft-sense
+// decode attempts may follow an exhausted hard ladder (default 1; 0
+// disables the soft rung). It has no effect on codec families without a
+// soft path (BCH).
+func WithSoftRetry(n int) Option {
+	return optionFunc(func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.softRetry = &n
 	})
 }
 
@@ -284,9 +343,11 @@ func Open(opts ...Option) (*Subsystem, error) {
 	ctrlCfg.TargetUBERExp = cfg.targetUBERExp
 	ctrlCfg.Adaptive = !cfg.manualECC
 	ctrlCfg.Bus = env.Bus
-	ctrlCfg.HW = env.HW
 	if cfg.readRetry != nil {
 		ctrlCfg.MaxRetries = *cfg.readRetry
+	}
+	if cfg.softRetry != nil {
+		ctrlCfg.SoftRetries = *cfg.softRetry
 	}
 
 	disp, err := dispatch.New(dispatch.Config{
@@ -295,12 +356,13 @@ func Open(opts ...Option) (*Subsystem, error) {
 		Seed:         cfg.seed,
 		Env:          env,
 		Controller:   ctrlCfg,
+		Family:       cfg.family,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if cfg.manualECC {
-		disp.PinCapability(env.TMax)
+		disp.PinCapability(disp.Codec().MaxLevel())
 	}
 	return &Subsystem{disp: disp, q: disp.NewQueue(), env: env}, nil
 }
@@ -354,8 +416,8 @@ func (s *Subsystem) SetCapability(t int) { s.disp.PinCapability(t) }
 func (s *Subsystem) SetAdaptive(on bool) {
 	if on {
 		s.disp.Unpin()
-	} else if s.disp.PinnedT() == 0 {
-		s.disp.PinCapability(s.env.TMax)
+	} else if s.disp.PinnedT() < 0 {
+		s.disp.PinCapability(s.disp.Codec().MaxLevel())
 	}
 }
 
