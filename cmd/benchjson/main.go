@@ -8,13 +8,29 @@
 // Each benchmark line becomes one object with the canonical fields
 // (name, iterations, ns/op, MB/s, B/op, allocs/op) plus any custom
 // b.ReportMetric units under "metrics".
+//
+// The -suite mode regenerates a CI perf artifact locally, running the
+// same benchmarks the workflow runs and writing the same BENCH_*.json:
+//
+//	go run ./cmd/benchjson -list            # show the suites
+//	go run ./cmd/benchjson -suite array     # BENCH_array.json in .
+//	go run ./cmd/benchjson -suite all -out /tmp/bench
+//
+// A locally regenerated file diffs cleanly against the CI artifact of
+// the same commit (timings move, the structure and metrics do not), so
+// perf work doesn't need a CI round-trip per measurement.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -30,17 +46,87 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// run is one `go test -bench` invocation of a suite.
+type run struct {
+	pkg       string
+	bench     string
+	benchtime string
+}
+
+// suite is one CI perf artifact: the runs whose parsed output lands in
+// BENCH_<name>.json. Definitions mirror .github/workflows/ci.yml — a
+// suite added here should be wired there too (and vice versa).
+type suite struct {
+	name string
+	desc string
+	runs []run
+}
+
+var suites = []suite{
+	{
+		name: "decode",
+		desc: "BCH decode/encode hot paths + queue read fan-out",
+		runs: []run{
+			{"./internal/bch", "^(BenchmarkDecode|BenchmarkEncode|BenchmarkSyndromes|BenchmarkChien)", "10x"},
+			{".", "^BenchmarkQueueReadDies", "5x"},
+		},
+	},
+	{
+		name: "readretry",
+		desc: "read-recovery ladder cost on fresh vs aged media",
+		runs: []run{
+			{"./internal/controller", "^(BenchmarkControllerRead|BenchmarkReadRecovery)", "5x"},
+		},
+	},
+	{
+		name: "ldpc",
+		desc: "LDPC codec throughput + BCH-vs-LDPC recovery",
+		runs: []run{
+			{"./internal/ldpc", "^(BenchmarkLDPCDecode|BenchmarkLDPCDecodeSoft|BenchmarkLDPCEncode)", "5x"},
+			{"./internal/controller", "^BenchmarkFamilyRecovery", "5x"},
+		},
+	},
+	{
+		name: "lifetime",
+		desc: "full-stack device-biography soak",
+		runs: []run{
+			{"./internal/lifetime", "^BenchmarkLifetimeSmoke$", "3x"},
+		},
+	},
+	{
+		name: "array",
+		desc: "fleet IOPS and cache hit rate vs drive count (1/4/16)",
+		runs: []run{
+			{"./internal/array", "^BenchmarkFleetIOPS$", "1x"},
+		},
+	},
+}
+
 func main() {
-	var results []Result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if r, ok := parseLine(line); ok {
-			results = append(results, r)
+	var (
+		suiteName = flag.String("suite", "", "run a named benchmark suite (or 'all') and write BENCH_<suite>.json")
+		outDir    = flag.String("out", ".", "directory for -suite output files")
+		list      = flag.Bool("list", false, "list the benchmark suites and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range suites {
+			fmt.Printf("%-10s BENCH_%s.json  %s\n", s.name, s.name, s.desc)
 		}
+		return
 	}
-	if err := sc.Err(); err != nil {
+	if *suiteName != "" {
+		if err := runSuites(*suiteName, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Filter mode: stdin -> stdout.
+	results, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -50,6 +136,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runSuites executes the named suite (or every suite) and writes one
+// BENCH_<name>.json per suite into dir.
+func runSuites(name, dir string) error {
+	var selected []suite
+	for _, s := range suites {
+		if name == "all" || s.name == name {
+			selected = append(selected, s)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown suite %q (try -list)", name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range selected {
+		var results []Result
+		for _, r := range s.runs {
+			cmd := exec.Command("go", "test", "-run", "^$",
+				"-bench", r.bench, "-benchtime", r.benchtime, "-benchmem", r.pkg)
+			cmd.Stderr = os.Stderr
+			out, err := cmd.Output()
+			if err != nil {
+				return fmt.Errorf("suite %s: %s %s: %w", s.name, r.pkg, r.bench, err)
+			}
+			os.Stdout.Write(out)
+			parsed, err := parse(bytes.NewReader(out))
+			if err != nil {
+				return fmt.Errorf("suite %s: %w", s.name, err)
+			}
+			results = append(results, parsed...)
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("suite %s matched no benchmarks", s.name)
+		}
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+s.name+".json")
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(results))
+	}
+	return nil
+}
+
+// parse converts `go test -bench` text into parsed results.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // parseLine handles the `BenchmarkName-P  N  <value unit>...` format.

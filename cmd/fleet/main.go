@@ -1,0 +1,170 @@
+// Command fleet runs the fleet-scale layers: the multi-drive lifetime
+// scenario (N independent drive biographies run concurrently, merged
+// deterministically) and the striped array service (host cache +
+// per-tenant QoS over concurrent drives).
+//
+//	fleet                          # 16-drive lifetime smoke fleet
+//	fleet -drives 64 -seed 7       # wider fleet, different seed
+//	fleet -json fleet.json         # archive the merged report
+//	fleet -array                   # striped-array workload instead
+//	fleet -array -drives 16 -cache-pages 256 -policy clock -ops 4000
+//
+// Both modes are seed-reproducible: the same flags produce
+// byte-identical JSON no matter how the drive goroutines interleave.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xlnand/internal/array"
+	"xlnand/internal/lifetime"
+)
+
+func main() {
+	var (
+		arrayMode = flag.Bool("array", false, "run the striped-array workload instead of the lifetime fleet")
+		drives    = flag.Int("drives", 16, "number of drives in the fleet")
+		seed      = flag.Uint64("seed", 0, "override the master seed (0 keeps the default)")
+		workers   = flag.Int("workers", 0, "cap on concurrently running drives (0 = min(drives, 16); lifetime mode only)")
+		jsonOut   = flag.String("json", "", "write the merged report JSON to this file (- for stdout)")
+
+		// Array-mode shape.
+		dies       = flag.Int("dies", 2, "dies per drive (array mode)")
+		blocks     = flag.Int("blocks", 8, "blocks per die (array mode)")
+		stripe     = flag.Int("stripe", 1, "stripe unit in volume pages (array mode)")
+		cachePages = flag.Int("cache-pages", 128, "host cache capacity in volume pages, 0 disables (array mode)")
+		policy     = flag.String("policy", "lru", "cache eviction policy: lru or clock (array mode)")
+		ops        = flag.Int("ops", 2000, "workload operations to run (array mode)")
+	)
+	flag.Parse()
+
+	var (
+		js  []byte
+		err error
+	)
+	if *arrayMode {
+		js, err = runArray(*drives, *dies, *blocks, *stripe, *cachePages, *policy, *ops, *seed)
+	} else {
+		js, err = runLifetimeFleet(*drives, *workers, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonOut == "" {
+		return
+	}
+	if *jsonOut == "-" {
+		os.Stdout.Write(js)
+		fmt.Println()
+		return
+	}
+	if err := os.WriteFile(*jsonOut, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runLifetimeFleet plays the smoke biography across the fleet and
+// prints the merged phase table.
+func runLifetimeFleet(drives, workers int, seed uint64) ([]byte, error) {
+	fs := lifetime.FleetSmoke()
+	fs.Drives = drives
+	fs.Workers = workers
+	if seed != 0 {
+		fs.Seed = seed
+	}
+	res, err := lifetime.RunFleet(fs)
+	if err != nil {
+		return nil, err
+	}
+	res.WriteTable(os.Stdout)
+	return res.JSON()
+}
+
+// runArray drives a striped volume with two tenants — an unthrottled
+// latency-sensitive one and a token-bucket-limited scanner — through a
+// skewed read/write mix, then prints the fleet summary.
+func runArray(drives, dies, blocks, stripe, cachePages int, policy string, ops int, seed uint64) ([]byte, error) {
+	if seed == 0 {
+		seed = 42
+	}
+	a, err := array.New(array.Config{
+		Drives:       drives,
+		DiesPerDrive: dies,
+		BlocksPerDie: blocks,
+		Seed:         seed,
+		StripePages:  stripe,
+		Cache:        array.CacheConfig{Pages: cachePages, Policy: policy},
+		Tenants: []array.TenantConfig{
+			{Name: "oltp"},
+			{Name: "scan", Rate: 4000, Burst: 32},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+
+	vol := a.VolumePages()
+	hot := vol / 8
+	if hot < 1 {
+		hot = 1
+	}
+	page := func(i int) []byte {
+		data := make([]byte, a.PageBytes())
+		for j := range data {
+			data[j] = byte(i*131 + j*31)
+		}
+		return data
+	}
+	// Seed the hot set so the read mix below never misses on unwritten
+	// pages.
+	for p := 0; p < hot; p++ {
+		if err := a.Submit(array.Op{Tenant: "oltp", Write: true, Page: p, Data: page(p)}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := a.Drain(); err != nil {
+		return nil, err
+	}
+
+	// The measured mix: oltp re-reads and updates the hot set, scan
+	// streams the same pages under its token bucket.
+	state := seed
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	for i := 0; i < ops; i++ {
+		p := next(hot)
+		var op array.Op
+		switch i % 4 {
+		case 0:
+			op = array.Op{Tenant: "oltp", Write: true, Page: p, Data: page(p + i)}
+		case 1, 2:
+			op = array.Op{Tenant: "oltp", Page: p}
+		default:
+			op = array.Op{Tenant: "scan", Page: p}
+		}
+		if err := a.Submit(op); err != nil {
+			return nil, err
+		}
+		if (i+1)%256 == 0 {
+			if _, err := a.Drain(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := a.Drain(); err != nil {
+		return nil, err
+	}
+	if err := a.Flush(); err != nil {
+		return nil, err
+	}
+	rep := a.Report()
+	fmt.Print(rep.Summary())
+	return rep.JSON()
+}

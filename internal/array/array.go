@@ -1,0 +1,441 @@
+// Package array is the fleet-scale front end over the single-drive
+// stack: an Array stripes a volume address space across N independent
+// drives (each a full dispatcher + FTL instance with its own seeded RNG
+// streams), serves reads through a host-side cache with pluggable
+// eviction, buffers writes in a write-back buffer with deterministic
+// flush ordering, and schedules tenants through token-bucket QoS.
+//
+// Determinism at scale is the design center. The front end runs in
+// rounds: a single-threaded scheduler picks the round's ops, batches
+// them per drive, the per-drive workers execute their batches
+// concurrently, and a barrier joins them before any order-sensitive
+// work (cache fills, telemetry merges, clock advance) happens — always
+// in drive-index order, never completion order. Two runs with the same
+// seed and submission sequence produce byte-identical fleet reports no
+// matter how the goroutines interleave.
+package array
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xlnand/internal/controller"
+	"xlnand/internal/ecc"
+	"xlnand/internal/sim"
+)
+
+// Config shapes an Array.
+type Config struct {
+	// Drives is the number of independent drive instances (>= 1).
+	Drives int
+	// DiesPerDrive and BlocksPerDie shape each drive (defaults 2 and 64).
+	DiesPerDrive int
+	BlocksPerDie int
+	// Seed derives every drive's RNG streams (drive i runs at
+	// Seed + i*driveSeedStride).
+	Seed uint64
+	// StripePages is the striping unit in volume pages (default 1:
+	// consecutive pages land on consecutive drives).
+	StripePages int
+	// Cache shapes the host cache; a zero-capacity cache disables both
+	// read caching and write-back buffering.
+	Cache CacheConfig
+	// Tenants declares the QoS population (default: one unthrottled
+	// tenant named "default").
+	Tenants []TenantConfig
+	// RoundOps bounds how many tenant ops one scheduling round admits
+	// (default 8 per drive).
+	RoundOps int
+	// HitLatency is the modelled host-side service time of a cache hit
+	// (default 1µs).
+	HitLatency time.Duration
+	// Family selects the drives' ECC codec family (zero = adaptive BCH).
+	Family ecc.Family
+	// Env overrides the model environment (nil = sim.DefaultEnv()).
+	Env *sim.Env
+	// Controller overrides the per-die controller config (nil = defaults).
+	Controller *controller.Config
+}
+
+// Op is one tenant operation against the volume address space.
+type Op struct {
+	Tenant string
+	Write  bool
+	Page   int // volume page address
+	Data   []byte
+	// Tag is an opaque caller token echoed in the Result, mirroring
+	// dispatch.Request.Tag one layer up.
+	Tag uint64
+}
+
+// Result reports one completed Op in deterministic schedule order.
+type Result struct {
+	Tenant   string
+	Write    bool
+	Page     int
+	Tag      uint64
+	CacheHit bool
+	Drive    int // serving drive; -1 for pure cache traffic
+	Data     []byte
+	Latency  time.Duration
+	Err      error
+}
+
+// Array is the striped multi-drive front end. The scheduling front end
+// (Submit, Drain, Flush, Report, Close) is confined to one caller
+// goroutine; only the drive workers run concurrently, strictly between
+// a round's dispatch and its barrier.
+type Array struct {
+	cfg    Config
+	drives []*drive
+	cache  *hostCache
+	sched  *scheduler
+
+	pageBytes   int
+	stripes     int // stripes per drive
+	volumePages int
+
+	clock     time.Duration // fleet modelled clock
+	rounds    int64
+	stalls    int64
+	pendingWB []writeback // dirty evictions carried into the next round
+
+	closed bool
+}
+
+// New opens an array of cfg.Drives fresh drives.
+func New(cfg Config) (*Array, error) {
+	if cfg.Drives < 1 {
+		return nil, fmt.Errorf("array: need >= 1 drive, got %d", cfg.Drives)
+	}
+	if cfg.DiesPerDrive == 0 {
+		cfg.DiesPerDrive = 2
+	}
+	if cfg.BlocksPerDie == 0 {
+		cfg.BlocksPerDie = 64
+	}
+	if cfg.StripePages == 0 {
+		cfg.StripePages = 1
+	}
+	if cfg.StripePages < 1 {
+		return nil, fmt.Errorf("array: bad stripe unit %d", cfg.StripePages)
+	}
+	if cfg.RoundOps == 0 {
+		cfg.RoundOps = 8 * cfg.Drives
+	}
+	if cfg.HitLatency == 0 {
+		cfg.HitLatency = time.Microsecond
+	}
+	env := sim.DefaultEnv()
+	if cfg.Env != nil {
+		env = *cfg.Env
+	}
+	ctrlCfg := controller.DefaultConfig()
+	if cfg.Controller != nil {
+		ctrlCfg = *cfg.Controller
+	}
+	cache, err := newHostCache(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := newScheduler(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{cfg: cfg, cache: cache, sched: sched}
+	for i := 0; i < cfg.Drives; i++ {
+		d, err := newDrive(i, cfg, env, ctrlCfg)
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		a.drives = append(a.drives, d)
+	}
+	a.pageBytes = a.drives[0].disp.Geometry().PageDataBytes
+	perDrive := a.drives[0].part.Capacity()
+	a.stripes = perDrive / cfg.StripePages
+	if a.stripes == 0 {
+		a.Close()
+		return nil, fmt.Errorf("array: stripe unit %d exceeds drive capacity %d pages",
+			cfg.StripePages, perDrive)
+	}
+	a.volumePages = a.stripes * cfg.StripePages * cfg.Drives
+	return a, nil
+}
+
+// VolumePages is the volume's capacity in pages.
+func (a *Array) VolumePages() int { return a.volumePages }
+
+// PageBytes is the volume's page payload size.
+func (a *Array) PageBytes() int { return a.pageBytes }
+
+// Clock returns the fleet's modelled clock: the accumulated per-round
+// critical path (slowest drive per round) plus host-side service and
+// QoS stall time.
+func (a *Array) Clock() time.Duration { return a.clock }
+
+// locate maps a volume page to (drive, drive-local LPA).
+func (a *Array) locate(page int) (drv, lpa int) {
+	stripe := page / a.cfg.StripePages
+	off := page % a.cfg.StripePages
+	drv = stripe % a.cfg.Drives
+	lpa = (stripe/a.cfg.Drives)*a.cfg.StripePages + off
+	return drv, lpa
+}
+
+// Submit queues one op on its tenant. Ops admit in QoS order, not
+// submission order: one tenant's queue is FIFO, but the fair scheduler
+// interleaves tenants, so an op that depends on another tenant's
+// earlier op needs a Drain barrier between them. Results surface from
+// Drain.
+func (a *Array) Submit(op Op) error {
+	if a.closed {
+		return fmt.Errorf("array: closed")
+	}
+	if op.Page < 0 || op.Page >= a.volumePages {
+		return fmt.Errorf("array: page %d outside volume [0,%d)", op.Page, a.volumePages)
+	}
+	if op.Write {
+		if len(op.Data) != a.pageBytes {
+			return fmt.Errorf("array: write needs %d bytes, got %d", a.pageBytes, len(op.Data))
+		}
+		// Copy: the caller may reuse its buffer; the op may sit queued
+		// and then cached for many rounds.
+		op.Data = append([]byte(nil), op.Data...)
+	} else if op.Data != nil {
+		return fmt.Errorf("array: read carries data")
+	}
+	return a.sched.enqueue(op)
+}
+
+// Drain runs scheduling rounds until every tenant queue is empty and
+// returns the completions in deterministic schedule order.
+func (a *Array) Drain() ([]Result, error) {
+	if a.closed {
+		return nil, fmt.Errorf("array: closed")
+	}
+	var out []Result
+	for a.sched.pending() > 0 {
+		res, err := a.round()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res...)
+	}
+	// Dirty evictions raised by the last round's cache fills would
+	// otherwise sit staged forever (they are already counted as
+	// writebacks): land them before handing control back.
+	a.drainPending()
+	return out, nil
+}
+
+// drainPending executes any carried write-backs as one extra batch.
+func (a *Array) drainPending() {
+	if len(a.pendingWB) == 0 {
+		return
+	}
+	batches := make([][]driveOp, a.cfg.Drives)
+	a.stageWritebacks(a.pendingWB, batches)
+	a.pendingWB = nil
+	a.runBatches(batches)
+	a.advance(a.critTime())
+}
+
+// critTime is the last round's critical path: the slowest drive.
+func (a *Array) critTime() time.Duration {
+	var crit time.Duration
+	for _, d := range a.drives {
+		if d.roundElapsed > crit {
+			crit = d.roundElapsed
+		}
+	}
+	return crit
+}
+
+// round runs one scheduling round: refill buckets, pick fairly, serve
+// from cache, batch misses and write-backs per drive, execute the
+// batches concurrently, join at the barrier, then merge in drive-index
+// order.
+func (a *Array) round() ([]Result, error) {
+	a.rounds++
+	picked := a.sched.pick(a.cfg.RoundOps)
+	if len(picked) == 0 {
+		// Every queued tenant is out of tokens: jump the fleet clock to
+		// the earliest refill instead of spinning.
+		wait := a.sched.stallWait()
+		if wait <= 0 {
+			return nil, fmt.Errorf("array: scheduler stalled with %d ops pending", a.sched.pending())
+		}
+		a.stalls++
+		a.advance(wait)
+		return nil, nil
+	}
+
+	results := make([]Result, len(picked))
+	batches := make([][]driveOp, a.cfg.Drives)
+
+	// Dirty evictions from the previous round's cache fills flush
+	// first, preserving first-dirtied order ahead of new traffic.
+	a.stageWritebacks(a.pendingWB, batches)
+	a.pendingWB = nil
+
+	type fill struct{ slot, page int }
+	var fills []fill
+	var hostTime time.Duration
+
+	for i, op := range picked {
+		r := &results[i]
+		r.Tenant, r.Write, r.Page, r.Tag = op.Tenant, op.Write, op.Page, op.Tag
+		r.Drive = -1
+		t := a.sched.byName[op.Tenant]
+		if op.Write {
+			t.stats.Writes++
+			t.stats.BytesWrite += int64(len(op.Data))
+			if a.cache.enabled() {
+				// Write-back: ack into the buffer; the drive write
+				// happens on eviction or flush.
+				r.CacheHit = true
+				r.Latency = a.cfg.HitLatency
+				hostTime += a.cfg.HitLatency
+				if wb := a.cache.put(op.Page, op.Data, true); wb != nil {
+					a.stageWritebacks([]writeback{*wb}, batches)
+				}
+				continue
+			}
+			drv, lpa := a.locate(op.Page)
+			batches[drv] = append(batches[drv], driveOp{write: true, lpa: lpa, data: op.Data, res: r})
+			continue
+		}
+		t.stats.Reads++
+		if data, ok := a.cache.lookup(op.Page); ok {
+			t.stats.CacheHits++
+			t.stats.BytesRead += int64(len(data))
+			r.CacheHit = true
+			r.Data = append([]byte(nil), data...)
+			r.Latency = a.cfg.HitLatency
+			hostTime += a.cfg.HitLatency
+			continue
+		}
+		drv, lpa := a.locate(op.Page)
+		batches[drv] = append(batches[drv], driveOp{lpa: lpa, res: r})
+		if a.cache.enabled() {
+			fills = append(fills, fill{slot: i, page: op.Page})
+		}
+	}
+
+	// Watermark flush: drain the write-back buffer down to the low
+	// water once it crosses the high water, in first-dirtied order.
+	high, low := a.watermarks()
+	if a.cache.enabled() && a.cache.dirtyCount() >= high {
+		a.stageWritebacks(a.cache.flush(a.cache.dirtyCount()-low), batches)
+	}
+
+	a.runBatches(batches)
+
+	// Post-barrier, deterministic order: account read bytes, fill the
+	// cache with miss data (evictions carry to the next round), and
+	// advance the fleet clock by the slowest drive's round time.
+	for i := range results {
+		r := &results[i]
+		if !r.Write && !r.CacheHit && r.Err == nil {
+			a.sched.byName[r.Tenant].stats.BytesRead += int64(len(r.Data))
+		}
+	}
+	for _, fl := range fills {
+		r := &results[fl.slot]
+		if r.Err != nil {
+			continue
+		}
+		if wb := a.cache.fill(fl.page, r.Data); wb != nil {
+			a.pendingWB = append(a.pendingWB, *wb)
+		}
+	}
+	a.advance(a.critTime() + hostTime)
+	return results, nil
+}
+
+// watermarks resolves the configured dirty watermarks against their
+// defaults (3/4 and 1/4 of capacity).
+func (a *Array) watermarks() (high, low int) {
+	high, low = a.cfg.Cache.DirtyHighWater, a.cfg.Cache.DirtyLowWater
+	if high <= 0 {
+		high = a.cache.cap * 3 / 4
+		if high < 1 {
+			high = 1
+		}
+	}
+	if low < 0 || low >= high {
+		low = a.cache.cap / 4
+		if low >= high {
+			low = high - 1
+		}
+	}
+	return high, low
+}
+
+// stageWritebacks appends dirty pages to their drives' batches, in the
+// given (first-dirtied) order. Write-backs carry no result slot — they
+// are the cache's own traffic.
+func (a *Array) stageWritebacks(wbs []writeback, batches [][]driveOp) {
+	for _, wb := range wbs {
+		drv, lpa := a.locate(wb.page)
+		batches[drv] = append(batches[drv], driveOp{write: true, lpa: lpa, data: wb.data})
+	}
+}
+
+// runBatches hands each non-empty batch to its drive worker and blocks
+// at the barrier until all complete.
+func (a *Array) runBatches(batches [][]driveOp) {
+	var wg sync.WaitGroup
+	for i, b := range batches {
+		if len(b) == 0 {
+			a.drives[i].roundElapsed = 0
+			continue
+		}
+		wg.Add(1)
+		a.drives[i].jobs <- driveJob{batch: b, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// advance moves the fleet clock and refills every token bucket.
+func (a *Array) advance(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	a.clock += dt
+	a.sched.refill(dt)
+}
+
+// Flush writes back every dirty page, in first-dirtied order, through
+// the drives. The write-back buffer is empty afterwards.
+func (a *Array) Flush() error {
+	if a.closed {
+		return fmt.Errorf("array: closed")
+	}
+	wbs := append(a.pendingWB, a.cache.flush(0)...)
+	a.pendingWB = nil
+	if len(wbs) == 0 {
+		return nil
+	}
+	batches := make([][]driveOp, a.cfg.Drives)
+	a.stageWritebacks(wbs, batches)
+	a.runBatches(batches)
+	a.advance(a.critTime())
+	return nil
+}
+
+// Close stops the drive workers and releases every drive. Dirty cache
+// pages are NOT flushed — call Flush first if they matter.
+func (a *Array) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, d := range a.drives {
+		if d != nil {
+			d.close()
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package array
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy is a pluggable eviction policy for the host cache: it tracks
+// residency order, nothing else. The cache calls Admit when a page
+// becomes resident, Touch on every reference to a resident page, Victim
+// when it must evict (the policy removes and returns its choice) and
+// Remove when the cache drops a page for its own reasons. Policies are
+// strictly deterministic: the same call sequence always yields the same
+// victims, which is what keeps fleet reports byte-identical per seed.
+type Policy interface {
+	Name() string
+	Admit(page int)
+	Touch(page int)
+	Victim() int
+	Remove(page int)
+	Len() int
+}
+
+// NewPolicy builds a named eviction policy: "lru" (default for the
+// empty string) or "clock".
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", "lru":
+		return NewLRU(), nil
+	case "clock":
+		return NewClock(), nil
+	default:
+		return nil, fmt.Errorf("array: unknown eviction policy %q", name)
+	}
+}
+
+// LRU evicts the least-recently-used page: a doubly linked list in
+// recency order with a map from page to list element.
+type LRU struct {
+	order *list.List            // front = most recent
+	elem  map[int]*list.Element // page -> element (Value is the page)
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), elem: make(map[int]*list.Element)}
+}
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// Admit implements Policy.
+func (l *LRU) Admit(page int) { l.elem[page] = l.order.PushFront(page) }
+
+// Touch implements Policy.
+func (l *LRU) Touch(page int) {
+	if e, ok := l.elem[page]; ok {
+		l.order.MoveToFront(e)
+	}
+}
+
+// Victim implements Policy.
+func (l *LRU) Victim() int {
+	e := l.order.Back()
+	if e == nil {
+		panic("array: LRU victim of empty cache")
+	}
+	page := e.Value.(int)
+	l.order.Remove(e)
+	delete(l.elem, page)
+	return page
+}
+
+// Remove implements Policy.
+func (l *LRU) Remove(page int) {
+	if e, ok := l.elem[page]; ok {
+		l.order.Remove(e)
+		delete(l.elem, page)
+	}
+}
+
+// Len implements Policy.
+func (l *LRU) Len() int { return l.order.Len() }
+
+// Clock is the classic second-chance approximation of LRU: resident
+// pages sit on a circular list with one reference bit each; the hand
+// sweeps, clearing set bits, and evicts the first page it finds clear.
+// O(1) per touch, no reordering on hit — the policy hardware caches use.
+type Clock struct {
+	ring *list.List            // circular order (hand wraps via Front)
+	hand *list.Element         // next candidate; nil when empty
+	elem map[int]*list.Element // page -> element (Value is *clockSlot)
+}
+
+type clockSlot struct {
+	page int
+	ref  bool
+}
+
+// NewClock returns an empty clock policy.
+func NewClock() *Clock {
+	return &Clock{ring: list.New(), elem: make(map[int]*list.Element)}
+}
+
+// Name implements Policy.
+func (c *Clock) Name() string { return "clock" }
+
+// Admit implements Policy. New pages enter behind the hand with their
+// reference bit set, so they survive the hand's current lap.
+func (c *Clock) Admit(page int) {
+	slot := &clockSlot{page: page, ref: true}
+	var e *list.Element
+	if c.hand == nil {
+		e = c.ring.PushBack(slot)
+		c.hand = e
+	} else {
+		e = c.ring.InsertBefore(slot, c.hand)
+	}
+	c.elem[page] = e
+}
+
+// Touch implements Policy.
+func (c *Clock) Touch(page int) {
+	if e, ok := c.elem[page]; ok {
+		e.Value.(*clockSlot).ref = true
+	}
+}
+
+// advance moves the hand one slot, wrapping at the ring's end.
+func (c *Clock) advance() {
+	c.hand = c.hand.Next()
+	if c.hand == nil {
+		c.hand = c.ring.Front()
+	}
+}
+
+// Victim implements Policy.
+func (c *Clock) Victim() int {
+	if c.hand == nil {
+		panic("array: clock victim of empty cache")
+	}
+	for {
+		slot := c.hand.Value.(*clockSlot)
+		if slot.ref {
+			slot.ref = false
+			c.advance()
+			continue
+		}
+		victim := c.hand
+		c.advance()
+		if victim == c.hand { // last element
+			c.hand = nil
+		}
+		c.ring.Remove(victim)
+		delete(c.elem, slot.page)
+		return slot.page
+	}
+}
+
+// Remove implements Policy.
+func (c *Clock) Remove(page int) {
+	e, ok := c.elem[page]
+	if !ok {
+		return
+	}
+	if e == c.hand {
+		c.advance()
+		if e == c.hand { // last element
+			c.hand = nil
+		}
+	}
+	c.ring.Remove(e)
+	delete(c.elem, page)
+}
+
+// Len implements Policy.
+func (c *Clock) Len() int { return c.ring.Len() }
+
+// CacheConfig parametrises the host-side cache.
+type CacheConfig struct {
+	// Pages is the cache capacity in volume pages (0 disables caching:
+	// every read misses to a drive and every write dispatches
+	// immediately).
+	Pages int
+	// Policy names the eviction policy: "lru" (the default) or "clock".
+	Policy string
+	// DirtyHighWater triggers a background flush once this many dirty
+	// pages accumulate in the write-back buffer; the flush drains down
+	// to DirtyLowWater. Defaults: 3/4 and 1/4 of Pages.
+	DirtyHighWater int
+	DirtyLowWater  int
+}
+
+// CacheStats is the cache's observable climate, merged into the fleet
+// report.
+type CacheStats struct {
+	PolicyName string `json:"policy"`
+	Capacity   int    `json:"capacity_pages"`
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	// Evictions counts pages pushed out by capacity pressure;
+	// Writebacks counts dirty pages written to a drive for any reason
+	// (eviction of a dirty page, watermark flush, or a final Flush).
+	Evictions  int64 `json:"evictions"`
+	Writebacks int64 `json:"writebacks"`
+	// DirtyHighWaterMark is the largest number of dirty pages the
+	// write-back buffer ever held.
+	DirtyHighWaterMark int `json:"dirty_high_water_mark"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cacheEntry is one resident volume page.
+type cacheEntry struct {
+	data  []byte
+	dirty bool
+	// fifo is the entry's position in the dirty FIFO (nil when clean):
+	// write-back order is strictly first-dirtied-first-flushed, so the
+	// drives below observe host writes in a stable, reproducible order.
+	fifo *list.Element // Value is the page number
+}
+
+// hostCache is the host-side read cache and write-back buffer. It is
+// confined to the array's front-end goroutine — determinism comes from
+// single-threaded access, not locking.
+type hostCache struct {
+	cap     int
+	pol     Policy
+	entries map[int]*cacheEntry
+	dirty   *list.List // page numbers in first-dirtied order
+	stats   CacheStats
+}
+
+// writeback is one dirty page leaving the cache for a drive.
+type writeback struct {
+	page int
+	data []byte
+}
+
+func newHostCache(cfg CacheConfig) (*hostCache, error) {
+	if cfg.Pages < 0 {
+		return nil, fmt.Errorf("array: negative cache capacity %d", cfg.Pages)
+	}
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	c := &hostCache{
+		cap:     cfg.Pages,
+		pol:     pol,
+		entries: make(map[int]*cacheEntry),
+		dirty:   list.New(),
+	}
+	c.stats.PolicyName = pol.Name()
+	c.stats.Capacity = cfg.Pages
+	return c, nil
+}
+
+// enabled reports whether the cache holds anything at all.
+func (c *hostCache) enabled() bool { return c.cap > 0 }
+
+// lookup serves a read: on hit the resident copy is returned (dirty or
+// clean — the buffer always holds the newest version).
+func (c *hostCache) lookup(page int) ([]byte, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	e, ok := c.entries[page]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.pol.Touch(page)
+	return e.data, true
+}
+
+// put installs a page (a fill from a drive read, or a host write into
+// the write-back buffer), evicting if the cache is full. The returned
+// writeback is non-nil when the eviction victim was dirty — the caller
+// owns getting it to a drive. data is copied.
+func (c *hostCache) put(page int, data []byte, dirty bool) *writeback {
+	if !c.enabled() {
+		panic("array: put into disabled cache")
+	}
+	var wb *writeback
+	e, ok := c.entries[page]
+	if !ok {
+		if len(c.entries) >= c.cap {
+			wb = c.evict()
+		}
+		e = &cacheEntry{data: append([]byte(nil), data...)}
+		c.entries[page] = e
+		c.pol.Admit(page)
+	} else {
+		e.data = append(e.data[:0], data...)
+		c.pol.Touch(page)
+	}
+	if dirty && e.fifo == nil {
+		e.fifo = c.dirty.PushBack(page)
+	}
+	e.dirty = e.dirty || dirty
+	if n := c.dirty.Len(); n > c.stats.DirtyHighWaterMark {
+		c.stats.DirtyHighWaterMark = n
+	}
+	return wb
+}
+
+// fill installs a clean copy read from a drive — unless the page is
+// already resident, in which case the resident copy is newer (a write
+// landed between the miss and the fill) and the stale fill is dropped.
+func (c *hostCache) fill(page int, data []byte) *writeback {
+	if _, ok := c.entries[page]; ok {
+		return nil
+	}
+	return c.put(page, data, false)
+}
+
+// evict removes the policy's victim, surfacing a writeback if it was
+// dirty.
+func (c *hostCache) evict() *writeback {
+	page := c.pol.Victim()
+	e := c.entries[page]
+	delete(c.entries, page)
+	c.stats.Evictions++
+	if !e.dirty {
+		return nil
+	}
+	c.dirty.Remove(e.fifo)
+	c.stats.Writebacks++
+	return &writeback{page: page, data: e.data}
+}
+
+// flush drains up to max dirty pages (all of them when max <= 0) in
+// first-dirtied order. The pages stay resident and become clean; the
+// caller owns writing the returned copies to the drives.
+func (c *hostCache) flush(max int) []writeback {
+	if max <= 0 || max > c.dirty.Len() {
+		max = c.dirty.Len()
+	}
+	out := make([]writeback, 0, max)
+	for i := 0; i < max; i++ {
+		front := c.dirty.Front()
+		page := front.Value.(int)
+		c.dirty.Remove(front)
+		e := c.entries[page]
+		e.dirty = false
+		e.fifo = nil
+		c.stats.Writebacks++
+		out = append(out, writeback{page: page, data: append([]byte(nil), e.data...)})
+	}
+	return out
+}
+
+// dirtyCount returns the write-back buffer's current depth.
+func (c *hostCache) dirtyCount() int { return c.dirty.Len() }

@@ -1,0 +1,205 @@
+package array
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xlnand/internal/controller"
+	"xlnand/internal/dispatch"
+	"xlnand/internal/ftl"
+	"xlnand/internal/sim"
+)
+
+// driveSeedStride decorrelates per-drive RNG streams the same way
+// dispatch's dieSeedStride decorrelates dies. A distinct odd constant
+// (splitmix64's second-round multiplier) keeps drive n's die streams
+// disjoint from a single-drive run at seed+n.
+const driveSeedStride = 0xbf58476d1ce4e5b9
+
+// volPartition is the single FTL partition backing a drive's slice of
+// the volume.
+const volPartition = "vol"
+
+// driveOp is one operation bound for a specific drive within a round:
+// the drive-local logical page, the direction, and the result slot the
+// drive worker fills. Slots are owned exclusively by one worker between
+// the round's dispatch and its barrier.
+type driveOp struct {
+	write bool
+	lpa   int
+	data  []byte
+	res   *Result
+}
+
+// drive is one member of the array: a full dispatcher + FTL stack with
+// a dedicated worker goroutine consuming whole-round batches.
+type drive struct {
+	idx  int
+	seed uint64
+	disp *dispatch.Dispatcher
+	f    *ftl.FTL
+	part *ftl.Partition
+
+	jobs chan driveJob
+	done chan struct{}
+
+	// Perf accumulators, touched only by the worker goroutine between
+	// barriers and by the front end after them.
+	readOps, writeOps  int64
+	readLat, writeLat  time.Duration
+	uncorrectableReads int64
+	writebackErrors    int64         // failed cache write-backs (no result slot to carry them)
+	lastNow            time.Duration // Now() at the previous barrier
+	roundElapsed       time.Duration // modelled time this drive spent in the current round
+}
+
+type driveJob struct {
+	batch []driveOp
+	wg    *sync.WaitGroup
+}
+
+// newDrive builds one drive: Dies×BlocksPerDie of NAND behind its own
+// dispatcher, with a single volume partition spanning every block.
+func newDrive(idx int, cfg Config, env sim.Env, ctrlCfg controller.Config) (*drive, error) {
+	seed := cfg.Seed + uint64(idx)*driveSeedStride
+	disp, err := dispatch.New(dispatch.Config{
+		Dies:         cfg.DiesPerDrive,
+		BlocksPerDie: cfg.BlocksPerDie,
+		Seed:         seed,
+		Env:          env,
+		Controller:   ctrlCfg,
+		Family:       cfg.Family,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("array: drive %d: %w", idx, err)
+	}
+	f, err := ftl.New(disp, env, []ftl.PartitionSpec{
+		{Name: volPartition, Blocks: cfg.DiesPerDrive * cfg.BlocksPerDie},
+	})
+	if err != nil {
+		disp.Close()
+		return nil, fmt.Errorf("array: drive %d: %w", idx, err)
+	}
+	part, err := f.Partition(volPartition)
+	if err != nil {
+		disp.Close()
+		return nil, fmt.Errorf("array: drive %d: %w", idx, err)
+	}
+	d := &drive{
+		idx:  idx,
+		seed: seed,
+		disp: disp,
+		f:    f,
+		part: part,
+		jobs: make(chan driveJob),
+		done: make(chan struct{}),
+	}
+	go d.worker()
+	return d, nil
+}
+
+// worker consumes round batches. Each batch executes strictly in order
+// on this drive's own stack; concurrency exists only across drives.
+func (d *drive) worker() {
+	defer close(d.done)
+	for job := range d.jobs {
+		d.roundElapsed = 0
+		before := d.disp.Now()
+		for i := range job.batch {
+			d.execute(&job.batch[i])
+		}
+		d.roundElapsed = d.disp.Now() - before
+		job.wg.Done()
+	}
+}
+
+// execute runs one op through the FTL and fills its result slot.
+func (d *drive) execute(op *driveOp) {
+	if op.write {
+		wr, err := d.f.Write(volPartition, op.lpa, op.data)
+		d.writeOps++
+		if wr != nil {
+			d.writeLat += wr.Latency.Total()
+		}
+		if op.res != nil {
+			op.res.Drive = d.idx
+			op.res.Err = err
+			if wr != nil {
+				op.res.Latency = wr.Latency.Total()
+			}
+		} else if err != nil {
+			d.writebackErrors++
+		}
+		return
+	}
+	data, rr, err := d.f.Read(volPartition, op.lpa)
+	d.readOps++
+	if rr != nil {
+		d.readLat += rr.Latency.Total()
+	}
+	if err != nil {
+		d.uncorrectableReads++
+	}
+	if op.res != nil {
+		op.res.Drive = d.idx
+		op.res.Err = err
+		if err == nil {
+			op.res.Data = data
+		}
+		if rr != nil {
+			op.res.Latency = rr.Latency.Total()
+		}
+	}
+}
+
+// report gathers this drive's telemetry. Called by the front end only
+// between barriers, so it races with nothing.
+func (d *drive) report() DriveReport {
+	rep := DriveReport{
+		Drive:     d.idx,
+		Seed:      d.seed,
+		RetryHist: make([]int, controller.RetryHistBuckets),
+	}
+	rep.HostReads = d.part.HostReads
+	rep.HostWrites = d.part.HostWrites
+	rep.GCMoves = d.part.GCMoves
+	rep.Erases = d.part.Erases
+	rep.LostPages = d.part.LostPages
+	rep.UncorrectableReads = d.uncorrectableReads
+	rep.WritebackErrors = d.writebackErrors
+
+	geo := d.disp.Geometry()
+	for die := 0; die < geo.Dies; die++ {
+		c := d.disp.Controller(die)
+		m := c.Manager()
+		hist := m.RetryHistogram()
+		for i, n := range hist {
+			rep.RetryHist[i] += n
+		}
+		rep.RetryRecovered += m.Recovered()
+		rep.Uncorrectable += m.Uncorrectables()
+		attempts, recovered := m.SoftStats()
+		rep.SoftAttempts += attempts
+		rep.SoftRecovered += recovered
+	}
+	if wmin, wmax, err := d.f.WearSpread(volPartition); err == nil {
+		rep.WearMin = wmin
+		rep.WearMax = wmax
+	}
+	rep.ModelledSeconds = d.disp.Now().Seconds()
+	if d.readOps > 0 {
+		rep.AvgReadLatencyUs = float64(d.readLat.Microseconds()) / float64(d.readOps)
+	}
+	if d.writeOps > 0 {
+		rep.AvgWriteLatencyUs = float64(d.writeLat.Microseconds()) / float64(d.writeOps)
+	}
+	return rep
+}
+
+// close stops the worker and releases the dispatcher.
+func (d *drive) close() {
+	close(d.jobs)
+	<-d.done
+	d.disp.Close()
+}

@@ -1,0 +1,228 @@
+package array
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TenantConfig declares one tenant sharing the array.
+type TenantConfig struct {
+	Name string
+	// Rate is the sustained token refill rate in page operations per
+	// modelled second; each read or write costs one token. Rate <= 0
+	// means unthrottled.
+	Rate float64
+	// Burst caps the bucket (tokens accumulate while the tenant idles).
+	// Defaults to max(1, Rate/10) for throttled tenants.
+	Burst float64
+}
+
+// TenantStats is one tenant's merged throughput climate.
+type TenantStats struct {
+	Name string `json:"name"`
+	// Configured sustained rate, ops per modelled second (0 = unlimited).
+	Rate float64 `json:"rate_ops_per_sec"`
+	// Ops served, split by direction and by where reads were served.
+	Reads      int64 `json:"reads"`
+	Writes     int64 `json:"writes"`
+	CacheHits  int64 `json:"cache_hits"`
+	BytesRead  int64 `json:"bytes_read"`
+	BytesWrite int64 `json:"bytes_written"`
+	// Throttled counts scheduler passes in which this tenant had work
+	// queued but no tokens — the visible cost of its budget.
+	Throttled int64 `json:"throttled"`
+}
+
+// tenant is the scheduler's per-tenant state: a token bucket refilled
+// on the fleet's modelled clock plus the pending-op queue.
+type tenant struct {
+	cfg    TenantConfig
+	tokens float64
+	queue  []Op
+	stats  TenantStats
+}
+
+// newTenant validates and initialises one tenant; buckets start full so
+// a fresh tenant can burst immediately.
+func newTenant(cfg TenantConfig) (*tenant, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("array: tenant with empty name")
+	}
+	if cfg.Rate < 0 || math.IsNaN(cfg.Rate) || math.IsInf(cfg.Rate, 0) {
+		return nil, fmt.Errorf("array: tenant %q: bad rate %v", cfg.Name, cfg.Rate)
+	}
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, cfg.Rate/10)
+	}
+	if cfg.Rate > 0 && cfg.Burst < 1 {
+		// A bucket that can never hold a whole token would stall forever.
+		return nil, fmt.Errorf("array: tenant %q: burst %v below one token", cfg.Name, cfg.Burst)
+	}
+	t := &tenant{cfg: cfg, tokens: cfg.Burst}
+	t.stats.Name = cfg.Name
+	t.stats.Rate = cfg.Rate
+	return t, nil
+}
+
+// limited reports whether this tenant runs against a token budget.
+func (t *tenant) limited() bool { return t.cfg.Rate > 0 }
+
+// refill accrues tokens for dt of modelled time, capped at the burst.
+func (t *tenant) refill(dt time.Duration) {
+	if !t.limited() || dt <= 0 {
+		return
+	}
+	t.tokens = math.Min(t.cfg.Burst, t.tokens+t.cfg.Rate*dt.Seconds())
+}
+
+// take spends one token if available.
+func (t *tenant) take() bool {
+	if !t.limited() {
+		return true
+	}
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// tokenWait returns the modelled time until this tenant next holds a
+// whole token, or a negative duration if it never will (unlimited
+// tenants wait zero).
+func (t *tenant) tokenWait() time.Duration {
+	if !t.limited() {
+		return 0
+	}
+	if t.tokens >= 1 {
+		return 0
+	}
+	need := 1 - t.tokens
+	d := time.Duration(math.Ceil(need / t.cfg.Rate * float64(time.Second)))
+	if d < 1 {
+		// Float crumbs (tokens like 0.999…) must still advance the
+		// clock, or a stall round would spin without refilling anything.
+		d = 1
+	}
+	return d
+}
+
+// scheduler is the fair per-tenant front end: tenants in declared
+// order, a rotating round-robin start so no tenant owns the first slot,
+// one op granted per tenant per pass. All state is confined to the
+// array's front-end goroutine.
+type scheduler struct {
+	tenants []*tenant
+	byName  map[string]*tenant
+	round   int
+}
+
+func newScheduler(cfgs []TenantConfig) (*scheduler, error) {
+	if len(cfgs) == 0 {
+		cfgs = []TenantConfig{{Name: "default"}}
+	}
+	s := &scheduler{byName: make(map[string]*tenant, len(cfgs))}
+	for _, cfg := range cfgs {
+		t, err := newTenant(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.byName[cfg.Name]; dup {
+			return nil, fmt.Errorf("array: duplicate tenant %q", cfg.Name)
+		}
+		s.tenants = append(s.tenants, t)
+		s.byName[cfg.Name] = t
+	}
+	return s, nil
+}
+
+// enqueue appends an op to its tenant's queue.
+func (s *scheduler) enqueue(op Op) error {
+	t, ok := s.byName[op.Tenant]
+	if !ok {
+		return fmt.Errorf("array: unknown tenant %q", op.Tenant)
+	}
+	t.queue = append(t.queue, op)
+	return nil
+}
+
+// pending reports the total queued ops across tenants.
+func (s *scheduler) pending() int {
+	n := 0
+	for _, t := range s.tenants {
+		n += len(t.queue)
+	}
+	return n
+}
+
+// refill accrues tokens on every bucket for dt of modelled time.
+func (s *scheduler) refill(dt time.Duration) {
+	for _, t := range s.tenants {
+		t.refill(dt)
+	}
+}
+
+// pick selects up to max ops for one round: repeated round-robin passes
+// granting at most one op per tenant per pass, starting each round at a
+// rotating offset. A tenant with queued work but an empty bucket is
+// skipped (and its Throttled counter bumped once per pass), so a greedy
+// tenant can never push past its token rate while others wait.
+func (s *scheduler) pick(max int) []Op {
+	if max <= 0 {
+		return nil
+	}
+	picked := make([]Op, 0, max)
+	start := s.round % len(s.tenants)
+	s.round++
+	for len(picked) < max {
+		granted := false
+		for i := 0; i < len(s.tenants) && len(picked) < max; i++ {
+			t := s.tenants[(start+i)%len(s.tenants)]
+			if len(t.queue) == 0 {
+				continue
+			}
+			if !t.take() {
+				t.stats.Throttled++
+				continue
+			}
+			picked = append(picked, t.queue[0])
+			t.queue = t.queue[1:]
+			granted = true
+		}
+		if !granted {
+			break
+		}
+	}
+	return picked
+}
+
+// stallWait returns the shortest modelled wait after which some blocked
+// tenant can run, or 0 when nothing is blocked on tokens. Used when a
+// round picks nothing: the fleet clock jumps forward instead of
+// busy-spinning.
+func (s *scheduler) stallWait() time.Duration {
+	var best time.Duration
+	for _, t := range s.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		w := t.tokenWait()
+		if w <= 0 {
+			continue
+		}
+		if best == 0 || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// stats returns per-tenant counters in declared order.
+func (s *scheduler) stats() []TenantStats {
+	out := make([]TenantStats, len(s.tenants))
+	for i, t := range s.tenants {
+		out[i] = t.stats
+	}
+	return out
+}

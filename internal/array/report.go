@@ -1,0 +1,160 @@
+package array
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// DriveReport is one drive's telemetry slice of the fleet report,
+// merged strictly in drive-index order.
+type DriveReport struct {
+	Drive int    `json:"drive"`
+	Seed  uint64 `json:"seed"`
+
+	HostReads  int `json:"host_reads"`
+	HostWrites int `json:"host_writes"`
+	GCMoves    int `json:"gc_moves"`
+	Erases     int `json:"erases"`
+	LostPages  int `json:"lost_pages"`
+
+	// Recovery climate, summed over the drive's dies.
+	RetryHist      []int `json:"retry_hist"`
+	RetryRecovered int   `json:"retry_recovered"`
+	Uncorrectable  int   `json:"uncorrectable"`
+	SoftAttempts   int   `json:"soft_attempts"`
+	SoftRecovered  int   `json:"soft_recovered"`
+
+	UncorrectableReads int64 `json:"uncorrectable_reads"`
+	WritebackErrors    int64 `json:"writeback_errors"`
+
+	WearMin float64 `json:"wear_min_cycles"`
+	WearMax float64 `json:"wear_max_cycles"`
+
+	ModelledSeconds   float64 `json:"modelled_seconds"`
+	AvgReadLatencyUs  float64 `json:"avg_read_latency_us"`
+	AvgWriteLatencyUs float64 `json:"avg_write_latency_us"`
+}
+
+// FleetTotals is the merged climate across every drive.
+type FleetTotals struct {
+	HostReads  int `json:"host_reads"`
+	HostWrites int `json:"host_writes"`
+	GCMoves    int `json:"gc_moves"`
+	Erases     int `json:"erases"`
+	LostPages  int `json:"lost_pages"`
+
+	RetryHist      []int `json:"retry_hist"`
+	RetryRecovered int   `json:"retry_recovered"`
+	SoftAttempts   int   `json:"soft_attempts"`
+	SoftRecovered  int   `json:"soft_recovered"`
+
+	UncorrectableReads int64 `json:"uncorrectable_reads"`
+	// UBER is the fleet's observed uncorrectable bit error rate:
+	// uncorrectable page reads × page bits over total bits read from
+	// the drives (the host-observed counterpart of the paper's target).
+	UBER float64 `json:"uber"`
+}
+
+// FleetReport is the deterministic merged result of an array run.
+type FleetReport struct {
+	Drives      int     `json:"drives"`
+	Seed        uint64  `json:"seed"`
+	StripePages int     `json:"stripe_pages"`
+	VolumePages int     `json:"volume_pages"`
+	PageBytes   int     `json:"page_bytes"`
+	Rounds      int64   `json:"rounds"`
+	QoSStalls   int64   `json:"qos_stalls"`
+	ClockSec    float64 `json:"modelled_clock_seconds"`
+	// FleetIOPS is total tenant ops over the fleet's modelled clock.
+	FleetIOPS float64 `json:"fleet_iops"`
+
+	Cache    CacheStats    `json:"cache"`
+	Tenants  []TenantStats `json:"tenants"`
+	PerDrive []DriveReport `json:"per_drive"`
+	Totals   FleetTotals   `json:"totals"`
+}
+
+// Report assembles the fleet report. Call it between Drains (never
+// while a round is in flight); the gather walks drives in index order
+// so the output is byte-stable per seed.
+func (a *Array) Report() *FleetReport {
+	rep := &FleetReport{
+		Drives:      a.cfg.Drives,
+		Seed:        a.cfg.Seed,
+		StripePages: a.cfg.StripePages,
+		VolumePages: a.volumePages,
+		PageBytes:   a.pageBytes,
+		Rounds:      a.rounds,
+		QoSStalls:   a.stalls,
+		ClockSec:    a.clock.Seconds(),
+		Cache:       a.cache.stats,
+		Tenants:     a.sched.stats(),
+	}
+	var ops int64
+	for _, t := range rep.Tenants {
+		ops += t.Reads + t.Writes
+	}
+	if rep.ClockSec > 0 {
+		rep.FleetIOPS = float64(ops) / rep.ClockSec
+	}
+	for _, d := range a.drives {
+		rep.PerDrive = append(rep.PerDrive, d.report())
+	}
+	rep.Totals = mergeTotals(rep.PerDrive, a.pageBytes)
+	return rep
+}
+
+// mergeTotals folds per-drive reports into the fleet climate.
+func mergeTotals(drives []DriveReport, pageBytes int) FleetTotals {
+	var t FleetTotals
+	for _, d := range drives {
+		t.HostReads += d.HostReads
+		t.HostWrites += d.HostWrites
+		t.GCMoves += d.GCMoves
+		t.Erases += d.Erases
+		t.LostPages += d.LostPages
+		if t.RetryHist == nil {
+			t.RetryHist = make([]int, len(d.RetryHist))
+		}
+		for i, n := range d.RetryHist {
+			t.RetryHist[i] += n
+		}
+		t.RetryRecovered += d.RetryRecovered
+		t.SoftAttempts += d.SoftAttempts
+		t.SoftRecovered += d.SoftRecovered
+		t.UncorrectableReads += d.UncorrectableReads
+	}
+	pageBits := float64(pageBytes) * 8
+	bitsRead := float64(t.HostReads) * pageBits
+	if bitsRead > 0 {
+		t.UBER = float64(t.UncorrectableReads) * pageBits / bitsRead
+	}
+	return t
+}
+
+// JSON renders the report byte-stably (two-space indent, struct-order
+// keys, no maps anywhere in the tree).
+func (r *FleetReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Summary renders a short human-readable digest.
+func (r *FleetReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d drives, %d volume pages (stripe %d), seed %d\n",
+		r.Drives, r.VolumePages, r.StripePages, r.Seed)
+	fmt.Fprintf(&b, "  clock %.6fs  rounds %d  stalls %d  fleet IOPS %.0f\n",
+		r.ClockSec, r.Rounds, r.QoSStalls, r.FleetIOPS)
+	fmt.Fprintf(&b, "  cache[%s cap %d]: hits %d misses %d (%.1f%%) evict %d writeback %d\n",
+		r.Cache.PolicyName, r.Cache.Capacity, r.Cache.Hits, r.Cache.Misses,
+		100*r.Cache.HitRate(), r.Cache.Evictions, r.Cache.Writebacks)
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "  tenant %-12s reads %6d (hits %6d) writes %6d throttled %d\n",
+			t.Name, t.Reads, t.CacheHits, t.Writes, t.Throttled)
+	}
+	fmt.Fprintf(&b, "  totals: host R/W %d/%d  gc %d  erases %d  retries recovered %d  soft %d/%d  UBER %.3g\n",
+		r.Totals.HostReads, r.Totals.HostWrites, r.Totals.GCMoves, r.Totals.Erases,
+		r.Totals.RetryRecovered, r.Totals.SoftRecovered, r.Totals.SoftAttempts, r.Totals.UBER)
+	return b.String()
+}

@@ -496,13 +496,23 @@ func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResul
 	// multi-sense read centers one step short of the deepest reference
 	// shift (its component senses bracket the center, covering the deep
 	// end of the ladder) — the region retention drift pushed the cells
-	// into, which is the regime the soft path exists for.
+	// into, which is the regime the soft path exists for. Repeat
+	// attempts escalate adaptively: each min-sum failure widens the
+	// next read by one bracket pair (3→5→7 senses with the defaults, up
+	// to the device's SoftSensesMax), paying the wider read's full
+	// sensing time and disturb stress.
 	softStep := steps - 1
 	if softStep < 0 {
 		softStep = 0
 	}
+	stress := c.dev.Stress()
+	softBase := stress.SoftSenses
+	if softBase < 1 {
+		softBase = 1
+	}
 	for s := 0; s < softAttempts; s, attempt = s+1, attempt+1 {
-		nData, nSpare, senses, rerr := c.dev.ReadSoft(blockIdx, pageIdx, softStep, c.readBuffer, c.llrBuffer)
+		want := softBase + 2*s // ReadSoftN clamps at the device's cap
+		nData, nSpare, senses, rerr := c.dev.ReadSoftN(blockIdx, pageIdx, softStep, want, c.readBuffer, c.llrBuffer)
 		if rerr != nil {
 			return res, rerr
 		}

@@ -1,0 +1,267 @@
+package lifetime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"xlnand/internal/ftl"
+	"xlnand/internal/sim"
+)
+
+// fleetSeedStride decorrelates per-drive scenario seeds (splitmix64's
+// second-round multiplier — a different odd constant than the
+// dispatcher's per-die stride, so drive streams and die streams can
+// never alias).
+const fleetSeedStride = 0xbf58476d1ce4e5b9
+
+// FleetScenario drives N identical drives through a shared phase
+// schedule: every drive plays the Base biography with its own seed
+// (Seed + drive*fleetSeedStride), so the fleet ages in lock-step while
+// each drive's fault history stays statistically independent.
+type FleetScenario struct {
+	Name        string
+	Description string
+	// Seed is the fleet master seed; drive i runs Base with
+	// Seed + i*fleetSeedStride (Base.Seed is ignored).
+	Seed   uint64
+	Drives int
+	// Workers caps concurrently running drive engines (0 = min(Drives, 16)).
+	Workers int
+	Base    Scenario
+}
+
+// Validate rejects malformed fleet scenarios.
+func (fs FleetScenario) Validate() error {
+	if fs.Name == "" {
+		return fmt.Errorf("lifetime: fleet scenario needs a name")
+	}
+	if fs.Drives < 1 {
+		return fmt.Errorf("lifetime: fleet %s: need >= 1 drive, got %d", fs.Name, fs.Drives)
+	}
+	if fs.Workers < 0 {
+		return fmt.Errorf("lifetime: fleet %s: negative worker cap", fs.Name)
+	}
+	return fs.Base.Validate()
+}
+
+// FleetPhase is one shared schedule slot merged across every drive:
+// counters sum, wear takes the fleet-wide extremes.
+type FleetPhase struct {
+	Name               string  `json:"name"`
+	HostReads          int     `json:"host_reads"`
+	HostWrites         int     `json:"host_writes"`
+	CorrectedBits      int     `json:"corrected_bits"`
+	UncorrectableReads int     `json:"uncorrectable_reads"`
+	LostBits           int64   `json:"lost_bits"`
+	Retries            int     `json:"retries"`
+	RecoveredReads     int     `json:"recovered_reads"`
+	SoftSenses         int     `json:"soft_senses"`
+	SoftRecovered      int     `json:"soft_recovered"`
+	PagesScrubbed      int     `json:"pages_scrubbed"`
+	RetiredBlocks      int     `json:"retired"`
+	WearMin            float64 `json:"wear_min"`
+	WearMax            float64 `json:"wear_max"`
+	UBER               float64 `json:"uber"`
+}
+
+// FleetDrive is one drive's compact slice of the fleet result.
+type FleetDrive struct {
+	Drive  int    `json:"drive"`
+	Seed   uint64 `json:"seed"`
+	Totals Totals `json:"totals"`
+}
+
+// FleetResult is the deterministic merged output of a fleet run: the
+// per-drive reports reduced to totals (in drive-index order) plus the
+// shared phase series and fleet-wide climate.
+type FleetResult struct {
+	Name        string       `json:"fleet"`
+	Description string       `json:"description"`
+	Scenario    string       `json:"scenario"`
+	Seed        uint64       `json:"seed"`
+	Drives      int          `json:"drives"`
+	PerDrive    []FleetDrive `json:"per_drive"`
+	Phases      []FleetPhase `json:"phases"`
+	Totals      Totals       `json:"totals"`
+}
+
+// JSON serialises the fleet result with stable formatting: two runs of
+// the same fleet scenario and seed are byte-identical.
+func (r *FleetResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteTable renders a human-readable fleet phase table.
+func (r *FleetResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "fleet %s: %d x %s (seed %d)\n", r.Name, r.Drives, r.Scenario, r.Seed)
+	fmt.Fprintf(w, "%-24s %9s %9s %11s %9s %8s %8s %8s %9s\n",
+		"phase", "reads", "writes", "corrected", "uncorr", "retry", "recov", "soft", "UBER")
+	for _, ph := range r.Phases {
+		fmt.Fprintf(w, "%-24s %9d %9d %11d %9d %8d %8d %8d %9.2e\n",
+			ph.Name, ph.HostReads, ph.HostWrites, ph.CorrectedBits, ph.UncorrectableReads,
+			ph.Retries, ph.RecoveredReads, ph.SoftRecovered, ph.UBER)
+	}
+	t := r.Totals
+	fmt.Fprintf(w, "%-24s %9d %9d %11d %9d %8d %8d %8d %9.2e\n",
+		"TOTAL", t.HostReads, t.HostWrites, t.CorrectedBits, t.UncorrectableReads,
+		t.Retries, t.RecoveredReads, t.SoftRecovered, t.UBER)
+}
+
+// RunFleet plays a fleet scenario: up to Workers drive engines run
+// concurrently, each a fully independent stack, and the merge happens
+// only after every drive finishes — strictly in drive-index order, so
+// the result is byte-identical per seed regardless of scheduling.
+func RunFleet(fs FleetScenario) (*FleetResult, error) {
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	workers := fs.Workers
+	if workers == 0 {
+		workers = fs.Drives
+		if workers > 16 {
+			workers = 16
+		}
+	}
+	reports := make([]*Report, fs.Drives)
+	errs := make([]error, fs.Drives)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < fs.Drives; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sc := fs.Base
+			sc.Seed = fs.Seed + uint64(idx)*fleetSeedStride
+			sc.Name = fmt.Sprintf("%s/drive%03d", fs.Name, idx)
+			reports[idx], errs[idx] = Run(sc)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("lifetime: fleet %s: drive %d: %w", fs.Name, i, err)
+		}
+	}
+	return mergeFleet(fs, reports), nil
+}
+
+// mergeFleet folds per-drive reports into the fleet result. Reports
+// arrive indexed by drive, never by completion order.
+func mergeFleet(fs FleetScenario, reports []*Report) *FleetResult {
+	res := &FleetResult{
+		Name:        fs.Name,
+		Description: fs.Description,
+		Scenario:    fs.Base.Name,
+		Seed:        fs.Seed,
+		Drives:      fs.Drives,
+		Phases:      make([]FleetPhase, len(fs.Base.Phases)),
+	}
+	for pi, ph := range fs.Base.Phases {
+		res.Phases[pi].Name = ph.Name
+	}
+	var bitsRead, lostBits int64
+	for di, rep := range reports {
+		res.PerDrive = append(res.PerDrive, FleetDrive{
+			Drive: di, Seed: rep.Seed, Totals: rep.Totals,
+		})
+		for pi := range rep.Phases {
+			ph := &rep.Phases[pi]
+			m := &res.Phases[pi]
+			m.HostReads += ph.HostReads
+			m.HostWrites += ph.HostWrites
+			m.CorrectedBits += ph.CorrectedBits
+			m.UncorrectableReads += ph.UncorrectableReads
+			m.LostBits += ph.LostBits
+			m.Retries += ph.Retries
+			m.RecoveredReads += ph.RecoveredReads
+			m.SoftSenses += ph.SoftSenses
+			m.SoftRecovered += ph.SoftRecovered
+			m.PagesScrubbed += ph.PagesScrubbed
+			m.RetiredBlocks += ph.RetiredBlocks
+			if di == 0 || ph.WearMin < m.WearMin {
+				m.WearMin = ph.WearMin
+			}
+			if ph.WearMax > m.WearMax {
+				m.WearMax = ph.WearMax
+			}
+		}
+		t := &res.Totals
+		rt := rep.Totals
+		t.HostReads += rt.HostReads
+		t.HostWrites += rt.HostWrites
+		t.BitsRead += rt.BitsRead
+		t.CorrectedBits += rt.CorrectedBits
+		t.UncorrectableReads += rt.UncorrectableReads
+		t.LostBits += rt.LostBits
+		t.Retries += rt.Retries
+		t.RecoveredReads += rt.RecoveredReads
+		t.RelocRetries += rt.RelocRetries
+		t.DeepRecovered += rt.DeepRecovered
+		t.SoftSenses += rt.SoftSenses
+		t.SoftRecovered += rt.SoftRecovered
+		t.ScrubPasses += rt.ScrubPasses
+		t.PagesScrubbed += rt.PagesScrubbed
+		t.GCMoves += rt.GCMoves
+		t.Erases += rt.Erases
+		t.RetiredBlocks += rt.RetiredBlocks
+		if rt.FinalWearMax > t.FinalWearMax {
+			t.FinalWearMax = rt.FinalWearMax
+		}
+		bitsRead += rt.BitsRead
+		lostBits += rt.LostBits
+	}
+	// Per-phase and fleet UBER recompute from merged counts rather than
+	// averaging per-drive rates.
+	for pi := range res.Phases {
+		var phBits, phLost int64
+		for _, rep := range reports {
+			phBits += rep.Phases[pi].BitsRead
+			phLost += rep.Phases[pi].LostBits
+		}
+		if phBits > 0 {
+			res.Phases[pi].UBER = float64(phLost) / float64(phBits)
+		}
+	}
+	if bitsRead > 0 {
+		res.Totals.UBER = float64(lostBits) / float64(bitsRead)
+	}
+	return res
+}
+
+// FleetSmoke is the CI fleet scenario: sixteen drives of a tiny
+// two-phase biography that still crosses an aging step and a scrub
+// pass per drive — small enough for the race detector, wide enough to
+// exercise the concurrent merge.
+func FleetSmoke() FleetScenario {
+	return FleetScenario{
+		Name:        "fleet-smoke",
+		Description: "16-drive smoke fleet: fill + aged stream per drive",
+		Seed:        31337,
+		Drives:      16,
+		Base:        fleetBase(),
+	}
+}
+
+// fleetBase is the per-drive biography fleet scenarios share: a
+// compact fill + aged-stream pair (the golden-stream shape, reseeded
+// per drive by RunFleet).
+func fleetBase() Scenario {
+	return Scenario{
+		Name:        "fleet-base",
+		Description: "per-drive fleet biography: fill, then aged streaming reads",
+		Dies:        1, BlocksPerDie: 3,
+		Partitions:   []PartitionConfig{{Name: "p0", Blocks: 3, Mode: sim.ModeNominal, WorkingSet: 64}},
+		Scrub:        ftl.ScrubPolicy{FractionOfT: 0.3},
+		ScrubEvery:   60,
+		MaxUBER:      1e-8,
+		SafetyMargin: 1.7,
+		Phases: []Phase{
+			{Name: "fill", Ops: 90, ReadFraction: 0.2},
+			{Name: "aged-stream", AgeCycles: 2e5, BakeHours: 300, Ops: 110, ReadFraction: 0.9},
+		},
+	}
+}

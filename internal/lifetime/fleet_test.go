@@ -1,0 +1,101 @@
+package lifetime
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFleetDeterminism is the acceptance pin for determinism at scale:
+// sixteen drives run their biographies concurrently, and two runs of
+// the same fleet seed produce byte-identical merged reports.
+func TestFleetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet determinism needs two full 16-drive runs")
+	}
+	fs := FleetSmoke()
+	run := func() []byte {
+		t.Helper()
+		res, err := RunFleet(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	js1, js2 := run(), run()
+	if !bytes.Equal(js1, js2) {
+		t.Fatalf("fleet results diverged between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", js1, js2)
+	}
+}
+
+// TestFleetMerge checks the merged result's structure: per-drive
+// entries in index order with decorrelated seeds, phase counters that
+// sum the drives, and totals consistent with the per-drive totals.
+func TestFleetMerge(t *testing.T) {
+	fs := FleetSmoke()
+	fs.Drives = 4
+	fs.Name = "fleet-merge-test"
+	res, err := RunFleet(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerDrive) != 4 {
+		t.Fatalf("%d per-drive entries, want 4", len(res.PerDrive))
+	}
+	seeds := make(map[uint64]bool)
+	var reads, writes int
+	for i, d := range res.PerDrive {
+		if d.Drive != i {
+			t.Fatalf("per-drive entry %d carries drive %d: merge is not index-ordered", i, d.Drive)
+		}
+		if seeds[d.Seed] {
+			t.Fatalf("drive %d reuses seed %d", i, d.Seed)
+		}
+		seeds[d.Seed] = true
+		if d.Totals.HostReads == 0 || d.Totals.HostWrites == 0 {
+			t.Fatalf("drive %d saw no traffic: %+v", i, d.Totals)
+		}
+		reads += d.Totals.HostReads
+		writes += d.Totals.HostWrites
+	}
+	if res.Totals.HostReads != reads || res.Totals.HostWrites != writes {
+		t.Fatalf("totals %d/%d reads/writes, drives sum to %d/%d",
+			res.Totals.HostReads, res.Totals.HostWrites, reads, writes)
+	}
+	if len(res.Phases) != len(fs.Base.Phases) {
+		t.Fatalf("%d merged phases, want %d", len(res.Phases), len(fs.Base.Phases))
+	}
+	var phaseReads int
+	for _, ph := range res.Phases {
+		phaseReads += ph.HostReads
+	}
+	if phaseReads != reads {
+		t.Fatalf("phase series sums to %d reads, drives to %d", phaseReads, reads)
+	}
+}
+
+// TestFleetValidate rejects malformed fleet scenarios.
+func TestFleetValidate(t *testing.T) {
+	good := FleetSmoke()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("catalog fleet invalid: %v", err)
+	}
+	bad := good
+	bad.Drives = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-drive fleet validated")
+	}
+	bad = good
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nameless fleet validated")
+	}
+	bad = good
+	bad.Base.Phases = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("phaseless base validated")
+	}
+}

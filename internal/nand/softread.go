@@ -2,6 +2,7 @@ package nand
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -41,16 +42,32 @@ const (
 	SoftWeakLLR = 1
 )
 
-// ReadSoft is the multi-sense soft read: it senses the page
-// StressConfig.SoftSenses times around retry ladder step, writes the
-// center sense's hard decisions into buf (data followed by spare — the
-// same codeword layout as ReadInto) and one signed confidence value per
+// ReadSoft is the multi-sense soft read at the device's default width:
+// it senses the page StressConfig.SoftSenses times around retry ladder
+// step. See ReadSoftN for the full contract.
+func (d *Device) ReadSoft(blockIdx, pageIdx, step int, buf []byte, llr []int8) (nData, nSpare, senses int, err error) {
+	return d.ReadSoftN(blockIdx, pageIdx, step, d.stress.SoftSenses, buf, llr)
+}
+
+// ReadSoftN is the multi-sense soft read at an explicit width: it
+// senses the page `senses` times around retry ladder step (clamped to
+// StressConfig.SoftSensesMax when that cap is set), writes the center
+// sense's hard decisions into buf (data followed by spare — the same
+// codeword layout as ReadInto) and one signed confidence value per
 // codeword bit into llr (positive = bit 0; magnitude SoftStrongLLR or
 // SoftWeakLLR). buf must hold the codeword and llr one int8 per
 // codeword bit. Every component sense counts against the block's
 // read-disturb stress and pays one tR; the returned senses count lets
 // the controller charge the full sensing time on its timeline.
-func (d *Device) ReadSoft(blockIdx, pageIdx, step int, buf []byte, llr []int8) (nData, nSpare, senses int, err error) {
+//
+// Widening the read adds bracket pairs around the center reference
+// ((senses-1)/2 pairs): each extra pair samples one reference step
+// further out, so the center rides the best of a wider ladder window
+// and an error cell missed by the inner brackets gets another chance
+// to be flagged low-confidence — capture and false-weak probabilities
+// compound per pair. This is the escalation path a controller walks
+// (3→5→7) as min-sum keeps failing.
+func (d *Device) ReadSoftN(blockIdx, pageIdx, step, senses int, buf []byte, llr []int8) (nData, nSpare int, sensesOut int, err error) {
 	p, b, err := d.pageAt(blockIdx, pageIdx)
 	if err != nil {
 		return 0, 0, 0, err
@@ -71,25 +88,38 @@ func (d *Device) ReadSoft(blockIdx, pageIdx, step int, buf []byte, llr []int8) (
 		return 0, 0, 0, fmt.Errorf("nand: soft-read LLR buffer %d entries, page %d.%d needs %d",
 			len(llr), blockIdx, pageIdx, nbits)
 	}
-	senses = d.stress.SoftSenses
 	if senses < 1 {
 		senses = 1
 	}
+	if max := d.stress.SoftSensesMax; max > 0 && senses > max {
+		senses = max
+	}
+	pairs := (senses - 1) / 2
 	b.reads += float64(senses)
-	// The component senses bracket the center reference (step-1, step,
-	// step+1 on the calibrated ladder), and the per-cell majority across
+	// The component senses bracket the center reference (steps step-p..
+	// step+p on the calibrated ladder), and the per-cell majority across
 	// them supplies the hard decisions — so the effective error rate is
 	// the best of the bracketed steps, which is what makes the soft read
-	// robust to an imperfectly calibrated center.
+	// robust to an imperfectly calibrated center (and wider reads robust
+	// to a center that is further off).
 	retention := d.clockHours - p.writtenAtHours
 	rber := d.cal.RecoveredRBER(d.stress, p.alg, b.cycles, b.reads, retention, step)
-	for _, s := range [2]int{step - 1, step + 1} {
-		if s < 0 || s > d.stress.RetrySteps {
+	for s := step - pairs; s <= step+pairs; s++ {
+		if s == step || s < 0 || s > d.stress.RetrySteps {
 			continue
 		}
 		if r := d.cal.RecoveredRBER(d.stress, p.alg, b.cycles, b.reads, retention, s); r < rber {
 			rber = r
 		}
+	}
+	// Each bracket pair gets an independent shot at flagging a cell
+	// low-confidence, so the probabilities compound per pair. The
+	// single-pair case keeps the raw constants bit-for-bit (no Pow
+	// round-trip), preserving legacy RNG-stream-sensitive fixtures.
+	capture, falseWeak := d.stress.SoftCapture, d.stress.SoftFalseWeak
+	if pairs > 1 {
+		capture = 1 - math.Pow(1-capture, float64(pairs))
+		falseWeak = 1 - math.Pow(1-falseWeak, float64(pairs))
 	}
 
 	// Center sense: the hard decisions, with the error positions kept so
@@ -121,12 +151,12 @@ func (d *Device) ReadSoft(blockIdx, pageIdx, step int, buf []byte, llr []int8) (
 	// Misread cells sit near the boundary that misclassified them: the
 	// bracketing senses catch most of them.
 	for _, pos := range errPos {
-		if d.rng.Bernoulli(d.stress.SoftCapture) {
+		if d.rng.Bernoulli(capture) {
 			weaken(pos)
 		}
 	}
 	// And some correctly-read cells legitimately live near a boundary.
-	nFalse := d.rng.Binomial(nbits, d.stress.SoftFalseWeak)
+	nFalse := d.rng.Binomial(nbits, falseWeak)
 	for _, pos := range d.rng.SampleK(nbits, nFalse) {
 		weaken(pos)
 	}

@@ -74,6 +74,12 @@ type StressConfig struct {
 	// flagged low-confidence anyway (cells legitimately near a
 	// boundary).
 	SoftFalseWeak float64
+	// SoftSensesMax caps adaptive soft-sense escalation: a controller
+	// may widen a failing soft read from SoftSenses component senses up
+	// to this many (3→5→7 with the defaults), each escalation paying
+	// its own sensing time and disturb stress. 0 disables escalation
+	// (every soft read stays at SoftSenses).
+	SoftSensesMax int
 }
 
 // DefaultStressConfig returns stress constants in the ranges reported by
@@ -99,6 +105,7 @@ func DefaultStressConfig() StressConfig {
 		SoftSenses:    3,
 		SoftCapture:   0.92,
 		SoftFalseWeak: 0.015,
+		SoftSensesMax: 7,
 	}
 }
 
