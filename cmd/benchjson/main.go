@@ -100,6 +100,14 @@ var suites = []suite{
 			{"./internal/array", "^BenchmarkFleetIOPS$", "1x"},
 		},
 	},
+	{
+		name: "rebuild",
+		desc: "degraded-read latency overhead + rebuild MB/s vs drive count (4/8/16)",
+		runs: []run{
+			{"./internal/array", "^BenchmarkDegradedRead$", "256x"},
+			{"./internal/array", "^BenchmarkRebuild$", "1x"},
+		},
+	},
 }
 
 func main() {

@@ -8,9 +8,13 @@
 //	fleet -json fleet.json         # archive the merged report
 //	fleet -array                   # striped-array workload instead
 //	fleet -array -drives 16 -cache-pages 256 -policy clock -ops 4000
+//	fleet -array -drives 8 -redundancy parity -spares 1 \
+//	    -kill-drive 3 -kill-round 20   # fail-stop drive 3 mid-run
+//	fleet -kill-drive 2                # lifetime: drive 2 dies after phase 1
 //
 // Both modes are seed-reproducible: the same flags produce
-// byte-identical JSON no matter how the drive goroutines interleave.
+// byte-identical JSON no matter how the drive goroutines interleave —
+// including runs with injected drive deaths.
 package main
 
 import (
@@ -37,6 +41,12 @@ func main() {
 		cachePages = flag.Int("cache-pages", 128, "host cache capacity in volume pages, 0 disables (array mode)")
 		policy     = flag.String("policy", "lru", "cache eviction policy: lru or clock (array mode)")
 		ops        = flag.Int("ops", 2000, "workload operations to run (array mode)")
+
+		// Fault injection (both modes).
+		redundancy = flag.String("redundancy", "none", "array redundancy: none, parity or mirror (array mode)")
+		spares     = flag.Int("spares", 0, "hot spares for rebuild after a drive death (array mode)")
+		killDrive  = flag.Int("kill-drive", -1, "fail-stop this drive mid-run (-1 disables)")
+		killRound  = flag.Int("kill-round", 20, "array round at which -kill-drive fires (array mode)")
 	)
 	flag.Parse()
 
@@ -45,9 +55,14 @@ func main() {
 		err error
 	)
 	if *arrayMode {
-		js, err = runArray(*drives, *dies, *blocks, *stripe, *cachePages, *policy, *ops, *seed)
+		js, err = runArray(arrayParams{
+			drives: *drives, dies: *dies, blocks: *blocks, stripe: *stripe,
+			cachePages: *cachePages, policy: *policy, ops: *ops, seed: *seed,
+			redundancy: *redundancy, spares: *spares,
+			killDrive: *killDrive, killRound: *killRound,
+		})
 	} else {
-		js, err = runLifetimeFleet(*drives, *workers, *seed)
+		js, err = runLifetimeFleet(*drives, *workers, *seed, *killDrive)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -68,13 +83,17 @@ func main() {
 }
 
 // runLifetimeFleet plays the smoke biography across the fleet and
-// prints the merged phase table.
-func runLifetimeFleet(drives, workers int, seed uint64) ([]byte, error) {
+// prints the merged phase table. killDrive >= 0 fail-stops that drive
+// after the first phase of its biography.
+func runLifetimeFleet(drives, workers int, seed uint64, killDrive int) ([]byte, error) {
 	fs := lifetime.FleetSmoke()
 	fs.Drives = drives
 	fs.Workers = workers
 	if seed != 0 {
 		fs.Seed = seed
+	}
+	if killDrive >= 0 {
+		fs.FailStops = []lifetime.FleetFailStop{{Drive: killDrive, AfterPhase: 0}}
 	}
 	res, err := lifetime.RunFleet(fs)
 	if err != nil {
@@ -84,12 +103,35 @@ func runLifetimeFleet(drives, workers int, seed uint64) ([]byte, error) {
 	return res.JSON()
 }
 
+// arrayParams bundles the array-mode knobs.
+type arrayParams struct {
+	drives, dies, blocks, stripe int
+	cachePages                   int
+	policy                       string
+	ops                          int
+	seed                         uint64
+	redundancy                   string
+	spares                       int
+	killDrive, killRound         int
+}
+
 // runArray drives a striped volume with two tenants — an unthrottled
 // latency-sensitive one and a token-bucket-limited scanner — through a
-// skewed read/write mix, then prints the fleet summary.
-func runArray(drives, dies, blocks, stripe, cachePages int, policy string, ops int, seed uint64) ([]byte, error) {
+// skewed read/write mix, then prints the fleet summary. With
+// -kill-drive the named drive fail-stops at -kill-round; under parity
+// or mirror redundancy the run degrades and (with a spare) rebuilds
+// instead of losing data.
+func runArray(p arrayParams) ([]byte, error) {
+	drives, dies, blocks, stripe := p.drives, p.dies, p.blocks, p.stripe
+	cachePages, policy, ops, seed := p.cachePages, p.policy, p.ops, p.seed
 	if seed == 0 {
 		seed = 42
+	}
+	var plan array.FaultPlan
+	if p.killDrive >= 0 {
+		plan.Drives = []array.DriveFault{{
+			Drive: p.killDrive, FailStopRound: int64(p.killRound),
+		}}
 	}
 	a, err := array.New(array.Config{
 		Drives:       drives,
@@ -97,6 +139,9 @@ func runArray(drives, dies, blocks, stripe, cachePages int, policy string, ops i
 		BlocksPerDie: blocks,
 		Seed:         seed,
 		StripePages:  stripe,
+		Redundancy:   p.redundancy,
+		Spares:       p.spares,
+		Faults:       plan,
 		Cache:        array.CacheConfig{Pages: cachePages, Policy: policy},
 		Tenants: []array.TenantConfig{
 			{Name: "oltp"},
@@ -166,5 +211,11 @@ func runArray(drives, dies, blocks, stripe, cachePages int, policy string, ops i
 	}
 	rep := a.Report()
 	fmt.Print(rep.Summary())
+	for _, d := range rep.PerDrive {
+		for _, tr := range d.Transitions {
+			fmt.Printf("  drive %d health: %s -> %s (round %d, %.6fs)\n",
+				d.Drive, tr.From, tr.To, tr.Round, tr.ClockSec)
+		}
+	}
 	return rep.JSON()
 }

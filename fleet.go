@@ -47,6 +47,31 @@ type FleetDriveReport = array.DriveReport
 // FleetTotals sums the per-drive climates and derives the fleet UBER.
 type FleetTotals = array.FleetTotals
 
+// ArrayFaultPlan is the deterministic drive-fault schedule: per-drive
+// fail-stop rounds/times, transient error rates, latency degradation
+// and UBER-climate death, all derived from the plan seed so two runs
+// of the same plan inject identical faults.
+type ArrayFaultPlan = array.FaultPlan
+
+// ArrayDriveFault is one drive's entry in an ArrayFaultPlan.
+type ArrayDriveFault = array.DriveFault
+
+// ArrayHealthTransition is one recorded health-state change
+// (healthy → suspect → degraded → dead → rebuilding → restored).
+type ArrayHealthTransition = array.HealthTransition
+
+// ArrayRebuildReport documents one spare rebuild: pages and bytes
+// reconstructed, checkpoints, losses, and the achieved rebuild rate.
+type ArrayRebuildReport = array.RebuildReport
+
+// ErrArrayClosed is returned by Submit/Drain/Flush after Close.
+// (The root ErrClosed name belongs to the single-drive dispatcher.)
+var ErrArrayClosed = array.ErrClosed
+
+// ErrArrayDriveDead reports an op refused because its slot's drive is
+// dead and no redundancy could absorb the request.
+var ErrArrayDriveDead = array.ErrDriveDead
+
 // OpenArray opens a striped multi-drive array of fresh drives.
 //
 //	a, err := xlnand.OpenArray(xlnand.ArrayConfig{

@@ -4,20 +4,24 @@
 // streams), serves reads through a host-side cache with pluggable
 // eviction, buffers writes in a write-back buffer with deterministic
 // flush ordering, and schedules tenants through token-bucket QoS.
+// Cross-drive redundancy (rotating parity or mirroring), deterministic
+// fault injection, degraded-mode operation, and background rebuild onto
+// hot spares layer on top without giving up reproducibility.
 //
 // Determinism at scale is the design center. The front end runs in
 // rounds: a single-threaded scheduler picks the round's ops, batches
 // them per drive, the per-drive workers execute their batches
 // concurrently, and a barrier joins them before any order-sensitive
-// work (cache fills, telemetry merges, clock advance) happens — always
-// in drive-index order, never completion order. Two runs with the same
-// seed and submission sequence produce byte-identical fleet reports no
-// matter how the goroutines interleave.
+// work (cache fills, parity math, telemetry merges, clock advance)
+// happens — always in drive-index order, never completion order. Two
+// runs with the same seed, submission sequence, and fault plan produce
+// byte-identical fleet reports no matter how the goroutines interleave,
+// even through drive deaths and rebuilds.
 package array
 
 import (
 	"fmt"
-	"sync"
+	"math"
 	"time"
 
 	"xlnand/internal/controller"
@@ -27,7 +31,8 @@ import (
 
 // Config shapes an Array.
 type Config struct {
-	// Drives is the number of independent drive instances (>= 1).
+	// Drives is the number of array slots (>= 1; parity needs >= 3,
+	// mirror an even count >= 2).
 	Drives int
 	// DiesPerDrive and BlocksPerDie shape each drive (defaults 2 and 64).
 	DiesPerDrive int
@@ -38,11 +43,25 @@ type Config struct {
 	// StripePages is the striping unit in volume pages (default 1:
 	// consecutive pages land on consecutive drives).
 	StripePages int
+	// Redundancy selects cross-drive protection: "none" (default),
+	// "parity" (RAID-5 rotating parity) or "mirror" (RAID-1 pairs).
+	Redundancy string
+	// Spares is the number of hot-spare drives standing by to replace
+	// dead members (default 0). Spares only attach when Redundancy is
+	// not "none" — without redundancy there is nothing to rebuild from.
+	Spares int
+	// Faults is the deterministic drive-fault schedule (zero = none).
+	Faults FaultPlan
+	// RebuildRate throttles background rebuild traffic, in pages per
+	// modelled second through the reserved "rebuild" QoS tenant
+	// (0 = unthrottled; rebuild still yields to the per-round budget).
+	RebuildRate float64
 	// Cache shapes the host cache; a zero-capacity cache disables both
 	// read caching and write-back buffering.
 	Cache CacheConfig
 	// Tenants declares the QoS population (default: one unthrottled
-	// tenant named "default").
+	// tenant named "default"). The name "rebuild" is reserved when
+	// redundancy is enabled.
 	Tenants []TenantConfig
 	// RoundOps bounds how many tenant ops one scheduling round admits
 	// (default 8 per drive).
@@ -76,7 +95,7 @@ type Result struct {
 	Page     int
 	Tag      uint64
 	CacheHit bool
-	Drive    int // serving drive; -1 for pure cache traffic
+	Drive    int // serving slot; -1 for pure cache traffic
 	Data     []byte
 	Latency  time.Duration
 	Err      error
@@ -85,26 +104,45 @@ type Result struct {
 // Array is the striped multi-drive front end. The scheduling front end
 // (Submit, Drain, Flush, Report, Close) is confined to one caller
 // goroutine; only the drive workers run concurrently, strictly between
-// a round's dispatch and its barrier.
+// a phase's dispatch and its barrier.
 type Array struct {
-	cfg    Config
-	drives []*drive
-	cache  *hostCache
-	sched  *scheduler
+	cfg   Config
+	mode  string
+	cache *hostCache
+	sched *scheduler
 
-	pageBytes   int
-	stripes     int // stripes per drive
-	volumePages int
+	// slots are the logical array members; allDrives every physical
+	// stack ever built (members + spares); sparePool the unattached
+	// spares in attach order.
+	slots      []*slot
+	allDrives  []*drive
+	sparePool  []*drive
+	rebuildTen *tenant
 
-	clock     time.Duration // fleet modelled clock
-	rounds    int64
-	stalls    int64
-	pendingWB []writeback // dirty evictions carried into the next round
+	pageBytes    int
+	stripes      int // stripe rows per drive
+	perDriveLPAs int
+	volumePages  int
 
-	closed bool
+	// written marks volume pages that have ever landed on a drive;
+	// parityOK (parity mode) marks drive-local parity pages whose stored
+	// parity matches the row's data.
+	written  []bool
+	parityOK []bool
+
+	clock        time.Duration // fleet modelled clock
+	rounds       int64
+	stalls       int64
+	parityStale  int64
+	rebuiltPages int64
+	pendingWB    []writeback // dirty evictions carried into the next round
+
+	rebuilds []*RebuildReport
+	closed   bool
 }
 
-// New opens an array of cfg.Drives fresh drives.
+// New opens an array of cfg.Drives fresh drives plus cfg.Spares hot
+// spares.
 func New(cfg Config) (*Array, error) {
 	if cfg.Drives < 1 {
 		return nil, fmt.Errorf("array: need >= 1 drive, got %d", cfg.Drives)
@@ -127,6 +165,20 @@ func New(cfg Config) (*Array, error) {
 	if cfg.HitLatency == 0 {
 		cfg.HitLatency = time.Microsecond
 	}
+	mode, err := normalizeRedundancy(cfg.Redundancy, cfg.Drives)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Redundancy = mode
+	if cfg.Spares < 0 {
+		return nil, fmt.Errorf("array: negative spare count %d", cfg.Spares)
+	}
+	if cfg.RebuildRate < 0 || math.IsNaN(cfg.RebuildRate) || math.IsInf(cfg.RebuildRate, 0) {
+		return nil, fmt.Errorf("array: bad rebuild rate %v", cfg.RebuildRate)
+	}
+	if err := cfg.Faults.validate(cfg.Drives); err != nil {
+		return nil, err
+	}
 	env := sim.DefaultEnv()
 	if cfg.Env != nil {
 		env = *cfg.Env
@@ -143,46 +195,68 @@ func New(cfg Config) (*Array, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Array{cfg: cfg, cache: cache, sched: sched}
-	for i := 0; i < cfg.Drives; i++ {
+	a := &Array{cfg: cfg, mode: mode, cache: cache, sched: sched}
+	if mode != RedundancyNone {
+		if _, dup := sched.byName[rebuildTenant]; dup {
+			return nil, fmt.Errorf("array: tenant name %q is reserved when redundancy is enabled", rebuildTenant)
+		}
+		t, err := newTenant(TenantConfig{Name: rebuildTenant, Rate: cfg.RebuildRate})
+		if err != nil {
+			return nil, err
+		}
+		sched.tenants = append(sched.tenants, t)
+		sched.byName[rebuildTenant] = t
+		a.rebuildTen = t
+	}
+	faults := make(map[int]DriveFault, len(cfg.Faults.Drives))
+	for _, df := range cfg.Faults.Drives {
+		faults[df.Drive] = df
+	}
+	for i := 0; i < cfg.Drives+cfg.Spares; i++ {
 		d, err := newDrive(i, cfg, env, ctrlCfg)
 		if err != nil {
 			a.Close()
 			return nil, err
 		}
-		a.drives = append(a.drives, d)
+		a.allDrives = append(a.allDrives, d)
 	}
-	a.pageBytes = a.drives[0].disp.Geometry().PageDataBytes
-	perDrive := a.drives[0].part.Capacity()
+	for i := 0; i < cfg.Drives; i++ {
+		s := &slot{id: i, d: a.allDrives[i]}
+		if f, ok := faults[i]; ok {
+			s.fault = f
+			s.hasFault = true
+			s.d.setFault(f, cfg.Faults.Seed)
+		}
+		a.slots = append(a.slots, s)
+	}
+	a.sparePool = append(a.sparePool, a.allDrives[cfg.Drives:]...)
+	a.pageBytes = a.allDrives[0].disp.Geometry().PageDataBytes
+	perDrive := a.allDrives[0].part.Capacity()
 	a.stripes = perDrive / cfg.StripePages
 	if a.stripes == 0 {
 		a.Close()
 		return nil, fmt.Errorf("array: stripe unit %d exceeds drive capacity %d pages",
 			cfg.StripePages, perDrive)
 	}
-	a.volumePages = a.stripes * cfg.StripePages * cfg.Drives
+	a.perDriveLPAs = a.stripes * cfg.StripePages
+	a.volumePages = a.perDriveLPAs * a.dataSlots()
+	a.written = make([]bool, a.volumePages)
+	if mode == RedundancyParity {
+		a.parityOK = make([]bool, a.perDriveLPAs)
+	}
 	return a, nil
 }
 
-// VolumePages is the volume's capacity in pages.
+// VolumePages is the volume's capacity in pages (net of redundancy).
 func (a *Array) VolumePages() int { return a.volumePages }
 
 // PageBytes is the volume's page payload size.
 func (a *Array) PageBytes() int { return a.pageBytes }
 
 // Clock returns the fleet's modelled clock: the accumulated per-round
-// critical path (slowest drive per round) plus host-side service and
+// critical path (slowest drive per phase) plus host-side service and
 // QoS stall time.
 func (a *Array) Clock() time.Duration { return a.clock }
-
-// locate maps a volume page to (drive, drive-local LPA).
-func (a *Array) locate(page int) (drv, lpa int) {
-	stripe := page / a.cfg.StripePages
-	off := page % a.cfg.StripePages
-	drv = stripe % a.cfg.Drives
-	lpa = (stripe/a.cfg.Drives)*a.cfg.StripePages + off
-	return drv, lpa
-}
 
 // Submit queues one op on its tenant. Ops admit in QoS order, not
 // submission order: one tenant's queue is FIFO, but the fair scheduler
@@ -191,7 +265,7 @@ func (a *Array) locate(page int) (drv, lpa int) {
 // Drain.
 func (a *Array) Submit(op Op) error {
 	if a.closed {
-		return fmt.Errorf("array: closed")
+		return ErrClosed
 	}
 	if op.Page < 0 || op.Page >= a.volumePages {
 		return fmt.Errorf("array: page %d outside volume [0,%d)", op.Page, a.volumePages)
@@ -210,18 +284,33 @@ func (a *Array) Submit(op Op) error {
 }
 
 // Drain runs scheduling rounds until every tenant queue is empty and
-// returns the completions in deterministic schedule order.
+// any active rebuild converged, returning completions in deterministic
+// schedule order. A rebuild whose sources stay down (a second fault
+// inside the repair window) is abandoned with its losses on record
+// rather than spinning forever.
 func (a *Array) Drain() ([]Result, error) {
 	if a.closed {
-		return nil, fmt.Errorf("array: closed")
+		return nil, ErrClosed
 	}
 	var out []Result
-	for a.sched.pending() > 0 {
+	idle, idleLimit := 0, 4*a.perDriveLPAs+1024
+	for a.sched.pending() > 0 || a.rebuildActive() {
+		progress := a.rebuiltPages
 		res, err := a.round()
 		if err != nil {
 			return out, err
 		}
 		out = append(out, res...)
+		if a.sched.pending() == 0 && a.rebuildActive() {
+			if a.rebuiltPages == progress {
+				idle++
+				if idle > idleLimit {
+					a.abandonRebuild()
+				}
+			} else {
+				idle = 0
+			}
+		}
 	}
 	// Dirty evictions raised by the last round's cache fills would
 	// otherwise sit staged forever (they are already counted as
@@ -230,37 +319,35 @@ func (a *Array) Drain() ([]Result, error) {
 	return out, nil
 }
 
-// drainPending executes any carried write-backs as one extra batch.
+// drainPending executes any carried write-backs as one extra round.
 func (a *Array) drainPending() {
 	if len(a.pendingWB) == 0 {
 		return
 	}
-	batches := make([][]driveOp, a.cfg.Drives)
-	a.stageWritebacks(a.pendingWB, batches)
+	acts := a.wbActions(a.pendingWB)
 	a.pendingWB = nil
-	a.runBatches(batches)
-	a.advance(a.critTime())
+	a.advance(a.execRound(acts, false))
 }
 
-// critTime is the last round's critical path: the slowest drive.
-func (a *Array) critTime() time.Duration {
-	var crit time.Duration
-	for _, d := range a.drives {
-		if d.roundElapsed > crit {
-			crit = d.roundElapsed
-		}
+// wbActions converts staged write-backs into round actions (no host
+// result slot: they are the cache's own traffic).
+func (a *Array) wbActions(wbs []writeback) []action {
+	acts := make([]action, 0, len(wbs))
+	for _, wb := range wbs {
+		acts = append(acts, action{write: true, page: wb.page, data: wb.data})
 	}
-	return crit
+	return acts
 }
 
-// round runs one scheduling round: refill buckets, pick fairly, serve
-// from cache, batch misses and write-backs per drive, execute the
-// batches concurrently, join at the barrier, then merge in drive-index
-// order.
+// round runs one scheduling round: fire scheduled faults, refill
+// buckets, pick fairly, serve from cache, then hand the drive-bound
+// actions (plus any rebuild traffic) to the redundancy-mode executor
+// and judge each faulted drive's UBER climate at the barrier.
 func (a *Array) round() ([]Result, error) {
 	a.rounds++
+	a.applyScheduledFaults()
 	picked := a.sched.pick(a.cfg.RoundOps)
-	if len(picked) == 0 {
+	if len(picked) == 0 && !a.rebuildActive() {
 		// Every queued tenant is out of tokens: jump the fleet clock to
 		// the earliest refill instead of spinning.
 		wait := a.sched.stallWait()
@@ -273,11 +360,11 @@ func (a *Array) round() ([]Result, error) {
 	}
 
 	results := make([]Result, len(picked))
-	batches := make([][]driveOp, a.cfg.Drives)
+	var acts []action
 
 	// Dirty evictions from the previous round's cache fills flush
 	// first, preserving first-dirtied order ahead of new traffic.
-	a.stageWritebacks(a.pendingWB, batches)
+	acts = append(acts, a.wbActions(a.pendingWB)...)
 	a.pendingWB = nil
 
 	type fill struct{ slot, page int }
@@ -299,12 +386,11 @@ func (a *Array) round() ([]Result, error) {
 				r.Latency = a.cfg.HitLatency
 				hostTime += a.cfg.HitLatency
 				if wb := a.cache.put(op.Page, op.Data, true); wb != nil {
-					a.stageWritebacks([]writeback{*wb}, batches)
+					acts = append(acts, a.wbActions([]writeback{*wb})...)
 				}
 				continue
 			}
-			drv, lpa := a.locate(op.Page)
-			batches[drv] = append(batches[drv], driveOp{write: true, lpa: lpa, data: op.Data, res: r})
+			acts = append(acts, action{write: true, page: op.Page, data: op.Data, res: r})
 			continue
 		}
 		t.stats.Reads++
@@ -317,8 +403,7 @@ func (a *Array) round() ([]Result, error) {
 			hostTime += a.cfg.HitLatency
 			continue
 		}
-		drv, lpa := a.locate(op.Page)
-		batches[drv] = append(batches[drv], driveOp{lpa: lpa, res: r})
+		acts = append(acts, action{page: op.Page, res: r})
 		if a.cache.enabled() {
 			fills = append(fills, fill{slot: i, page: op.Page})
 		}
@@ -328,14 +413,16 @@ func (a *Array) round() ([]Result, error) {
 	// water once it crosses the high water, in first-dirtied order.
 	high, low := a.watermarks()
 	if a.cache.enabled() && a.cache.dirtyCount() >= high {
-		a.stageWritebacks(a.cache.flush(a.cache.dirtyCount()-low), batches)
+		acts = append(acts, a.wbActions(a.cache.flush(a.cache.dirtyCount()-low))...)
 	}
 
-	a.runBatches(batches)
+	progress := a.rebuiltPages
+	crit := a.execRound(acts, true)
+	a.judgeClimate()
 
 	// Post-barrier, deterministic order: account read bytes, fill the
 	// cache with miss data (evictions carry to the next round), and
-	// advance the fleet clock by the slowest drive's round time.
+	// advance the fleet clock by the round's critical path.
 	for i := range results {
 		r := &results[i]
 		if !r.Write && !r.CacheHit && r.Err == nil {
@@ -351,7 +438,18 @@ func (a *Array) round() ([]Result, error) {
 			a.pendingWB = append(a.pendingWB, *wb)
 		}
 	}
-	a.advance(a.critTime() + hostTime)
+	if len(picked) == 0 && crit == 0 && hostTime == 0 && a.rebuiltPages == progress && a.rebuildActive() {
+		// Rebuild-only round that made no progress (token-starved or
+		// sources deferred): jump the clock to the next rebuild token.
+		wait := a.rebuildTen.tokenWait()
+		if wait <= 0 {
+			wait = time.Microsecond
+		}
+		a.stalls++
+		a.advance(wait)
+		return nil, nil
+	}
+	a.advance(crit + hostTime)
 	return results, nil
 }
 
@@ -374,31 +472,6 @@ func (a *Array) watermarks() (high, low int) {
 	return high, low
 }
 
-// stageWritebacks appends dirty pages to their drives' batches, in the
-// given (first-dirtied) order. Write-backs carry no result slot — they
-// are the cache's own traffic.
-func (a *Array) stageWritebacks(wbs []writeback, batches [][]driveOp) {
-	for _, wb := range wbs {
-		drv, lpa := a.locate(wb.page)
-		batches[drv] = append(batches[drv], driveOp{write: true, lpa: lpa, data: wb.data})
-	}
-}
-
-// runBatches hands each non-empty batch to its drive worker and blocks
-// at the barrier until all complete.
-func (a *Array) runBatches(batches [][]driveOp) {
-	var wg sync.WaitGroup
-	for i, b := range batches {
-		if len(b) == 0 {
-			a.drives[i].roundElapsed = 0
-			continue
-		}
-		wg.Add(1)
-		a.drives[i].jobs <- driveJob{batch: b, wg: &wg}
-	}
-	wg.Wait()
-}
-
 // advance moves the fleet clock and refills every token bucket.
 func (a *Array) advance(dt time.Duration) {
 	if dt <= 0 {
@@ -412,28 +485,27 @@ func (a *Array) advance(dt time.Duration) {
 // the drives. The write-back buffer is empty afterwards.
 func (a *Array) Flush() error {
 	if a.closed {
-		return fmt.Errorf("array: closed")
+		return ErrClosed
 	}
 	wbs := append(a.pendingWB, a.cache.flush(0)...)
 	a.pendingWB = nil
 	if len(wbs) == 0 {
 		return nil
 	}
-	batches := make([][]driveOp, a.cfg.Drives)
-	a.stageWritebacks(wbs, batches)
-	a.runBatches(batches)
-	a.advance(a.critTime())
+	a.advance(a.execRound(a.wbActions(wbs), false))
 	return nil
 }
 
-// Close stops the drive workers and releases every drive. Dirty cache
-// pages are NOT flushed — call Flush first if they matter.
+// Close stops the drive workers and releases every drive (members,
+// spares, and stacks already killed by faults). Dirty cache pages are
+// NOT flushed — call Flush first if they matter. Idempotent; calls
+// into the array after Close return ErrClosed.
 func (a *Array) Close() {
 	if a.closed {
 		return
 	}
 	a.closed = true
-	for _, d := range a.drives {
+	for _, d := range a.allDrives {
 		if d != nil {
 			d.close()
 		}

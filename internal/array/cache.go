@@ -203,6 +203,11 @@ type CacheStats struct {
 	// (eviction of a dirty page, watermark flush, or a final Flush).
 	Evictions  int64 `json:"evictions"`
 	Writebacks int64 `json:"writebacks"`
+	// WritebackLost counts dirty pages whose write-back could not land
+	// on any drive (dead target with no redundancy to absorb it, or a
+	// persistent injected fault). The page's newest version is gone and
+	// this counter is the honest record of it.
+	WritebackLost int64 `json:"writeback_lost"`
 	// DirtyHighWaterMark is the largest number of dirty pages the
 	// write-back buffer ever held.
 	DirtyHighWaterMark int `json:"dirty_high_water_mark"`

@@ -21,19 +21,45 @@ const driveSeedStride = 0xbf58476d1ce4e5b9
 // the volume.
 const volPartition = "vol"
 
-// driveOp is one operation bound for a specific drive within a round:
-// the drive-local logical page, the direction, and the result slot the
-// drive worker fills. Slots are owned exclusively by one worker between
-// the round's dispatch and its barrier.
+// driveOp is one operation bound for a specific physical drive within
+// a phase: the drive-local logical page, the direction, and exactly one
+// of two result sinks — a host Result slot or an internal read slot.
+// slot is the logical array slot the drive currently serves; host
+// results report it as the serving drive. Sinks are owned exclusively
+// by one worker between a phase's dispatch and its barrier.
 type driveOp struct {
 	write bool
 	lpa   int
+	slot  int
 	data  []byte
 	res   *Result
+	out   *internalRead
 }
 
-// drive is one member of the array: a full dispatcher + FTL stack with
-// a dedicated worker goroutine consuming whole-round batches.
+// fill routes an op's outcome to its sink. Latency accumulates rather
+// than assigns so a recovery re-dispatch of the same host result keeps
+// the failed attempt's cost on the books.
+func (op *driveOp) fill(data []byte, lat time.Duration, err error) {
+	if op.out != nil {
+		op.out.data = data
+		op.out.err = err
+		op.out.lat += lat
+		return
+	}
+	if op.res == nil {
+		return
+	}
+	op.res.Drive = op.slot
+	op.res.Err = err
+	if err == nil && !op.write && data != nil {
+		op.res.Data = data
+	}
+	op.res.Latency += lat
+}
+
+// drive is one physical member of the array: a full dispatcher + FTL
+// stack with a dedicated worker goroutine consuming whole-phase
+// batches, plus its deterministic fault state.
 type drive struct {
 	idx  int
 	seed uint64
@@ -44,14 +70,22 @@ type drive struct {
 	jobs chan driveJob
 	done chan struct{}
 
+	// Fault state, set once before the worker sees traffic: transient
+	// refusal rate, modelled-latency multiplier, and the seeded
+	// splitmix64 stream behind faultRoll. frng is worker-confined.
+	errRate   float64
+	latFactor float64
+	frng      uint64
+
 	// Perf accumulators, touched only by the worker goroutine between
 	// barriers and by the front end after them.
 	readOps, writeOps  int64
 	readLat, writeLat  time.Duration
 	uncorrectableReads int64
-	writebackErrors    int64         // failed cache write-backs (no result slot to carry them)
-	lastNow            time.Duration // Now() at the previous barrier
-	roundElapsed       time.Duration // modelled time this drive spent in the current round
+	injected           int64         // injected transient faults (per refused attempt)
+	roundElapsed       time.Duration // modelled time this drive spent in the current phase
+
+	closed bool
 }
 
 type driveJob struct {
@@ -99,8 +133,18 @@ func newDrive(idx int, cfg Config, env sim.Env, ctrlCfg controller.Config) (*dri
 	return d, nil
 }
 
-// worker consumes round batches. Each batch executes strictly in order
-// on this drive's own stack; concurrency exists only across drives.
+// setFault arms the drive's deterministic fault stream. Called before
+// the drive sees any traffic.
+func (d *drive) setFault(f DriveFault, planSeed uint64) {
+	d.errRate = f.TransientErrRate
+	d.latFactor = f.LatencyFactor
+	d.frng = d.seed ^ planSeed ^ uint64(d.idx+1)*faultSeedStride
+}
+
+// worker consumes phase batches. Each batch executes strictly in order
+// on this drive's own stack; concurrency exists only across drives. A
+// latency-degradation fault inflates the drive's contribution to the
+// round's critical path without touching the stack's own clock.
 func (d *drive) worker() {
 	defer close(d.done)
 	for job := range d.jobs {
@@ -109,48 +153,55 @@ func (d *drive) worker() {
 		for i := range job.batch {
 			d.execute(&job.batch[i])
 		}
-		d.roundElapsed = d.disp.Now() - before
+		elapsed := d.disp.Now() - before
+		if d.latFactor > 1 {
+			elapsed = time.Duration(float64(elapsed) * d.latFactor)
+		}
+		d.roundElapsed = elapsed
 		job.wg.Done()
 	}
 }
 
-// execute runs one op through the FTL and fills its result slot.
+// execute runs one op through the FTL and fills its sink. Transient
+// faults roll per attempt: a refused op retries immediately up to
+// faultRetries times before ErrDriveFault escapes the drive.
 func (d *drive) execute(op *driveOp) {
+	attempts := 0
+	for d.faultRoll() {
+		d.injected++
+		attempts++
+		if attempts > faultRetries {
+			if op.write {
+				d.writeOps++
+			} else {
+				d.readOps++
+			}
+			op.fill(nil, 0, fmt.Errorf("array: drive %d lpa %d: %w", d.idx, op.lpa, ErrDriveFault))
+			return
+		}
+	}
 	if op.write {
 		wr, err := d.f.Write(volPartition, op.lpa, op.data)
 		d.writeOps++
+		var lat time.Duration
 		if wr != nil {
-			d.writeLat += wr.Latency.Total()
+			lat = wr.Latency.Total()
+			d.writeLat += lat
 		}
-		if op.res != nil {
-			op.res.Drive = d.idx
-			op.res.Err = err
-			if wr != nil {
-				op.res.Latency = wr.Latency.Total()
-			}
-		} else if err != nil {
-			d.writebackErrors++
-		}
+		op.fill(nil, lat, err)
 		return
 	}
 	data, rr, err := d.f.Read(volPartition, op.lpa)
 	d.readOps++
+	var lat time.Duration
 	if rr != nil {
-		d.readLat += rr.Latency.Total()
+		lat = rr.Latency.Total()
+		d.readLat += lat
 	}
 	if err != nil {
 		d.uncorrectableReads++
 	}
-	if op.res != nil {
-		op.res.Drive = d.idx
-		op.res.Err = err
-		if err == nil {
-			op.res.Data = data
-		}
-		if rr != nil {
-			op.res.Latency = rr.Latency.Total()
-		}
-	}
+	op.fill(data, lat, err)
 }
 
 // report gathers this drive's telemetry. Called by the front end only
@@ -158,6 +209,7 @@ func (d *drive) execute(op *driveOp) {
 func (d *drive) report() DriveReport {
 	rep := DriveReport{
 		Drive:     d.idx,
+		Physical:  d.idx,
 		Seed:      d.seed,
 		RetryHist: make([]int, controller.RetryHistBuckets),
 	}
@@ -167,7 +219,7 @@ func (d *drive) report() DriveReport {
 	rep.Erases = d.part.Erases
 	rep.LostPages = d.part.LostPages
 	rep.UncorrectableReads = d.uncorrectableReads
-	rep.WritebackErrors = d.writebackErrors
+	rep.InjectedFaults = d.injected
 
 	geo := d.disp.Geometry()
 	for die := 0; die < geo.Dies; die++ {
@@ -197,8 +249,13 @@ func (d *drive) report() DriveReport {
 	return rep
 }
 
-// close stops the worker and releases the dispatcher.
+// close stops the worker and releases the dispatcher. Idempotent: a
+// drive killed mid-run is closed again by Array.Close harmlessly.
 func (d *drive) close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
 	close(d.jobs)
 	<-d.done
 	d.disp.Close()

@@ -1,0 +1,141 @@
+package array
+
+// Health is one array member's position in the drive health state
+// machine:
+//
+//	healthy → suspect → degraded → dead → rebuilding → restored
+//
+// The first three are in-service states driven by the drive's observed
+// UBER climate against FaultPlan.UBERCeiling (¼ and ½ of the ceiling
+// mark suspect and degraded; crossing it declares the drive dead).
+// Fail-stop faults jump straight to dead. A dead slot with a hot spare
+// available transitions to rebuilding in the same round; when the
+// background rebuild converges the slot is restored and the spare is a
+// full member. Transitions are strictly forward and every one is
+// recorded with its round and fleet clock in the report.
+type Health int
+
+const (
+	Healthy Health = iota
+	Suspect
+	Degraded
+	Dead
+	Rebuilding
+	Restored
+)
+
+// String renders the state for reports and errors.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	case Rebuilding:
+		return "rebuilding"
+	case Restored:
+		return "restored"
+	}
+	return "unknown"
+}
+
+// HealthTransition is one recorded state change of an array slot.
+type HealthTransition struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Round    int64   `json:"round"`
+	ClockSec float64 `json:"clock_seconds"`
+}
+
+// slot is one logical member of the array: the currently attached
+// physical drive stack (nil while dead with no spare), its health
+// history, the fault schedule targeting it, and the degraded-mode
+// counters. Slots are confined to the front-end goroutine.
+type slot struct {
+	id int
+	d  *drive
+
+	state       Health
+	transitions []HealthTransition
+	fault       DriveFault
+	hasFault    bool
+
+	// final is the dead stack's last telemetry snapshot, folded into the
+	// report until (and after) a spare replaces it.
+	final *DriveReport
+
+	// Degraded-mode accounting.
+	degradedReads int64
+	reconBytes    int64
+	lostWrites    int64
+	wbErrors      int64 // failed cache write-backs (no result slot)
+
+	// stale marks drive-local pages whose last mirror-copy write failed:
+	// the member holds an old version its partner has superseded, so
+	// reads must not be served from it until a later write lands.
+	stale map[int]bool
+
+	// Rebuild state: rebuilt[lpa] means the attached spare already holds
+	// the current content for that drive-local page; cursor is the sweep
+	// position. Non-nil only while rebuilding.
+	rebuilt []bool
+	cursor  int
+	rb      *RebuildReport
+}
+
+// transition moves the slot forward and records the step.
+func (s *slot) transition(to Health, round int64, clock float64) {
+	s.transitions = append(s.transitions, HealthTransition{
+		From: s.state.String(), To: to.String(), Round: round, ClockSec: clock,
+	})
+	s.state = to
+}
+
+// inService reports whether the slot's member is executing ops at all
+// (dead slots are not; a rebuilding slot serves through its spare for
+// pages already rebuilt).
+func (s *slot) inService() bool {
+	return s.state != Dead && s.d != nil
+}
+
+// readable reports whether a read of the given drive-local page can be
+// served directly from this slot's member.
+func (s *slot) readable(lpa int) bool {
+	if !s.inService() {
+		return false
+	}
+	if s.state == Rebuilding && !s.rebuilt[lpa] {
+		return false
+	}
+	if s.stale != nil && s.stale[lpa] {
+		return false
+	}
+	return true
+}
+
+// writable reports whether a write of the given drive-local page can
+// land on this slot's member (rebuilding slots absorb writes directly
+// onto the spare, which marks the page rebuilt).
+func (s *slot) writable() bool { return s.inService() }
+
+// markStale records a mirror-divergent page; markFresh clears it after
+// a successful write.
+func (s *slot) markStale(lpa int) {
+	if s.stale == nil {
+		s.stale = map[int]bool{}
+	}
+	s.stale[lpa] = true
+}
+
+func (s *slot) markFresh(lpa int) {
+	if s.stale != nil {
+		delete(s.stale, lpa)
+	}
+	if s.state == Rebuilding && !s.rebuilt[lpa] {
+		s.rebuilt[lpa] = true
+	}
+}

@@ -1,0 +1,948 @@
+// Redundancy geometry and the phased round executors. The array runs
+// every round as a short sequence of barriers: internal reads (RMW old
+// values, reconstruction peers, rebuild sources), recovery reads for
+// transient faults, data writes, then parity writes. Each phase batches
+// per drive, executes concurrently, and joins before the next phase's
+// order-sensitive planning — the same determinism contract as the
+// original single-barrier round, just deeper.
+package array
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Redundancy modes.
+const (
+	// RedundancyNone stripes with no cross-drive protection.
+	RedundancyNone = "none"
+	// RedundancyParity rotates RAID-5 parity across the stripe: N-1
+	// data chunks plus one parity chunk per row, parity drive = row mod N.
+	RedundancyParity = "parity"
+	// RedundancyMirror pairs drives (2k, 2k+1) as RAID-1 copies.
+	RedundancyMirror = "mirror"
+)
+
+// normalizeRedundancy resolves the config string.
+func normalizeRedundancy(mode string, drives int) (string, error) {
+	switch mode {
+	case "", RedundancyNone:
+		return RedundancyNone, nil
+	case RedundancyParity:
+		if drives < 3 {
+			return "", fmt.Errorf("array: parity redundancy needs >= 3 drives, got %d", drives)
+		}
+		return RedundancyParity, nil
+	case RedundancyMirror:
+		if drives < 2 || drives%2 != 0 {
+			return "", fmt.Errorf("array: mirror redundancy needs an even drive count >= 2, got %d", drives)
+		}
+		return RedundancyMirror, nil
+	}
+	return "", fmt.Errorf("array: unknown redundancy mode %q", mode)
+}
+
+// dataSlots is how many of the N slots hold distinct data per stripe
+// row under the active mode.
+func (a *Array) dataSlots() int {
+	switch a.mode {
+	case RedundancyParity:
+		return a.cfg.Drives - 1
+	case RedundancyMirror:
+		return a.cfg.Drives / 2
+	}
+	return a.cfg.Drives
+}
+
+// locate maps a volume page to its primary (slot, drive-local LPA).
+func (a *Array) locate(page int) (drv, lpa int) {
+	sp := a.cfg.StripePages
+	stripe, off := page/sp, page%sp
+	ds := a.dataSlots()
+	row, k := stripe/ds, stripe%ds
+	lpa = row*sp + off
+	switch a.mode {
+	case RedundancyParity:
+		pd := row % a.cfg.Drives
+		if k < pd {
+			drv = k
+		} else {
+			drv = k + 1
+		}
+	case RedundancyMirror:
+		drv = k * 2
+	default:
+		drv = k
+	}
+	return drv, lpa
+}
+
+// rowOff splits a drive-local LPA into (stripe row, page offset).
+func (a *Array) rowOff(lpa int) (row, off int) {
+	return lpa / a.cfg.StripePages, lpa % a.cfg.StripePages
+}
+
+// parityLoc is the slot holding the parity chunk of a stripe row.
+func (a *Array) parityLoc(row int) int { return row % a.cfg.Drives }
+
+// pageOf inverts locate: the volume page stored on slot at lpa, or -1
+// when the slot holds parity there (or mirrors another slot's primary).
+func (a *Array) pageOf(slotID, lpa int) int {
+	sp := a.cfg.StripePages
+	row, off := a.rowOff(lpa)
+	ds := a.dataSlots()
+	switch a.mode {
+	case RedundancyParity:
+		pd := a.parityLoc(row)
+		if slotID == pd {
+			return -1
+		}
+		k := slotID
+		if slotID > pd {
+			k = slotID - 1
+		}
+		return (row*ds+k)*sp + off
+	case RedundancyMirror:
+		return (row*ds+slotID/2)*sp + off
+	default:
+		return (row*ds+slotID)*sp + off
+	}
+}
+
+// xorInto accumulates src into dst.
+func xorInto(dst, src []byte) {
+	for i, b := range src {
+		dst[i] ^= b
+	}
+}
+
+// internalRead is a drive read or write with no host result slot: RMW
+// old values, reconstruction peers, parity updates, rebuild traffic.
+// Owned by exactly one worker between dispatch and barrier.
+type internalRead struct {
+	data []byte
+	err  error
+	lat  time.Duration
+}
+
+// readKey identifies one deduplicated internal read.
+type readKey struct{ slot, lpa int }
+
+// readSet collects the internal reads one phase needs, deduplicated,
+// in deterministic first-want order.
+type readSet struct {
+	order []readKey
+	m     map[readKey]*internalRead
+}
+
+func newReadSet() *readSet { return &readSet{m: map[readKey]*internalRead{}} }
+
+// want registers (slot, lpa) for the phase and returns its shared slot.
+func (rs *readSet) want(slot, lpa int) *internalRead {
+	k := readKey{slot, lpa}
+	if ir, ok := rs.m[k]; ok {
+		return ir
+	}
+	ir := &internalRead{}
+	rs.m[k] = ir
+	rs.order = append(rs.order, k)
+	return ir
+}
+
+// stage appends the set's reads to the per-slot batches in want order.
+func (rs *readSet) stage(batches [][]driveOp) {
+	for _, k := range rs.order {
+		batches[k.slot] = append(batches[k.slot], driveOp{lpa: k.lpa, slot: k.slot, out: rs.m[k]})
+	}
+}
+
+// runPhase hands each slot's non-empty batch to its attached member and
+// blocks at the barrier; returns the phase's critical path (the slowest
+// member's modelled time). Batches for slots with no member are a
+// planner bug.
+func (a *Array) runPhase(batches [][]driveOp) time.Duration {
+	any := false
+	for _, b := range batches {
+		if len(b) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return 0
+	}
+	var wg sync.WaitGroup
+	for i, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		d := a.slots[i].d
+		if d == nil {
+			panic(fmt.Sprintf("array: phase batch for detached slot %d", i))
+		}
+		wg.Add(1)
+		d.jobs <- driveJob{batch: b, wg: &wg}
+	}
+	wg.Wait()
+	var crit time.Duration
+	for i, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		if e := a.slots[i].d.roundElapsed; e > crit {
+			crit = e
+		}
+	}
+	return crit
+}
+
+// action is one drive-bound host operation in round order: a read miss
+// or a write leaving the cache layer (res == nil for cache write-backs,
+// which have no host result slot).
+type action struct {
+	write bool
+	page  int
+	data  []byte
+	res   *Result
+}
+
+// loseWrite accounts one unrecoverable write honestly: a result slot
+// gets the typed error; a write-back bumps the cache-loss counter.
+func (a *Array) loseWrite(s *slot, act *action, cause error) {
+	s.lostWrites++
+	if act.res != nil {
+		act.res.Drive = s.id
+		act.res.Err = fmt.Errorf("array: write page %d lost: %w", act.page, cause)
+		return
+	}
+	s.wbErrors++
+	a.cache.stats.WritebackLost++
+}
+
+// execRound executes one round's drive-bound actions under the active
+// redundancy mode, interleaving rebuild traffic when allowed, and
+// returns the round's accumulated critical-path time.
+func (a *Array) execRound(acts []action, allowRebuild bool) time.Duration {
+	var items []rbItem
+	if allowRebuild {
+		items = a.planRebuild()
+	}
+	var crit time.Duration
+	if a.mode == RedundancyParity {
+		crit = a.execParity(acts, items)
+	} else {
+		crit = a.execFlat(acts, items)
+	}
+	a.finishRebuild(items)
+	return crit
+}
+
+// pendingRead tracks a host read served directly in phase 1 so a
+// persistent transient fault can be recovered in phase 2.
+type pendingRead struct {
+	res  *Result
+	page int
+	slot int // serving slot
+}
+
+// execFlat is the single-mixed-batch executor for the none and mirror
+// modes: reads and writes stay interleaved per drive in op order
+// (preserving read-after-write semantics within a round), with a
+// recovery phase for transient read faults and a spare-write phase for
+// rebuild traffic.
+func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
+	n := len(a.slots)
+	batches := make([][]driveOp, n)
+
+	// Rebuild sources first: partner reads land ahead of host traffic so
+	// a same-round host write to the same page wins the batch order.
+	for i := range items {
+		it := &items[i]
+		if it.skip {
+			continue
+		}
+		src := a.slots[it.srcSlot]
+		if !src.readable(it.lpa) {
+			it.lost = true
+			continue
+		}
+		it.read = &internalRead{}
+		batches[it.srcSlot] = append(batches[it.srcSlot], driveOp{lpa: it.lpa, slot: it.srcSlot, out: it.read})
+	}
+
+	type flatWrite struct {
+		act   *action
+		lpa   int
+		slots []int
+		outs  []*internalRead // nil entry where act.res carries the result
+	}
+	var writes []flatWrite
+	var reads []pendingRead
+
+	for ai := range acts {
+		act := &acts[ai]
+		drv, lpa := a.locate(act.page)
+		if act.write {
+			targets := []int{drv}
+			if a.mode == RedundancyMirror {
+				targets = append(targets, drv^1)
+			}
+			fw := flatWrite{act: act, lpa: lpa}
+			carried := false
+			for _, t := range targets {
+				if !a.slots[t].writable() {
+					continue
+				}
+				op := driveOp{write: true, lpa: lpa, data: act.data, slot: t}
+				var out *internalRead
+				if !carried && act.res != nil {
+					op.res = act.res
+					carried = true
+				} else {
+					out = &internalRead{}
+					op.out = out
+				}
+				batches[t] = append(batches[t], op)
+				fw.slots = append(fw.slots, t)
+				fw.outs = append(fw.outs, out)
+			}
+			if len(fw.slots) == 0 {
+				a.loseWrite(a.slots[drv], act, ErrDriveDead)
+				continue
+			}
+			writes = append(writes, fw)
+			continue
+		}
+		// Read: primary slot, mirror partner as fallback.
+		srv := -1
+		for _, c := range a.readCandidates(drv) {
+			if a.slots[c].readable(lpa) {
+				srv = c
+				break
+			}
+		}
+		if srv < 0 {
+			act.res.Drive = drv
+			act.res.Err = fmt.Errorf("array: read page %d: %w", act.page, ErrDriveDead)
+			continue
+		}
+		if srv != drv {
+			a.slots[drv].degradedReads++
+		}
+		batches[srv] = append(batches[srv], driveOp{lpa: lpa, slot: srv, res: act.res})
+		reads = append(reads, pendingRead{res: act.res, page: act.page, slot: srv})
+	}
+
+	crit := a.runPhase(batches)
+
+	// Phase 2: recover transient-faulted reads from the mirror partner.
+	if a.mode == RedundancyMirror {
+		rec := make([][]driveOp, n)
+		staged := false
+		for _, pr := range reads {
+			if pr.res.Err == nil || !isFault(pr.res.Err) {
+				continue
+			}
+			other := pr.slot ^ 1
+			_, lpa := a.locate(pr.page)
+			if !a.slots[other].readable(lpa) {
+				continue
+			}
+			a.slots[pr.slot].degradedReads++
+			pr.res.Err = nil
+			rec[other] = append(rec[other], driveOp{lpa: lpa, slot: other, res: pr.res})
+			staged = true
+		}
+		if staged {
+			crit += a.runPhase(rec)
+		}
+	}
+
+	// Write bookkeeping: written[] on any success, stale marks on
+	// partial mirror failures.
+	for _, fw := range writes {
+		anyOK := false
+		for i, t := range fw.slots {
+			var err error
+			if fw.outs[i] == nil {
+				err = fw.act.res.Err
+			} else {
+				err = fw.outs[i].err
+			}
+			s := a.slots[t]
+			if err == nil {
+				anyOK = true
+				s.markFresh(fw.lpa)
+			} else {
+				s.markStale(fw.lpa)
+				if fw.outs[i] != nil {
+					s.wbErrors++
+				}
+			}
+		}
+		if anyOK {
+			a.written[fw.act.page] = true
+		} else if fw.act.res == nil {
+			a.cache.stats.WritebackLost++
+			a.slots[fw.slots[0]].lostWrites++
+		} else {
+			a.slots[fw.slots[0]].lostWrites++
+		}
+	}
+
+	// Phase 3: rebuild copies onto the spare.
+	crit += a.stageRebuildWrites(items, func(it *rbItem) []byte {
+		if it.read == nil || it.read.err != nil {
+			return nil
+		}
+		return it.read.data
+	})
+	return crit
+}
+
+// readCandidates lists the slots that may serve a read of a page whose
+// primary slot is drv, in preference order.
+func (a *Array) readCandidates(drv int) []int {
+	if a.mode == RedundancyMirror {
+		return []int{drv, drv ^ 1}
+	}
+	return []int{drv}
+}
+
+// isFault reports whether an op error is an injected transient fault.
+func isFault(err error) bool { return errors.Is(err, ErrDriveFault) }
+
+// pwrite is one parity-mode write reaching the drives this round.
+type pwrite struct {
+	act                *action
+	drv, lpa, row, off int
+	l                  int  // parity page index (== parity lpa)
+	degraded           bool // target dead with no spare: parity alone carries the content
+	oldData            *internalRead
+	out                *internalRead // internal data-write result when act.res is nil
+	ok                 bool          // data write landed
+}
+
+// prow accumulates one touched parity page's update plan: either a
+// delta chain (old parity ⊕ old data ⊕ new data per write) or an
+// absolute recompute from the row's current values.
+type prow struct {
+	l, row, pd int
+	absolute   bool
+	skip       bool // parity slot unwritable: updates are dropped, honestly
+	oldParity  *internalRead
+	peers      []peerRead
+	writes     []int // indexes into pw, op order
+	stage      *internalRead
+	val        []byte
+}
+
+// peerRead is one row member's current value wanted for an absolute
+// parity recompute; ir == nil marks a member that cannot be read.
+type peerRead struct {
+	slot, page int
+	ir         *internalRead
+}
+
+// recRead is one host read served by reconstruction: XOR of the row's
+// readable peers and its parity.
+type recRead struct {
+	res   *Result
+	page  int
+	drv   int
+	comps []*internalRead
+}
+
+// execParity is the phased RAID-5 executor: phase 1 reads (primary
+// host reads, RMW old values, reconstruction peers, rebuild sources),
+// phase 2 recovery reads for transient faults, phase 3 data writes
+// (rebuild copies first, so same-round host writes win), phase 4
+// parity writes computed only from writes that actually landed.
+func (a *Array) execParity(acts []action, items []rbItem) time.Duration {
+	n := len(a.slots)
+	rs := newReadSet()
+	prows := map[int]*prow{}
+	var prowOrder []int
+	var pw []pwrite
+	var recs []recRead
+	var reads []pendingRead
+	var hostOps []driveOp
+	pendingData := map[int][]byte{}
+
+	getProw := func(row, off int) *prow {
+		l := row*a.cfg.StripePages + off
+		if pr, ok := prows[l]; ok {
+			return pr
+		}
+		pd := a.parityLoc(row)
+		pr := &prow{l: l, row: row, pd: pd}
+		if !a.slots[pd].writable() {
+			pr.skip = true
+		}
+		prows[l] = pr
+		prowOrder = append(prowOrder, l)
+		return pr
+	}
+	makeAbsolute := func(pr *prow) {
+		if pr.absolute || pr.skip {
+			pr.absolute = true
+			pr.oldParity = nil
+			return
+		}
+		pr.absolute = true
+		pr.oldParity = nil
+		if pr.peers != nil {
+			return
+		}
+		for j := 0; j < n; j++ {
+			if j == pr.pd {
+				continue
+			}
+			pj := a.pageOf(j, pr.l)
+			if pj < 0 || !a.written[pj] {
+				continue
+			}
+			p := peerRead{slot: j, page: pj}
+			if a.slots[j].readable(pr.l) {
+				p.ir = rs.want(j, pr.l)
+			}
+			pr.peers = append(pr.peers, p)
+		}
+	}
+
+	// Rebuild source planning shares the phase-1 read set.
+	for i := range items {
+		it := &items[i]
+		row, _ := a.rowOff(it.lpa)
+		pd := a.parityLoc(row)
+		if it.s.id == pd {
+			it.parityRebuild = true
+			for j := 0; j < n; j++ {
+				if j == pd {
+					continue
+				}
+				pj := a.pageOf(j, it.lpa)
+				if pj < 0 || !a.written[pj] {
+					continue
+				}
+				if !a.slots[j].readable(it.lpa) {
+					it.skip = true // peer also down: retry a later round
+					break
+				}
+				it.comps = append(it.comps, rs.want(j, it.lpa))
+			}
+			continue
+		}
+		if !a.parityOK[it.lpa] {
+			it.lost = true // content existed only on the dead member
+			continue
+		}
+		ok := a.slots[pd].readable(it.lpa)
+		if ok {
+			it.comps = append(it.comps, rs.want(pd, it.lpa))
+		} else {
+			it.skip = true
+		}
+		for j := 0; ok && j < n; j++ {
+			if j == pd || j == it.s.id {
+				continue
+			}
+			pj := a.pageOf(j, it.lpa)
+			if pj < 0 || !a.written[pj] {
+				continue
+			}
+			if !a.slots[j].readable(it.lpa) {
+				it.skip = true
+				it.comps = nil
+				break
+			}
+			it.comps = append(it.comps, rs.want(j, it.lpa))
+		}
+	}
+
+	// Host action walk, in schedule order.
+	for ai := range acts {
+		act := &acts[ai]
+		drv, lpa := a.locate(act.page)
+		row, off := a.rowOff(lpa)
+		st := a.slots[drv]
+		if !act.write {
+			if v, ok := pendingData[act.page]; ok {
+				// Read-after-write inside the round: the accepted write
+				// is the newest version; forward it host-side.
+				act.res.Drive = drv
+				act.res.Data = append([]byte(nil), v...)
+				act.res.Latency = a.cfg.HitLatency
+				continue
+			}
+			if st.readable(lpa) {
+				hostOps = append(hostOps, driveOp{lpa: lpa, slot: drv, res: act.res})
+				reads = append(reads, pendingRead{res: act.res, page: act.page, slot: drv})
+				continue
+			}
+			rec, err := a.planRecon(rs, act.page, drv, lpa)
+			if err != nil {
+				act.res.Drive = drv
+				act.res.Err = err
+				continue
+			}
+			rec.res = act.res
+			recs = append(recs, rec)
+			continue
+		}
+
+		w := pwrite{act: act, drv: drv, lpa: lpa, row: row, off: off, l: lpa}
+		pr := getProw(row, off)
+		if st.writable() {
+			if a.written[act.page] {
+				if st.readable(lpa) {
+					w.oldData = rs.want(drv, lpa)
+				} else {
+					makeAbsolute(pr) // old value only reachable through the row
+				}
+			}
+			if act.res == nil {
+				w.out = &internalRead{}
+			}
+		} else {
+			w.degraded = true
+			if pr.skip {
+				a.loseWrite(st, act, ErrDriveDead)
+				continue
+			}
+			makeAbsolute(pr)
+			if act.res != nil {
+				act.res.Drive = drv
+			}
+		}
+		if !pr.skip && !pr.absolute {
+			if a.parityOK[pr.l] {
+				if a.slots[pr.pd].readable(pr.l) {
+					if pr.oldParity == nil {
+						pr.oldParity = rs.want(pr.pd, pr.l)
+					}
+				} else {
+					makeAbsolute(pr)
+				}
+			} else if a.anyRowWritten(pr.l) {
+				makeAbsolute(pr) // stale parity: re-establish from the row
+			}
+		}
+		pr.writes = append(pr.writes, len(pw))
+		pendingData[act.page] = act.data
+		pw = append(pw, w)
+	}
+
+	// Phase 1: every planned read.
+	batches := make([][]driveOp, n)
+	rs.stage(batches)
+	for _, op := range hostOps {
+		batches[op.slot] = append(batches[op.slot], op)
+	}
+	crit := a.runPhase(batches)
+
+	// Resolve phase-1 reconstructions.
+	for _, rec := range recs {
+		a.resolveRecon(rec)
+	}
+
+	// Phase 2: transient-faulted primary reads recover through the row.
+	rs2 := newReadSet()
+	var recs2 []recRead
+	for _, prd := range reads {
+		if !isFault(prd.res.Err) {
+			continue
+		}
+		drv, lpa := a.locate(prd.page)
+		rec, err := a.planRecon(rs2, prd.page, drv, lpa)
+		if err != nil {
+			continue // the injected fault stands as the honest error
+		}
+		prd.res.Err = nil
+		rec.res = prd.res
+		recs2 = append(recs2, rec)
+	}
+	if len(rs2.order) > 0 {
+		b2 := make([][]driveOp, n)
+		rs2.stage(b2)
+		crit += a.runPhase(b2)
+	}
+	for _, rec := range recs2 {
+		a.resolveRecon(rec)
+	}
+
+	// Phase 3: rebuild copies first, then host data writes.
+	b3 := make([][]driveOp, n)
+	for i := range items {
+		it := &items[i]
+		if it.skip || it.lost {
+			continue
+		}
+		val := make([]byte, a.pageBytes)
+		bad := false
+		for _, c := range it.comps {
+			if c.err != nil {
+				bad = true
+				break
+			}
+			xorInto(val, c.data)
+		}
+		if bad {
+			it.skip = true
+			continue
+		}
+		it.write = &internalRead{}
+		b3[it.s.id] = append(b3[it.s.id], driveOp{write: true, lpa: it.lpa, slot: it.s.id, data: val, out: it.write})
+	}
+	for i := range pw {
+		w := &pw[i]
+		if w.degraded {
+			continue
+		}
+		op := driveOp{write: true, lpa: w.lpa, slot: w.drv, data: w.act.data, res: w.act.res, out: w.out}
+		b3[w.drv] = append(b3[w.drv], op)
+	}
+	crit += a.runPhase(b3)
+
+	// Post-barrier write bookkeeping: only landed writes feed parity.
+	fin := map[int][]byte{}
+	for i := range pw {
+		w := &pw[i]
+		if w.degraded {
+			fin[w.act.page] = w.act.data // resolved by the parity write
+			continue
+		}
+		var err error
+		if w.out != nil {
+			err = w.out.err
+		} else {
+			err = w.act.res.Err
+		}
+		if err == nil {
+			w.ok = true
+			a.written[w.act.page] = true
+			a.slots[w.drv].markFresh(w.lpa)
+			fin[w.act.page] = w.act.data
+		} else {
+			a.slots[w.drv].lostWrites++
+			if w.out != nil {
+				a.slots[w.drv].wbErrors++
+				a.cache.stats.WritebackLost++
+			}
+		}
+	}
+
+	// Compute and stage phase-4 parity writes.
+	b4 := make([][]driveOp, n)
+	staged4 := false
+	for _, l := range prowOrder {
+		pr := prows[l]
+		if pr.skip {
+			if a.parityOK[l] && a.rowChanged(pr, pw) {
+				a.parityOK[l] = false
+				a.parityStale++
+			}
+			continue
+		}
+		val, ok := a.parityValue(pr, pw, fin)
+		if !ok {
+			a.parityOK[l] = false
+			a.parityStale++
+			a.failDegraded(pr, pw)
+			continue
+		}
+		if val == nil {
+			continue // nothing landed on this row
+		}
+		pr.val = val
+		pr.stage = &internalRead{}
+		b4[pr.pd] = append(b4[pr.pd], driveOp{write: true, lpa: l, slot: pr.pd, data: val, out: pr.stage})
+		staged4 = true
+	}
+	if staged4 {
+		crit += a.runPhase(b4)
+	}
+	for _, l := range prowOrder {
+		pr := prows[l]
+		if pr.stage == nil {
+			continue
+		}
+		if pr.stage.err == nil {
+			a.parityOK[l] = true
+			a.slots[pr.pd].markFresh(l)
+			for _, wi := range pr.writes {
+				w := &pw[wi]
+				if !w.degraded {
+					continue
+				}
+				a.written[w.act.page] = true
+				if w.act.res != nil {
+					w.act.res.Latency += pr.stage.lat
+				}
+			}
+		} else {
+			a.parityOK[l] = false
+			a.parityStale++
+			a.failDegraded(pr, pw)
+		}
+	}
+	return crit
+}
+
+// planRecon plans a reconstruction read of one page whose primary slot
+// cannot serve it: every written peer of the row plus the parity chunk.
+func (a *Array) planRecon(rs *readSet, page, drv, lpa int) (recRead, error) {
+	row, _ := a.rowOff(lpa)
+	pd := a.parityLoc(row)
+	if !a.written[page] {
+		return recRead{}, fmt.Errorf("array: page %d never written (drive %d %s)", page, drv, a.slots[drv].state)
+	}
+	if !a.parityOK[lpa] {
+		return recRead{}, fmt.Errorf("array: page %d unreconstructable: parity stale: %w", page, ErrDriveDead)
+	}
+	rec := recRead{page: page, drv: drv}
+	if !a.slots[pd].readable(lpa) {
+		return recRead{}, fmt.Errorf("array: page %d unreconstructable: parity drive %d down too: %w", page, pd, ErrDriveDead)
+	}
+	rec.comps = append(rec.comps, rs.want(pd, lpa))
+	for j := 0; j < len(a.slots); j++ {
+		if j == pd || j == drv {
+			continue
+		}
+		pj := a.pageOf(j, lpa)
+		if pj < 0 || !a.written[pj] {
+			continue
+		}
+		if !a.slots[j].readable(lpa) {
+			return recRead{}, fmt.Errorf("array: page %d unreconstructable: peer drive %d down too: %w", page, j, ErrDriveDead)
+		}
+		rec.comps = append(rec.comps, rs.want(j, lpa))
+	}
+	a.slots[drv].degradedReads++
+	return rec, nil
+}
+
+// resolveRecon XORs a reconstruction's components into the host result.
+func (a *Array) resolveRecon(rec recRead) {
+	var lat time.Duration
+	for _, c := range rec.comps {
+		if c.err != nil {
+			rec.res.Drive = rec.drv
+			rec.res.Err = fmt.Errorf("array: degraded read page %d: %w", rec.page, c.err)
+			return
+		}
+		if c.lat > lat {
+			lat = c.lat
+		}
+	}
+	data := make([]byte, a.pageBytes)
+	for _, c := range rec.comps {
+		xorInto(data, c.data)
+	}
+	rec.res.Drive = rec.drv
+	rec.res.Data = data
+	rec.res.Latency += lat + a.cfg.HitLatency
+	a.slots[rec.drv].reconBytes += int64(a.pageBytes)
+}
+
+// anyRowWritten reports whether any data page of the row holding
+// parity page l has ever landed on a drive.
+func (a *Array) anyRowWritten(l int) bool {
+	for j := 0; j < len(a.slots); j++ {
+		if pj := a.pageOf(j, l); pj >= 0 && a.written[pj] {
+			return true
+		}
+	}
+	return false
+}
+
+// rowChanged reports whether any of the prow's writes landed.
+func (a *Array) rowChanged(pr *prow, pw []pwrite) bool {
+	for _, wi := range pr.writes {
+		if pw[wi].ok {
+			return true
+		}
+	}
+	return false
+}
+
+// failDegraded surfaces the loss of every degraded write on a parity
+// row whose parity update could not land.
+func (a *Array) failDegraded(pr *prow, pw []pwrite) {
+	for _, wi := range pr.writes {
+		w := &pw[wi]
+		if w.degraded {
+			a.loseWrite(a.slots[w.drv], w.act, ErrDriveDead)
+		}
+	}
+}
+
+// parityValue computes the new parity for a touched row. Returns
+// (nil, true) when nothing landed, (nil, false) when the update is
+// uncomputable (stale parity results).
+func (a *Array) parityValue(pr *prow, pw []pwrite, fin map[int][]byte) ([]byte, bool) {
+	if pr.absolute {
+		val := make([]byte, a.pageBytes)
+		covered := map[int]bool{}
+		for _, p := range pr.peers {
+			if v, ok := fin[p.page]; ok {
+				xorInto(val, v)
+				covered[p.page] = true
+				continue
+			}
+			if p.ir == nil || p.ir.err != nil {
+				return nil, false
+			}
+			xorInto(val, p.ir.data)
+			covered[p.page] = true
+		}
+		for _, wi := range pr.writes {
+			w := &pw[wi]
+			if covered[w.act.page] {
+				continue
+			}
+			if v, ok := fin[w.act.page]; ok {
+				xorInto(val, v)
+				covered[w.act.page] = true
+			}
+		}
+		return val, true
+	}
+	// Delta chain over the writes that landed, in op order.
+	if pr.oldParity != nil && pr.oldParity.err != nil {
+		return nil, false
+	}
+	val := make([]byte, a.pageBytes)
+	if pr.oldParity != nil {
+		copy(val, pr.oldParity.data)
+	}
+	chain := map[int][]byte{}
+	changed := false
+	for _, wi := range pr.writes {
+		w := &pw[wi]
+		if !w.ok {
+			continue
+		}
+		old, seen := chain[w.act.page]
+		if !seen {
+			if w.oldData != nil {
+				if w.oldData.err != nil {
+					return nil, false
+				}
+				old = w.oldData.data
+			}
+		}
+		if old != nil {
+			xorInto(val, old)
+		}
+		xorInto(val, w.act.data)
+		chain[w.act.page] = w.act.data
+		changed = true
+	}
+	if !changed {
+		return nil, true
+	}
+	return val, true
+}

@@ -6,11 +6,16 @@ import (
 	"strings"
 )
 
-// DriveReport is one drive's telemetry slice of the fleet report,
-// merged strictly in drive-index order.
+// DriveReport is one slot's telemetry slice of the fleet report,
+// merged strictly in slot order. Drive is the logical slot; Physical
+// identifies the stack serving it (>= Drives for an attached spare).
 type DriveReport struct {
-	Drive int    `json:"drive"`
-	Seed  uint64 `json:"seed"`
+	Drive    int    `json:"drive"`
+	Physical int    `json:"physical_drive"`
+	Seed     uint64 `json:"seed"`
+
+	Health      string             `json:"health,omitempty"`
+	Transitions []HealthTransition `json:"health_transitions,omitempty"`
 
 	HostReads  int `json:"host_reads"`
 	HostWrites int `json:"host_writes"`
@@ -27,6 +32,14 @@ type DriveReport struct {
 
 	UncorrectableReads int64 `json:"uncorrectable_reads"`
 	WritebackErrors    int64 `json:"writeback_errors"`
+
+	// Fault-layer climate: injected transient faults served by the
+	// stack, host reads answered by peer reconstruction, bytes rebuilt
+	// into results that way, and writes lost for good.
+	InjectedFaults     int64 `json:"injected_faults,omitempty"`
+	DegradedReads      int64 `json:"degraded_reads,omitempty"`
+	ReconstructedBytes int64 `json:"reconstructed_bytes,omitempty"`
+	LostWrites         int64 `json:"lost_writes,omitempty"`
 
 	WearMin float64 `json:"wear_min_cycles"`
 	WearMax float64 `json:"wear_max_cycles"`
@@ -54,6 +67,12 @@ type FleetTotals struct {
 	// uncorrectable page reads × page bits over total bits read from
 	// the drives (the host-observed counterpart of the paper's target).
 	UBER float64 `json:"uber"`
+
+	InjectedFaults     int64 `json:"injected_faults"`
+	DegradedReads      int64 `json:"degraded_reads"`
+	ReconstructedBytes int64 `json:"reconstructed_bytes"`
+	LostWrites         int64 `json:"lost_writes"`
+	ParityStaleEvents  int64 `json:"parity_stale_events"`
 }
 
 // FleetReport is the deterministic merged result of an array run.
@@ -61,6 +80,9 @@ type FleetReport struct {
 	Drives      int     `json:"drives"`
 	Seed        uint64  `json:"seed"`
 	StripePages int     `json:"stripe_pages"`
+	Redundancy  string  `json:"redundancy"`
+	Spares      int     `json:"spares"`
+	SparesFree  int     `json:"spares_free"`
 	VolumePages int     `json:"volume_pages"`
 	PageBytes   int     `json:"page_bytes"`
 	Rounds      int64   `json:"rounds"`
@@ -69,20 +91,51 @@ type FleetReport struct {
 	// FleetIOPS is total tenant ops over the fleet's modelled clock.
 	FleetIOPS float64 `json:"fleet_iops"`
 
-	Cache    CacheStats    `json:"cache"`
-	Tenants  []TenantStats `json:"tenants"`
-	PerDrive []DriveReport `json:"per_drive"`
-	Totals   FleetTotals   `json:"totals"`
+	Cache   CacheStats    `json:"cache"`
+	Tenants []TenantStats `json:"tenants"`
+	// PerDrive is one entry per slot (a slot served by a spare reports
+	// the spare's stack); Retired holds the final snapshots of stacks
+	// that died mid-run, so their history is never silently dropped.
+	PerDrive []DriveReport   `json:"per_drive"`
+	Retired  []DriveReport   `json:"retired,omitempty"`
+	Rebuilds []RebuildReport `json:"rebuilds,omitempty"`
+	Totals   FleetTotals     `json:"totals"`
+}
+
+// slotReport renders one slot: the live stack's telemetry (or the dead
+// stack's final snapshot) plus the slot's health history and
+// degraded-mode counters.
+func (a *Array) slotReport(s *slot) DriveReport {
+	var rep DriveReport
+	switch {
+	case s.d != nil:
+		rep = s.d.report()
+	case s.final != nil:
+		rep = *s.final
+	default:
+		rep = DriveReport{Physical: -1}
+	}
+	rep.Drive = s.id
+	rep.Health = s.state.String()
+	rep.Transitions = s.transitions
+	rep.DegradedReads = s.degradedReads
+	rep.ReconstructedBytes = s.reconBytes
+	rep.LostWrites = s.lostWrites
+	rep.WritebackErrors = s.wbErrors
+	return rep
 }
 
 // Report assembles the fleet report. Call it between Drains (never
-// while a round is in flight); the gather walks drives in index order
+// while a round is in flight); the gather walks slots in index order
 // so the output is byte-stable per seed.
 func (a *Array) Report() *FleetReport {
 	rep := &FleetReport{
 		Drives:      a.cfg.Drives,
 		Seed:        a.cfg.Seed,
 		StripePages: a.cfg.StripePages,
+		Redundancy:  a.mode,
+		Spares:      a.cfg.Spares,
+		SparesFree:  len(a.sparePool),
 		VolumePages: a.volumePages,
 		PageBytes:   a.pageBytes,
 		Rounds:      a.rounds,
@@ -93,15 +146,27 @@ func (a *Array) Report() *FleetReport {
 	}
 	var ops int64
 	for _, t := range rep.Tenants {
+		if t.Name == rebuildTenant {
+			continue
+		}
 		ops += t.Reads + t.Writes
 	}
 	if rep.ClockSec > 0 {
 		rep.FleetIOPS = float64(ops) / rep.ClockSec
 	}
-	for _, d := range a.drives {
-		rep.PerDrive = append(rep.PerDrive, d.report())
+	for _, s := range a.slots {
+		rep.PerDrive = append(rep.PerDrive, a.slotReport(s))
+		if s.final != nil && s.d != nil {
+			// The slot is served by a spare now: the dead stack's last
+			// snapshot moves to the retired list.
+			rep.Retired = append(rep.Retired, *s.final)
+		}
 	}
-	rep.Totals = mergeTotals(rep.PerDrive, a.pageBytes)
+	for _, rb := range a.rebuilds {
+		rep.Rebuilds = append(rep.Rebuilds, *rb)
+	}
+	rep.Totals = mergeTotals(append(append([]DriveReport(nil), rep.PerDrive...), rep.Retired...), a.pageBytes)
+	rep.Totals.ParityStaleEvents = a.parityStale
 	return rep
 }
 
@@ -124,6 +189,10 @@ func mergeTotals(drives []DriveReport, pageBytes int) FleetTotals {
 		t.SoftAttempts += d.SoftAttempts
 		t.SoftRecovered += d.SoftRecovered
 		t.UncorrectableReads += d.UncorrectableReads
+		t.InjectedFaults += d.InjectedFaults
+		t.DegradedReads += d.DegradedReads
+		t.ReconstructedBytes += d.ReconstructedBytes
+		t.LostWrites += d.LostWrites
 	}
 	pageBits := float64(pageBytes) * 8
 	bitsRead := float64(t.HostReads) * pageBits
@@ -142,19 +211,39 @@ func (r *FleetReport) JSON() ([]byte, error) {
 // Summary renders a short human-readable digest.
 func (r *FleetReport) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fleet: %d drives, %d volume pages (stripe %d), seed %d\n",
-		r.Drives, r.VolumePages, r.StripePages, r.Seed)
+	fmt.Fprintf(&b, "fleet: %d drives (%s, %d spare), %d volume pages (stripe %d), seed %d\n",
+		r.Drives, r.Redundancy, r.Spares, r.VolumePages, r.StripePages, r.Seed)
 	fmt.Fprintf(&b, "  clock %.6fs  rounds %d  stalls %d  fleet IOPS %.0f\n",
 		r.ClockSec, r.Rounds, r.QoSStalls, r.FleetIOPS)
-	fmt.Fprintf(&b, "  cache[%s cap %d]: hits %d misses %d (%.1f%%) evict %d writeback %d\n",
+	fmt.Fprintf(&b, "  cache[%s cap %d]: hits %d misses %d (%.1f%%) evict %d writeback %d lost %d\n",
 		r.Cache.PolicyName, r.Cache.Capacity, r.Cache.Hits, r.Cache.Misses,
-		100*r.Cache.HitRate(), r.Cache.Evictions, r.Cache.Writebacks)
+		100*r.Cache.HitRate(), r.Cache.Evictions, r.Cache.Writebacks, r.Cache.WritebackLost)
 	for _, t := range r.Tenants {
 		fmt.Fprintf(&b, "  tenant %-12s reads %6d (hits %6d) writes %6d throttled %d\n",
 			t.Name, t.Reads, t.CacheHits, t.Writes, t.Throttled)
 	}
+	for _, d := range r.PerDrive {
+		if d.Health != "" && d.Health != "healthy" {
+			fmt.Fprintf(&b, "  drive %d: %s  degraded reads %d  recon %d B  lost writes %d\n",
+				d.Drive, d.Health, d.DegradedReads, d.ReconstructedBytes, d.LostWrites)
+		}
+	}
+	for _, rb := range r.Rebuilds {
+		state := "in progress"
+		if rb.Complete {
+			state = fmt.Sprintf("complete in %.3fs (%.1f MB/s)",
+				rb.DoneClockSec-rb.StartClockSec, rb.MBPerSec)
+		}
+		fmt.Fprintf(&b, "  rebuild slot %d -> spare %d: %d pages (%d lost) %s\n",
+			rb.Slot, rb.SpareDrive, rb.Pages, rb.Lost, state)
+	}
 	fmt.Fprintf(&b, "  totals: host R/W %d/%d  gc %d  erases %d  retries recovered %d  soft %d/%d  UBER %.3g\n",
 		r.Totals.HostReads, r.Totals.HostWrites, r.Totals.GCMoves, r.Totals.Erases,
 		r.Totals.RetryRecovered, r.Totals.SoftRecovered, r.Totals.SoftAttempts, r.Totals.UBER)
+	if r.Totals.InjectedFaults+r.Totals.DegradedReads+r.Totals.LostWrites > 0 {
+		fmt.Fprintf(&b, "  faults: injected %d  degraded reads %d  recon %d B  lost writes %d  parity stale %d\n",
+			r.Totals.InjectedFaults, r.Totals.DegradedReads, r.Totals.ReconstructedBytes,
+			r.Totals.LostWrites, r.Totals.ParityStaleEvents)
+	}
 	return b.String()
 }

@@ -30,6 +30,20 @@ type FleetScenario struct {
 	// Workers caps concurrently running drive engines (0 = min(Drives, 16)).
 	Workers int
 	Base    Scenario
+	// FailStops kills drives mid-biography: each entry truncates one
+	// drive's run after the named phase, modelling a fail-stop fault.
+	// The dead drive contributes nothing to later phases and is marked
+	// "dead" in the merged result.
+	FailStops []FleetFailStop
+}
+
+// FleetFailStop is one scheduled mid-biography drive death.
+type FleetFailStop struct {
+	// Drive is the slot to kill (0-based fleet index).
+	Drive int
+	// AfterPhase is the last phase the drive completes (0-based index
+	// into Base.Phases); the drive fail-stops before the next one.
+	AfterPhase int
 }
 
 // Validate rejects malformed fleet scenarios.
@@ -42,6 +56,19 @@ func (fs FleetScenario) Validate() error {
 	}
 	if fs.Workers < 0 {
 		return fmt.Errorf("lifetime: fleet %s: negative worker cap", fs.Name)
+	}
+	killed := make(map[int]bool, len(fs.FailStops))
+	for _, k := range fs.FailStops {
+		if k.Drive < 0 || k.Drive >= fs.Drives {
+			return fmt.Errorf("lifetime: fleet %s: fail-stop drive %d out of range [0,%d)", fs.Name, k.Drive, fs.Drives)
+		}
+		if k.AfterPhase < 0 || k.AfterPhase >= len(fs.Base.Phases) {
+			return fmt.Errorf("lifetime: fleet %s: fail-stop after phase %d, scenario has %d", fs.Name, k.AfterPhase, len(fs.Base.Phases))
+		}
+		if killed[k.Drive] {
+			return fmt.Errorf("lifetime: fleet %s: drive %d fail-stops twice", fs.Name, k.Drive)
+		}
+		killed[k.Drive] = true
 	}
 	return fs.Base.Validate()
 }
@@ -71,6 +98,11 @@ type FleetDrive struct {
 	Drive  int    `json:"drive"`
 	Seed   uint64 `json:"seed"`
 	Totals Totals `json:"totals"`
+	// Health is "dead" for a fail-stopped drive (empty = healthy);
+	// PhasesRun counts the phases it completed before dying (always
+	// >= 1 for a killed drive, omitted for healthy ones).
+	Health    string `json:"health,omitempty"`
+	PhasesRun int    `json:"phases_run,omitempty"`
 }
 
 // FleetResult is the deterministic merged output of a fleet run: the
@@ -107,6 +139,12 @@ func (r *FleetResult) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "%-24s %9d %9d %11d %9d %8d %8d %8d %9.2e\n",
 		"TOTAL", t.HostReads, t.HostWrites, t.CorrectedBits, t.UncorrectableReads,
 		t.Retries, t.RecoveredReads, t.SoftRecovered, t.UBER)
+	for _, d := range r.PerDrive {
+		if d.Health == "dead" {
+			fmt.Fprintf(w, "drive %03d: fail-stopped after %d/%d phases\n",
+				d.Drive, d.PhasesRun, len(r.Phases))
+		}
+	}
 }
 
 // RunFleet plays a fleet scenario: up to Workers drive engines run
@@ -124,6 +162,10 @@ func RunFleet(fs FleetScenario) (*FleetResult, error) {
 			workers = 16
 		}
 	}
+	killAfter := make(map[int]int, len(fs.FailStops))
+	for _, k := range fs.FailStops {
+		killAfter[k.Drive] = k.AfterPhase
+	}
 	reports := make([]*Report, fs.Drives)
 	errs := make([]error, fs.Drives)
 	sem := make(chan struct{}, workers)
@@ -137,6 +179,12 @@ func RunFleet(fs FleetScenario) (*FleetResult, error) {
 			sc := fs.Base
 			sc.Seed = fs.Seed + uint64(idx)*fleetSeedStride
 			sc.Name = fmt.Sprintf("%s/drive%03d", fs.Name, idx)
+			if after, ok := killAfter[idx]; ok {
+				// A fail-stopped drive plays its biography only up to
+				// the kill point; truncating the schedule IS the fault
+				// model — nothing it would have done afterwards exists.
+				sc.Phases = sc.Phases[:after+1]
+			}
 			reports[idx], errs[idx] = Run(sc)
 		}(i)
 	}
@@ -164,10 +212,16 @@ func mergeFleet(fs FleetScenario, reports []*Report) *FleetResult {
 		res.Phases[pi].Name = ph.Name
 	}
 	var bitsRead, lostBits int64
+	seen := make([]int, len(res.Phases))
 	for di, rep := range reports {
-		res.PerDrive = append(res.PerDrive, FleetDrive{
-			Drive: di, Seed: rep.Seed, Totals: rep.Totals,
-		})
+		fd := FleetDrive{Drive: di, Seed: rep.Seed, Totals: rep.Totals}
+		if len(rep.Phases) < len(res.Phases) {
+			// A truncated report means RunFleet fail-stopped this drive:
+			// it completed only its own phases, then died.
+			fd.Health = "dead"
+			fd.PhasesRun = len(rep.Phases)
+		}
+		res.PerDrive = append(res.PerDrive, fd)
 		for pi := range rep.Phases {
 			ph := &rep.Phases[pi]
 			m := &res.Phases[pi]
@@ -182,12 +236,13 @@ func mergeFleet(fs FleetScenario, reports []*Report) *FleetResult {
 			m.SoftRecovered += ph.SoftRecovered
 			m.PagesScrubbed += ph.PagesScrubbed
 			m.RetiredBlocks += ph.RetiredBlocks
-			if di == 0 || ph.WearMin < m.WearMin {
+			if seen[pi] == 0 || ph.WearMin < m.WearMin {
 				m.WearMin = ph.WearMin
 			}
 			if ph.WearMax > m.WearMax {
 				m.WearMax = ph.WearMax
 			}
+			seen[pi]++
 		}
 		t := &res.Totals
 		rt := rep.Totals
@@ -219,6 +274,9 @@ func mergeFleet(fs FleetScenario, reports []*Report) *FleetResult {
 	for pi := range res.Phases {
 		var phBits, phLost int64
 		for _, rep := range reports {
+			if pi >= len(rep.Phases) {
+				continue // drive fail-stopped before this phase
+			}
 			phBits += rep.Phases[pi].BitsRead
 			phLost += rep.Phases[pi].LostBits
 		}

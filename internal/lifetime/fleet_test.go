@@ -77,6 +77,61 @@ func TestFleetMerge(t *testing.T) {
 	}
 }
 
+// TestFleetFailStop kills one drive mid-biography and checks the merge
+// stays honest: the dead drive contributes only its completed phases,
+// its health is recorded, and the run stays byte-deterministic.
+func TestFleetFailStop(t *testing.T) {
+	fs := FleetSmoke()
+	fs.Drives = 4
+	fs.Name = "fleet-failstop-test"
+	fs.FailStops = []FleetFailStop{{Drive: 2, AfterPhase: 0}}
+	run := func() (*FleetResult, []byte) {
+		t.Helper()
+		res, err := RunFleet(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, js
+	}
+	res, js1 := run()
+	if _, js2 := run(); !bytes.Equal(js1, js2) {
+		t.Fatal("fail-stop fleet diverged between identical runs")
+	}
+	for i, d := range res.PerDrive {
+		if i == 2 {
+			if d.Health != "dead" || d.PhasesRun != 1 {
+				t.Fatalf("killed drive reports health %q phases %d, want dead/1", d.Health, d.PhasesRun)
+			}
+			continue
+		}
+		if d.Health != "" || d.PhasesRun != 0 {
+			t.Fatalf("healthy drive %d reports health %q phases %d", i, d.Health, d.PhasesRun)
+		}
+	}
+	// The dead drive is absent from every phase after the kill: the
+	// second phase's counters sum only the three survivors, so they
+	// must be strictly below a full four-drive fleet's.
+	full := fs
+	full.FailStops = nil
+	fullRes, err := RunFleet(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Phases[1].HostReads, fullRes.Phases[1].HostReads; got >= want {
+		t.Fatalf("post-kill phase saw %d reads, full fleet %d: dead drive still contributing", got, want)
+	}
+	if res.Phases[0].HostWrites != fullRes.Phases[0].HostWrites {
+		t.Fatalf("pre-kill phase diverged: %d writes vs %d", res.Phases[0].HostWrites, fullRes.Phases[0].HostWrites)
+	}
+	if res.Totals.HostReads >= fullRes.Totals.HostReads {
+		t.Fatalf("fleet totals %d reads not below full fleet's %d", res.Totals.HostReads, fullRes.Totals.HostReads)
+	}
+}
+
 // TestFleetValidate rejects malformed fleet scenarios.
 func TestFleetValidate(t *testing.T) {
 	good := FleetSmoke()
@@ -97,5 +152,20 @@ func TestFleetValidate(t *testing.T) {
 	bad.Base.Phases = nil
 	if err := bad.Validate(); err == nil {
 		t.Fatal("phaseless base validated")
+	}
+	bad = good
+	bad.FailStops = []FleetFailStop{{Drive: 99, AfterPhase: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range fail-stop drive validated")
+	}
+	bad = good
+	bad.FailStops = []FleetFailStop{{Drive: 0, AfterPhase: 5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range fail-stop phase validated")
+	}
+	bad = good
+	bad.FailStops = []FleetFailStop{{Drive: 1, AfterPhase: 0}, {Drive: 1, AfterPhase: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate fail-stop drive validated")
 	}
 }
