@@ -1,0 +1,71 @@
+package array
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Align host overwrites with the rebuild cursor: round r >= 18 rebuilds
+// lpas 2(r-18), 2(r-18)+1 and the same round's host ops overwrite those
+// very pages.
+func TestReproRebuildClobber(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Redundancy = RedundancyMirror
+	cfg.Spares = 1
+	cfg.RoundOps = 8
+	cfg.Faults = FaultPlan{Drives: []DriveFault{{Drive: 0, FailStopRound: 18}}}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	n := a.VolumePages() // 128
+	w := func(p, v int) {
+		if err := a.Submit(Op{Tenant: "default", Write: true, Page: p, Data: pagePattern(a, p, v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := func(p int) {
+		if err := a.Submit(Op{Tenant: "default", Page: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < n; p++ { // rounds 1..16
+		w(p, 0)
+	}
+	for i := 0; i < 8; i++ { // round 17: padding
+		rd(n - 1)
+	}
+	for c := 0; c < n; c += 2 { // round 18+c/2: overwrite the cursor pair
+		w(c, 1)
+		w(c+1, 1)
+		for i := 0; i < 6; i++ {
+			rd(n - 1)
+		}
+	}
+	mustDrain(t, a)
+	for p := 0; p < n; p++ {
+		rd(p)
+	}
+	stale := 0
+	for _, r := range mustDrain(t, a) {
+		if r.Err != nil {
+			t.Fatalf("read %d: %v", r.Page, r.Err)
+		}
+		if !bytes.Equal(r.Data, pagePattern(a, r.Page, 1)) {
+			if bytes.Equal(r.Data, pagePattern(a, r.Page, 0)) {
+				stale++
+				if stale <= 5 {
+					t.Logf("page %d serves STALE pre-overwrite data from slot %d", r.Page, r.Drive)
+				}
+			} else {
+				t.Fatalf("page %d: garbage", r.Page)
+			}
+		}
+	}
+	rep := a.Report()
+	t.Logf("stale=%d lost=%d rebuild=%+v", stale, rep.Totals.LostWrites, rep.Rebuilds[0])
+	if stale > 0 {
+		t.Fatalf("%d pages serve stale data after rebuild", stale)
+	}
+}
