@@ -51,6 +51,10 @@ type run struct {
 	pkg       string
 	bench     string
 	benchtime string
+	// count > 1 repeats the benchmark (go test -count) so noisy hosts
+	// can be judged on their best run; the regression gate aggregates
+	// repeated lines by name, best first.
+	count int
 }
 
 // suite is one CI perf artifact: the runs whose parsed output lands in
@@ -67,45 +71,56 @@ var suites = []suite{
 		name: "decode",
 		desc: "BCH decode/encode hot paths + queue read fan-out",
 		runs: []run{
-			{"./internal/bch", "^(BenchmarkDecode|BenchmarkEncode|BenchmarkSyndromes|BenchmarkChien)", "10x"},
-			{".", "^BenchmarkQueueReadDies", "5x"},
+			{pkg: "./internal/bch", bench: "^(BenchmarkDecode|BenchmarkEncode|BenchmarkSyndromes|BenchmarkChien)", benchtime: "10x"},
+			{pkg: ".", bench: "^BenchmarkQueueReadDies", benchtime: "5x"},
 		},
 	},
 	{
 		name: "readretry",
 		desc: "read-recovery ladder cost on fresh vs aged media",
 		runs: []run{
-			{"./internal/controller", "^(BenchmarkControllerRead|BenchmarkReadRecovery)", "5x"},
+			{pkg: "./internal/controller", bench: "^(BenchmarkControllerRead|BenchmarkReadRecovery)", benchtime: "5x"},
 		},
 	},
 	{
 		name: "ldpc",
 		desc: "LDPC codec throughput + BCH-vs-LDPC recovery",
 		runs: []run{
-			{"./internal/ldpc", "^(BenchmarkLDPCDecode|BenchmarkLDPCDecodeSoft|BenchmarkLDPCEncode)", "5x"},
-			{"./internal/controller", "^BenchmarkFamilyRecovery", "5x"},
+			{pkg: "./internal/ldpc", bench: "^(BenchmarkLDPCDecode|BenchmarkLDPCDecodeSoft|BenchmarkLDPCEncode)", benchtime: "5x"},
+			{pkg: "./internal/controller", bench: "^BenchmarkFamilyRecovery", benchtime: "5x"},
 		},
 	},
 	{
 		name: "lifetime",
 		desc: "full-stack device-biography soak",
 		runs: []run{
-			{"./internal/lifetime", "^BenchmarkLifetimeSmoke$", "3x"},
+			{pkg: "./internal/lifetime", bench: "^BenchmarkLifetimeSmoke$", benchtime: "3x"},
 		},
 	},
 	{
 		name: "array",
 		desc: "fleet IOPS and cache hit rate vs drive count (1/4/16)",
 		runs: []run{
-			{"./internal/array", "^BenchmarkFleetIOPS$", "1x"},
+			{pkg: "./internal/array", bench: "^BenchmarkFleetIOPS$", benchtime: "1x"},
 		},
 	},
 	{
 		name: "rebuild",
 		desc: "degraded-read latency overhead + rebuild MB/s vs drive count (4/8/16)",
 		runs: []run{
-			{"./internal/array", "^BenchmarkDegradedRead$", "256x"},
-			{"./internal/array", "^BenchmarkRebuild$", "1x"},
+			{pkg: "./internal/array", bench: "^BenchmarkDegradedRead$", benchtime: "256x"},
+			{pkg: "./internal/array", bench: "^BenchmarkRebuild$", benchtime: "1x"},
+		},
+	},
+	{
+		name: "hotpath",
+		desc: "raw-speed gauge: 16-drive simulated read IOPS + BCH remainder kernel",
+		runs: []run{
+			// Fixed iteration counts: read-disturb state accumulates with
+			// b.N, so only same-benchtime numbers are comparable. count=3
+			// lets the gate judge a noisy host on its best run.
+			{pkg: "./internal/array", bench: "^BenchmarkHotpathReadIOPS$", benchtime: "20000x", count: 3},
+			{pkg: "./internal/bch", bench: "^BenchmarkRemainderChunks4K$", benchtime: "20000x", count: 3},
 		},
 	},
 }
@@ -114,6 +129,7 @@ func main() {
 	var (
 		suiteName = flag.String("suite", "", "run a named benchmark suite (or 'all') and write BENCH_<suite>.json")
 		outDir    = flag.String("out", ".", "directory for -suite output files")
+		gateFile  = flag.String("gate", "", "with -suite: compare results against a committed baseline JSON and fail on >15% throughput regression or any allocs/op increase")
 		list      = flag.Bool("list", false, "list the benchmark suites and exit")
 	)
 	flag.Parse()
@@ -125,7 +141,7 @@ func main() {
 		return
 	}
 	if *suiteName != "" {
-		if err := runSuites(*suiteName, *outDir); err != nil {
+		if err := runSuites(*suiteName, *outDir, *gateFile); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -147,8 +163,9 @@ func main() {
 }
 
 // runSuites executes the named suite (or every suite) and writes one
-// BENCH_<name>.json per suite into dir.
-func runSuites(name, dir string) error {
+// BENCH_<name>.json per suite into dir. A non-empty gateFile then
+// compares the fresh results against that committed baseline.
+func runSuites(name, dir, gateFile string) error {
 	var selected []suite
 	for _, s := range suites {
 		if name == "all" || s.name == name {
@@ -164,8 +181,12 @@ func runSuites(name, dir string) error {
 	for _, s := range selected {
 		var results []Result
 		for _, r := range s.runs {
-			cmd := exec.Command("go", "test", "-run", "^$",
-				"-bench", r.bench, "-benchtime", r.benchtime, "-benchmem", r.pkg)
+			args := []string{"test", "-run", "^$",
+				"-bench", r.bench, "-benchtime", r.benchtime, "-benchmem"}
+			if r.count > 1 {
+				args = append(args, "-count", strconv.Itoa(r.count))
+			}
+			cmd := exec.Command("go", append(args, r.pkg)...)
 			cmd.Stderr = os.Stderr
 			out, err := cmd.Output()
 			if err != nil {
@@ -190,8 +211,106 @@ func runSuites(name, dir string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(results))
+		if gateFile != "" {
+			if err := gate(results, gateFile); err != nil {
+				return fmt.Errorf("suite %s: %w", s.name, err)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: gate passed against %s\n", gateFile)
+		}
 	}
 	return nil
+}
+
+// gateRegressionTolerance is how much throughput a fresh run may lose
+// against the committed baseline before the gate fails. Allocation
+// counts get no tolerance at all: they are machine-independent, so any
+// increase is a real regression.
+const gateRegressionTolerance = 0.15
+
+// gate compares fresh suite results against a committed baseline file.
+// Repeated -count runs are collapsed to the best line per benchmark
+// (max throughput, min allocs) on both sides, so a noisy host is judged
+// on what it can do, not on its worst scheduling accident.
+func gate(results []Result, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	var baseline []Result
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("gate baseline %s: %w", baselinePath, err)
+	}
+	base, cur := bestByName(baseline), bestByName(results)
+	var failures []string
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not in this run", name))
+			continue
+		}
+		// Throughput: prefer an explicit rate metric (sim_read_iops,
+		// MB/s) over inverted ns/op, highest-signal first.
+		switch {
+		case b.Metrics["sim_read_iops"] > 0:
+			if got, want := c.Metrics["sim_read_iops"], b.Metrics["sim_read_iops"]; got < (1-gateRegressionTolerance)*want {
+				failures = append(failures, fmt.Sprintf("%s: sim_read_iops %.0f is %.1f%% below baseline %.0f",
+					name, got, 100*(1-got/want), want))
+			}
+		case b.MBPerSec > 0:
+			if got, want := c.MBPerSec, b.MBPerSec; got < (1-gateRegressionTolerance)*want {
+				failures = append(failures, fmt.Sprintf("%s: %.1f MB/s is %.1f%% below baseline %.1f",
+					name, got, 100*(1-got/want), want))
+			}
+		case b.NsPerOp > 0:
+			if got, want := c.NsPerOp, b.NsPerOp; got*(1-gateRegressionTolerance) > want {
+				failures = append(failures, fmt.Sprintf("%s: %.0f ns/op is %.1f%% above baseline %.0f",
+					name, got, 100*(got/want-1), want))
+			}
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %.2f allocs/op, baseline %.2f (no increase allowed)",
+				name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// bestByName collapses repeated benchmark lines to the strongest one
+// per name: minimum ns/op and allocs/op, maximum rate metrics.
+func bestByName(results []Result) map[string]Result {
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		b, seen := out[r.Name]
+		if !seen {
+			out[r.Name] = r
+			continue
+		}
+		if r.NsPerOp > 0 && (b.NsPerOp == 0 || r.NsPerOp < b.NsPerOp) {
+			b.NsPerOp = r.NsPerOp
+		}
+		if r.MBPerSec > b.MBPerSec {
+			b.MBPerSec = r.MBPerSec
+		}
+		if r.AllocsPerOp < b.AllocsPerOp {
+			b.AllocsPerOp = r.AllocsPerOp
+		}
+		if r.BytesPerOp < b.BytesPerOp {
+			b.BytesPerOp = r.BytesPerOp
+		}
+		for k, v := range r.Metrics {
+			if v > b.Metrics[k] {
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[k] = v
+			}
+		}
+		out[r.Name] = b
+	}
+	return out
 }
 
 // parse converts `go test -bench` text into parsed results.

@@ -22,6 +22,7 @@ package array
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"xlnand/internal/controller"
@@ -83,6 +84,13 @@ type Op struct {
 	Write  bool
 	Page   int // volume page address
 	Data   []byte
+	// Buf, for reads, is an optional caller-owned destination: the page
+	// is decoded straight into it and Result.Data aliases it (no per-op
+	// allocation). The caller must not touch Buf until the op's Result
+	// has surfaced from Drain, and two in-flight reads must never share
+	// one Buf: drive workers decode into their ops' buffers concurrently,
+	// so a shared Buf is a data race, not just a stale result.
+	Buf []byte
 	// Tag is an opaque caller token echoed in the Result, mirroring
 	// dispatch.Request.Tag one layer up.
 	Tag uint64
@@ -137,8 +145,47 @@ type Array struct {
 	rebuiltPages int64
 	pendingWB    []writeback // dirty evictions carried into the next round
 
+	// scr is the round's reusable staging (front-end confined). The
+	// results handed back from round are copied by Drain before the next
+	// round recycles them.
+	scr roundScratch
+	// phaseWG is runPhase's reusable barrier: phases are strictly
+	// sequential, so the group is always at zero between uses.
+	phaseWG sync.WaitGroup
+
 	rebuilds []*RebuildReport
 	closed   bool
+}
+
+// fill records one cache-miss read whose data back-fills the cache
+// after the round's barrier.
+type fill struct{ slot, page int }
+
+// roundScratch holds the per-round staging slices reused across rounds,
+// so a steady-state round performs no allocations of its own: host
+// results, drive-bound actions, cache fills, the per-slot phase batches,
+// and the flat executor's read/write bookkeeping.
+type roundScratch struct {
+	results []Result
+	acts    []action
+	fills   []fill
+	batches [][]driveOp
+	reads   []pendingRead
+	writes  []flatWrite
+}
+
+// phaseBatches returns the reusable per-slot batch staging, emptied.
+// Only the single-phase flat executor uses it; the multi-phase parity
+// executor allocates per phase (overlapping lifetimes).
+func (a *Array) phaseBatches(n int) [][]driveOp {
+	if len(a.scr.batches) != n {
+		a.scr.batches = make([][]driveOp, n)
+	}
+	b := a.scr.batches
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	return b
 }
 
 // New opens an array of cfg.Drives fresh drives plus cfg.Spares hot
@@ -279,6 +326,8 @@ func (a *Array) Submit(op Op) error {
 		op.Data = append([]byte(nil), op.Data...)
 	} else if op.Data != nil {
 		return fmt.Errorf("array: read carries data")
+	} else if op.Buf != nil && len(op.Buf) < a.pageBytes {
+		return fmt.Errorf("array: read buffer needs %d bytes, got %d", a.pageBytes, len(op.Buf))
 	}
 	return a.sched.enqueue(op)
 }
@@ -359,16 +408,24 @@ func (a *Array) round() ([]Result, error) {
 		return nil, nil
 	}
 
-	results := make([]Result, len(picked))
-	var acts []action
+	if cap(a.scr.results) < len(picked) {
+		a.scr.results = make([]Result, len(picked))
+	}
+	results := a.scr.results[:len(picked)]
+	for i := range results {
+		results[i] = Result{}
+	}
+	a.scr.results = results
+	acts := a.scr.acts[:0]
 
 	// Dirty evictions from the previous round's cache fills flush
 	// first, preserving first-dirtied order ahead of new traffic.
-	acts = append(acts, a.wbActions(a.pendingWB)...)
-	a.pendingWB = nil
+	for _, wb := range a.pendingWB {
+		acts = append(acts, action{write: true, page: wb.page, data: wb.data})
+	}
+	a.pendingWB = a.pendingWB[:0]
 
-	type fill struct{ slot, page int }
-	var fills []fill
+	fills := a.scr.fills[:0]
 	var hostTime time.Duration
 
 	for i, op := range picked {
@@ -398,12 +455,17 @@ func (a *Array) round() ([]Result, error) {
 			t.stats.CacheHits++
 			t.stats.BytesRead += int64(len(data))
 			r.CacheHit = true
-			r.Data = append([]byte(nil), data...)
+			if op.Buf != nil {
+				r.Data = op.Buf[:len(data)]
+				copy(r.Data, data)
+			} else {
+				r.Data = append([]byte(nil), data...)
+			}
 			r.Latency = a.cfg.HitLatency
 			hostTime += a.cfg.HitLatency
 			continue
 		}
-		acts = append(acts, action{page: op.Page, res: r})
+		acts = append(acts, action{page: op.Page, res: r, buf: op.Buf})
 		if a.cache.enabled() {
 			fills = append(fills, fill{slot: i, page: op.Page})
 		}
@@ -415,6 +477,7 @@ func (a *Array) round() ([]Result, error) {
 	if a.cache.enabled() && a.cache.dirtyCount() >= high {
 		acts = append(acts, a.wbActions(a.cache.flush(a.cache.dirtyCount()-low))...)
 	}
+	a.scr.acts, a.scr.fills = acts, fills
 
 	progress := a.rebuiltPages
 	crit := a.execRound(acts, true)

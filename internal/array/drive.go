@@ -32,8 +32,12 @@ type driveOp struct {
 	lpa   int
 	slot  int
 	data  []byte
-	res   *Result
-	out   *internalRead
+	// dst, for host reads, is the caller-owned destination buffer from
+	// Op.Buf: the page decodes straight into it and the Result's Data
+	// aliases it. nil reads allocate their own copy.
+	dst []byte
+	res *Result
+	out *internalRead
 }
 
 // fill routes an op's outcome to its sink. Latency accumulates rather
@@ -191,7 +195,7 @@ func (d *drive) execute(op *driveOp) {
 		op.fill(nil, lat, err)
 		return
 	}
-	data, rr, err := d.f.Read(volPartition, op.lpa)
+	data, rr, err := d.f.ReadInto(volPartition, op.lpa, op.dst)
 	d.readOps++
 	var lat time.Duration
 	if rr != nil {

@@ -712,3 +712,132 @@ func BenchmarkRebuild(b *testing.B) {
 		})
 	}
 }
+
+// runRebuildClobber aligns host overwrites with the rebuild cursor:
+// after deadSlot fail-stops, every rebuild round's host ops overwrite
+// the very volume pages whose drive-local lpas the cursor copies that
+// round (where overlap(lpa) allows), then a full read pass verifies no
+// page serves its stale pre-overwrite image. This is the ordering bug
+// class fixed in execFlat: the rebuild source image is read in phase 1
+// but written onto the spare in phase 3, after the host write landed.
+func runRebuildClobber(t *testing.T, cfg Config, deadSlot int, overlap func(lpa int) bool) {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	n := a.VolumePages()
+	version := make([]int, n)
+	w := func(p, v int) {
+		if err := a.Submit(Op{Tenant: "default", Write: true, Page: p, Data: pagePattern(a, p, v)}); err != nil {
+			t.Fatal(err)
+		}
+		version[p] = v
+	}
+	rd := func(p int) {
+		if err := a.Submit(Op{Tenant: "default", Page: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := cfg.RoundOps
+	for p := 0; p < n; p++ { // fill rounds: 1..n/ops
+		w(p, 0)
+	}
+	for i := 0; i < ops; i++ { // one padding round before the fail-stop
+		rd(n - 1)
+	}
+	// From the fail-stop round on, the cursor copies `budget` lpas per
+	// round; submit each round's overwrites first so they share the
+	// round with the rebuild of the same pages.
+	budget := ops / 4
+	for cur := 0; cur < a.perDriveLPAs; cur += budget {
+		submitted := 0
+		for k := 0; k < budget && cur+k < a.perDriveLPAs; k++ {
+			lpa := cur + k
+			pg := a.pageOf(deadSlot, lpa)
+			if pg >= 0 && overlap(lpa) {
+				w(pg, 1)
+				submitted++
+			}
+		}
+		for ; submitted < ops; submitted++ {
+			rd(n - 1)
+		}
+	}
+	mustDrain(t, a)
+	for p := 0; p < n; p++ {
+		rd(p)
+	}
+	stale := 0
+	for _, r := range mustDrain(t, a) {
+		if r.Err != nil {
+			t.Fatalf("read %d: %v", r.Page, r.Err)
+		}
+		want := version[r.Page]
+		if !bytes.Equal(r.Data, pagePattern(a, r.Page, want)) {
+			if want == 1 && bytes.Equal(r.Data, pagePattern(a, r.Page, 0)) {
+				stale++
+				if stale <= 5 {
+					t.Logf("page %d serves STALE pre-overwrite data from slot %d", r.Page, r.Drive)
+				}
+			} else {
+				t.Fatalf("page %d: garbage", r.Page)
+			}
+		}
+	}
+	rep := a.Report()
+	if len(rep.Rebuilds) != 1 || !rep.Rebuilds[0].Complete {
+		t.Fatalf("rebuild did not converge: %+v", rep.Rebuilds)
+	}
+	t.Logf("stale=%d lost=%d rebuild=%+v", stale, rep.Totals.LostWrites, rep.Rebuilds[0])
+	if stale > 0 {
+		t.Fatalf("%d pages serve stale data after rebuild", stale)
+	}
+}
+
+// clobberConfig builds the aligned-overwrite fleet: RoundOps 8 means a
+// rebuild budget of 2 lpas per round, and the fail-stop fires right
+// after the fill plus one padding round so cursor position and round
+// number stay in lockstep.
+func clobberConfig(t *testing.T, drives int, mode string) Config {
+	t.Helper()
+	cfg := testConfig(drives)
+	cfg.Redundancy = mode
+	cfg.Spares = 1
+	cfg.RoundOps = 8
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failRound := int64(a.VolumePages()/cfg.RoundOps) + 2
+	a.Close()
+	cfg.Faults = FaultPlan{Drives: []DriveFault{{Drive: 0, FailStopRound: failRound}}}
+	return cfg
+}
+
+// TestReproRebuildClobber is the mirror-mode regression: round r's host
+// overwrite of the pages the cursor rebuilds in round r must win over
+// the stale partner image read before the write landed.
+func TestReproRebuildClobber(t *testing.T) {
+	cfg := clobberConfig(t, 2, RedundancyMirror)
+	runRebuildClobber(t, cfg, 0, func(int) bool { return true })
+}
+
+// TestReproRebuildClobberParity pins the same ordering guarantee for
+// the parity executor, where rebuild copies are staged ahead of host
+// writes inside the phase-3 batch so the host write wins batch order.
+func TestReproRebuildClobberParity(t *testing.T) {
+	cfg := clobberConfig(t, 4, RedundancyParity)
+	runRebuildClobber(t, cfg, 0, func(int) bool { return true })
+}
+
+// TestReproRebuildClobberCheckpointEdge overwrites exactly the pages at
+// the 32-page checkpoint boundary (lpas 31..33) and nothing else, so
+// the invalidation path crosses a progress checkpoint mid-stream.
+func TestReproRebuildClobberCheckpointEdge(t *testing.T) {
+	cfg := clobberConfig(t, 2, RedundancyMirror)
+	runRebuildClobber(t, cfg, 0, func(lpa int) bool {
+		return lpa >= rebuildCheckpointEvery-1 && lpa <= rebuildCheckpointEvery+1
+	})
+}

@@ -10,7 +10,6 @@ package array
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 )
 
@@ -173,7 +172,11 @@ func (a *Array) runPhase(batches [][]driveOp) time.Duration {
 	if !any {
 		return 0
 	}
-	var wg sync.WaitGroup
+	// a.phaseWG is reusable: the barrier below returns only once the
+	// count is back to zero, and phases never overlap on the front-end
+	// goroutine — hoisting it off the stack saves one heap allocation
+	// per phase (the pointer escapes through the job channel).
+	wg := &a.phaseWG
 	for i, b := range batches {
 		if len(b) == 0 {
 			continue
@@ -183,7 +186,7 @@ func (a *Array) runPhase(batches [][]driveOp) time.Duration {
 			panic(fmt.Sprintf("array: phase batch for detached slot %d", i))
 		}
 		wg.Add(1)
-		d.jobs <- driveJob{batch: b, wg: &wg}
+		d.jobs <- driveJob{batch: b, wg: wg}
 	}
 	wg.Wait()
 	var crit time.Duration
@@ -205,7 +208,10 @@ type action struct {
 	write bool
 	page  int
 	data  []byte
-	res   *Result
+	// buf is the read's caller-owned destination (Op.Buf), threaded to
+	// the serving drive so the page decodes without a per-op allocation.
+	buf []byte
+	res *Result
 }
 
 // loseWrite accounts one unrecoverable write honestly: a result slot
@@ -247,6 +253,17 @@ type pendingRead struct {
 	slot int // serving slot
 }
 
+// flatWrite is one host write's fan-out in the flat executor: up to two
+// targets (primary plus mirror partner), with a nil out entry where
+// act.res carries the result instead.
+type flatWrite struct {
+	act   *action
+	lpa   int
+	n     int
+	slots [2]int
+	outs  [2]*internalRead
+}
+
 // execFlat is the single-mixed-batch executor for the none and mirror
 // modes: reads and writes stay interleaved per drive in op order
 // (preserving read-after-write semantics within a round), with a
@@ -254,10 +271,11 @@ type pendingRead struct {
 // rebuild traffic.
 func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 	n := len(a.slots)
-	batches := make([][]driveOp, n)
+	batches := a.phaseBatches(n)
 
-	// Rebuild sources first: partner reads land ahead of host traffic so
-	// a same-round host write to the same page wins the batch order.
+	// Rebuild sources: the partner image is read in phase 1 but only
+	// written onto the spare in phase 3, after host writes — so any
+	// same-round host write to the same page invalidates the copy below.
 	for i := range items {
 		it := &items[i]
 		if it.skip {
@@ -272,26 +290,22 @@ func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 		batches[it.srcSlot] = append(batches[it.srcSlot], driveOp{lpa: it.lpa, slot: it.srcSlot, out: it.read})
 	}
 
-	type flatWrite struct {
-		act   *action
-		lpa   int
-		slots []int
-		outs  []*internalRead // nil entry where act.res carries the result
-	}
-	var writes []flatWrite
-	var reads []pendingRead
+	writes := a.scr.writes[:0]
+	reads := a.scr.reads[:0]
 
 	for ai := range acts {
 		act := &acts[ai]
 		drv, lpa := a.locate(act.page)
 		if act.write {
-			targets := []int{drv}
+			targets := [2]int{drv, -1}
+			nt := 1
 			if a.mode == RedundancyMirror {
-				targets = append(targets, drv^1)
+				targets[1] = drv ^ 1
+				nt = 2
 			}
 			fw := flatWrite{act: act, lpa: lpa}
 			carried := false
-			for _, t := range targets {
+			for _, t := range targets[:nt] {
 				if !a.slots[t].writable() {
 					continue
 				}
@@ -305,10 +319,11 @@ func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 					op.out = out
 				}
 				batches[t] = append(batches[t], op)
-				fw.slots = append(fw.slots, t)
-				fw.outs = append(fw.outs, out)
+				fw.slots[fw.n] = t
+				fw.outs[fw.n] = out
+				fw.n++
 			}
-			if len(fw.slots) == 0 {
+			if fw.n == 0 {
 				a.loseWrite(a.slots[drv], act, ErrDriveDead)
 				continue
 			}
@@ -317,11 +332,10 @@ func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 		}
 		// Read: primary slot, mirror partner as fallback.
 		srv := -1
-		for _, c := range a.readCandidates(drv) {
-			if a.slots[c].readable(lpa) {
-				srv = c
-				break
-			}
+		if a.slots[drv].readable(lpa) {
+			srv = drv
+		} else if a.mode == RedundancyMirror && a.slots[drv^1].readable(lpa) {
+			srv = drv ^ 1
 		}
 		if srv < 0 {
 			act.res.Drive = drv
@@ -331,16 +345,18 @@ func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 		if srv != drv {
 			a.slots[drv].degradedReads++
 		}
-		batches[srv] = append(batches[srv], driveOp{lpa: lpa, slot: srv, res: act.res})
+		batches[srv] = append(batches[srv], driveOp{lpa: lpa, slot: srv, dst: act.buf, res: act.res})
 		reads = append(reads, pendingRead{res: act.res, page: act.page, slot: srv})
 	}
+	a.scr.writes, a.scr.reads = writes, reads
 
 	crit := a.runPhase(batches)
 
 	// Phase 2: recover transient-faulted reads from the mirror partner.
+	// The recovery batch is allocated only when a fault actually fired —
+	// the common clean round stays allocation-free.
 	if a.mode == RedundancyMirror {
-		rec := make([][]driveOp, n)
-		staged := false
+		var rec [][]driveOp
 		for _, pr := range reads {
 			if pr.res.Err == nil || !isFault(pr.res.Err) {
 				continue
@@ -352,19 +368,22 @@ func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 			}
 			a.slots[pr.slot].degradedReads++
 			pr.res.Err = nil
+			if rec == nil {
+				rec = make([][]driveOp, n)
+			}
 			rec[other] = append(rec[other], driveOp{lpa: lpa, slot: other, res: pr.res})
-			staged = true
 		}
-		if staged {
+		if rec != nil {
 			crit += a.runPhase(rec)
 		}
 	}
 
 	// Write bookkeeping: written[] on any success, stale marks on
 	// partial mirror failures.
-	for _, fw := range writes {
+	for wi := range writes {
+		fw := &writes[wi]
 		anyOK := false
-		for i, t := range fw.slots {
+		for i, t := range fw.slots[:fw.n] {
 			var err error
 			if fw.outs[i] == nil {
 				err = fw.act.res.Err
@@ -392,6 +411,45 @@ func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 		}
 	}
 
+	// Invalidate rebuild copies clobbered by same-round host writes: the
+	// source image was read in phase 1, so a host write to the same page
+	// that landed on either mirror half makes that image stale. If it
+	// landed on the rebuilding slot itself the spare already holds the
+	// newest content (markFresh marked the page rebuilt); if it landed
+	// only on the partner, the copy retries next round from the fresh
+	// source. Only a write that failed everywhere leaves the phase-1
+	// image canonical.
+	for i := range items {
+		it := &items[i]
+		if it.skip || it.lost || it.read == nil {
+			continue
+		}
+		for wi := range writes {
+			fw := &writes[wi]
+			if fw.lpa != it.lpa {
+				continue
+			}
+			for j, t := range fw.slots[:fw.n] {
+				if t != it.s.id && t != it.srcSlot {
+					continue
+				}
+				var err error
+				if fw.outs[j] == nil {
+					err = fw.act.res.Err
+				} else {
+					err = fw.outs[j].err
+				}
+				if err == nil {
+					it.skip = true
+					break
+				}
+			}
+			if it.skip {
+				break
+			}
+		}
+	}
+
 	// Phase 3: rebuild copies onto the spare.
 	crit += a.stageRebuildWrites(items, func(it *rbItem) []byte {
 		if it.read == nil || it.read.err != nil {
@@ -400,15 +458,6 @@ func (a *Array) execFlat(acts []action, items []rbItem) time.Duration {
 		return it.read.data
 	})
 	return crit
-}
-
-// readCandidates lists the slots that may serve a read of a page whose
-// primary slot is drv, in preference order.
-func (a *Array) readCandidates(drv int) []int {
-	if a.mode == RedundancyMirror {
-		return []int{drv, drv ^ 1}
-	}
-	return []int{drv}
 }
 
 // isFault reports whether an op error is an injected transient fault.

@@ -35,11 +35,15 @@ type TenantStats struct {
 }
 
 // tenant is the scheduler's per-tenant state: a token bucket refilled
-// on the fleet's modelled clock plus the pending-op queue.
+// on the fleet's modelled clock plus the pending-op queue. The queue is
+// queue[head:]: grants advance head instead of reslicing away the
+// front, so a drained queue snaps back to the start of its backing
+// array and steady-state submit/serve cycles stop allocating.
 type tenant struct {
 	cfg    TenantConfig
 	tokens float64
 	queue  []Op
+	head   int
 	stats  TenantStats
 }
 
@@ -116,6 +120,9 @@ type scheduler struct {
 	tenants []*tenant
 	byName  map[string]*tenant
 	round   int
+	// pickBuf backs pick's result, reused round over round: exactly one
+	// round's pick is alive at a time on the front-end goroutine.
+	pickBuf []Op
 }
 
 func newScheduler(cfgs []TenantConfig) (*scheduler, error) {
@@ -143,6 +150,15 @@ func (s *scheduler) enqueue(op Op) error {
 	if !ok {
 		return fmt.Errorf("array: unknown tenant %q", op.Tenant)
 	}
+	if t.head == len(t.queue) {
+		// Fully drained: rewind onto the start of the backing array.
+		t.queue, t.head = t.queue[:0], 0
+	} else if t.head > 64 && 2*t.head >= len(t.queue) {
+		// Mostly-served long queue: compact the live tail down so the
+		// backing array stops growing without bound.
+		n := copy(t.queue, t.queue[t.head:])
+		t.queue, t.head = t.queue[:n], 0
+	}
 	t.queue = append(t.queue, op)
 	return nil
 }
@@ -151,7 +167,7 @@ func (s *scheduler) enqueue(op Op) error {
 func (s *scheduler) pending() int {
 	n := 0
 	for _, t := range s.tenants {
-		n += len(t.queue)
+		n += len(t.queue) - t.head
 	}
 	return n
 }
@@ -172,22 +188,25 @@ func (s *scheduler) pick(max int) []Op {
 	if max <= 0 {
 		return nil
 	}
-	picked := make([]Op, 0, max)
+	if cap(s.pickBuf) < max {
+		s.pickBuf = make([]Op, 0, max)
+	}
+	picked := s.pickBuf[:0]
 	start := s.round % len(s.tenants)
 	s.round++
 	for len(picked) < max {
 		granted := false
 		for i := 0; i < len(s.tenants) && len(picked) < max; i++ {
 			t := s.tenants[(start+i)%len(s.tenants)]
-			if len(t.queue) == 0 {
+			if t.head == len(t.queue) {
 				continue
 			}
 			if !t.take() {
 				t.stats.Throttled++
 				continue
 			}
-			picked = append(picked, t.queue[0])
-			t.queue = t.queue[1:]
+			picked = append(picked, t.queue[t.head])
+			t.head++
 			granted = true
 		}
 		if !granted {
@@ -204,7 +223,7 @@ func (s *scheduler) pick(max int) []Op {
 func (s *scheduler) stallWait() time.Duration {
 	var best time.Duration
 	for _, t := range s.tenants {
-		if len(t.queue) == 0 {
+		if t.head == len(t.queue) {
 			continue
 		}
 		w := t.tokenWait()

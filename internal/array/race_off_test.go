@@ -1,0 +1,5 @@
+//go:build !race
+
+package array
+
+const raceEnabled = false

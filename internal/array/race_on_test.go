@@ -1,0 +1,7 @@
+//go:build race
+
+package array
+
+// raceEnabled gates AllocsPerRun tests: race-detector instrumentation
+// allocates, so zero-alloc contracts are only checkable without it.
+const raceEnabled = true

@@ -23,6 +23,7 @@ var ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
 type Decoder struct {
 	code *Code
 	syn  *SyndromeCalc
+	div  *divider  // remainder-first syndrome engine; nil for toy geometries
 	pool sync.Pool // of *decodeScratch
 }
 
@@ -33,6 +34,8 @@ type Decoder struct {
 type decodeScratch struct {
 	syn   []uint32
 	delta []uint32 // re-check accumulator, one entry per odd syndrome
+	reg   []uint64 // polynomial-division register (remainder-first path)
+	rem   []byte   // serialised remainder, r/8 bytes
 	bm    bmScratch
 	chien chienScratch
 	pos   []int
@@ -47,13 +50,17 @@ func NewDecoder(c *Code, syn *SyndromeCalc) *Decoder {
 		syn = NewSyndromeCalc(c.Field)
 	}
 	syn.Prepare(c.T)
-	d := &Decoder{code: c, syn: syn}
+	d := &Decoder{code: c, syn: syn, div: newDivider(c)}
 	t := c.T
 	d.pool.New = func() any {
 		sc := &decodeScratch{
 			syn:   make([]uint32, 2*t),
 			delta: make([]uint32, t),
 			pos:   make([]int, 0, t+1),
+		}
+		if d.div != nil {
+			sc.reg = make([]uint64, d.div.rw)
+			sc.rem = make([]byte, d.div.rb)
 		}
 		sc.bm.grow(2 * t)
 		sc.chien.grow(t + 2)
@@ -88,7 +95,19 @@ func (d *Decoder) Decode(codeword []byte) (int, error) {
 	f := d.code.Field
 	t := d.code.T
 
-	syn := d.syn.SyndromesInto(sc.syn, codeword, t)
+	// Remainder-first syndromes: divide the page by g(x) with the cheap
+	// byte-LFSR, then evaluate S_1..S_2t on the r-bit remainder only —
+	// bit-identical to the direct walk (see remainder.go), but the
+	// expensive per-syndrome evaluation no longer touches the full page.
+	// Short codewords (remainder comparable to the word itself) keep the
+	// direct path.
+	var syn []uint32
+	if d.div != nil && len(codeword) > 2*d.div.rb {
+		d.div.remainderInto(sc.rem, sc.reg, codeword)
+		syn = d.syn.SyndromesInto(sc.syn, sc.rem, t)
+	} else {
+		syn = d.syn.SyndromesInto(sc.syn, codeword, t)
+	}
 	if AllZero(syn) {
 		return 0, nil
 	}
@@ -135,8 +154,8 @@ func (d *Decoder) recheckOK(syn []uint32, positions []int, nbits int, delta []ui
 	}
 	for _, p := range positions {
 		deg := nbits - 1 - p
-		cur := f.Alpha(deg)       // alpha^(1·deg)
-		step := (deg + deg) % N   // j advances by 2 between odd syndromes
+		cur := f.Alpha(deg)     // alpha^(1·deg)
+		step := (deg + deg) % N // j advances by 2 between odd syndromes
 		for i := 0; i < t; i++ {
 			dl[i] ^= cur
 			cur = f.MulAlphaN(cur, step)

@@ -1,6 +1,7 @@
 package bch
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -21,7 +22,12 @@ type Encoder struct {
 	r    int           // parity bits = deg(g)
 	rw   int           // words in the remainder register
 	tbl  [256][]uint64 // tbl[v] = v(x)·x^r mod g(x)
-	regs sync.Pool     // of *[]uint64 remainder registers, len rw
+	// slice8 is the flat 8·256·rw slicing table (row k·256+v holds
+	// v(x)·x^(r+8k) mod g), shared by the sliced encode loop and the
+	// decoder's remainder-first syndrome path; nil when rw exceeds
+	// slice8MaxRW (see remainder.go).
+	slice8 []uint64
+	regs   sync.Pool // of *[]uint64 remainder registers, len rw
 }
 
 // NewEncoder builds the remainder table for the code's generator
@@ -48,6 +54,9 @@ func NewEncoder(c *Code) *Encoder {
 			}
 		}
 		e.tbl[v] = w
+	}
+	if e.rw <= slice8MaxRW {
+		e.slice8 = buildSlice8(e)
 	}
 	return e
 }
@@ -121,13 +130,22 @@ func (e *Encoder) encodeInto(out, msg []byte) {
 	for i := range reg {
 		reg[i] = 0
 	}
-	for _, b := range msg {
+	// A byte-wise prologue aligns the bulk of the message to whole
+	// 8-byte chunks for the sliced loop (see encodeChunks).
+	head := len(msg)
+	if e.slice8 != nil {
+		head = len(msg) % 8
+	}
+	for _, b := range msg[:head] {
 		top := e.topByte(reg)
 		e.shiftLeft8(reg)
 		idx := top ^ b
 		for i, w := range e.tbl[idx] {
 			reg[i] ^= w
 		}
+	}
+	if e.slice8 != nil {
+		e.encodeChunks(reg, msg[head:])
 	}
 	// Serialise the register MSB-first, one output byte at a time:
 	// parity byte i carries coefficients r-8i-1 .. r-8i-8.
@@ -142,6 +160,64 @@ func (e *Encoder) encodeInto(out, msg []byte) {
 		out[i] = byte(v)
 	}
 	e.regs.Put(regp)
+}
+
+// encodeChunks advances the encoding register eight message bytes per
+// step. With reg = prefix(x)·x^r mod g, appending a 64-bit chunk M gives
+// reg' = (reg·x^64 mod g) ^ (M(x)·x^r mod g); splitting reg·x^64 at
+// degree r into overflow H (degrees r..r+63) and low part L, linearity
+// of the slicing tables folds both terms into eight lookups on H ^ M:
+// reg' = L ^ Σ_k T_k[byte_k(H ^ M)]. len(msg) must be a multiple of 8.
+func (e *Encoder) encodeChunks(reg []uint64, msg []byte) {
+	tab := e.slice8
+	r := e.r
+	if e.rw == 1 {
+		// r <= 64: reg·x^64 has no bits below degree 64 >= r, so L = 0
+		// and the new register is the table fold alone.
+		g := reg[0]
+		for i := 0; i+8 <= len(msg); i += 8 {
+			h := binary.BigEndian.Uint64(msg[i:])
+			if r < 64 {
+				h ^= g << uint(64-r)
+			} else {
+				h ^= g
+			}
+			g = tab[byte(h)] ^
+				tab[1*256+int(byte(h>>8))] ^
+				tab[2*256+int(byte(h>>16))] ^
+				tab[3*256+int(byte(h>>24))] ^
+				tab[4*256+int(byte(h>>32))] ^
+				tab[5*256+int(byte(h>>40))] ^
+				tab[6*256+int(byte(h>>48))] ^
+				tab[7*256+int(byte(h>>56))]
+		}
+		reg[0] = g
+		return
+	}
+	rw := e.rw
+	last := rw - 1
+	s := uint(r % 64)
+	for i := 0; i+8 <= len(msg); i += 8 {
+		h := binary.BigEndian.Uint64(msg[i:])
+		if s == 0 {
+			h ^= reg[last]
+		} else {
+			h ^= reg[last]<<(64-s) | reg[last-1]>>s
+		}
+		for j := last; j > 0; j-- {
+			reg[j] = reg[j-1]
+		}
+		reg[0] = 0
+		if s != 0 {
+			reg[last] &= 1<<s - 1
+		}
+		for k := 0; k < 8; k++ {
+			row := tab[(k<<8|int(byte(h>>uint(8*k))))*rw:][:rw]
+			for j, w := range row {
+				reg[j] ^= w
+			}
+		}
+	}
 }
 
 // topByte extracts the top 8 coefficients (degrees r-8..r-1) of the

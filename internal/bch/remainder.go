@@ -1,0 +1,380 @@
+package bch
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Remainder-first syndrome computation.
+//
+// The received word c(x) splits as q(x)·g(x) + rem(x) with deg(rem) < r,
+// and every syndrome root alpha^j (j = 1..2t) is a root of g, so
+// S_j = c(alpha^j) = rem(alpha^j): the syndromes of the r-bit remainder
+// are exactly the syndromes of the whole codeword. Dividing by g is far
+// cheaper than evaluating 2t syndromes across the page — especially with
+// the slicing-by-8 tables below, which consume the page 64 bits at a
+// time with eight independent table lookups per step (the classic CRC
+// slicing technique lifted to an arbitrary-degree GF(2) modulus). After
+// division, the fused per-syndrome evaluation of SyndromesInto only has
+// to walk r/8 remainder bytes instead of the full page. The result is
+// bit-identical to the direct path: both compute the same field
+// elements exactly.
+
+// slice8MaxRW caps the register width (in 64-bit words) for which the
+// 8×256-row slicing tables are built: 8·256·rw·8 bytes per decoder, so
+// the cap bounds the table at 128 KB. Wider codes (t > 32 for the
+// paper's m = 16 instantiation) fall back to the byte-wise division
+// loop, which still beats the direct syndrome walk by ~4× there since
+// the walk's cost grows with t while the division's does not.
+const slice8MaxRW = 8
+
+// divider wraps an Encoder used purely as a polynomial-division engine
+// plus the geometry needed to serialise its register.
+type divider struct {
+	enc    *Encoder
+	r      int      // deg(g) = remainder bits
+	rw     int      // remainder register words
+	rb     int      // remainder bytes = r/8
+	slice8 []uint64 // flat 8·256·rw table: row (k·256+v) is v(x)·x^(r+8k) mod g
+
+	// Four-way interleave geometry (rw == 1 codes only). The sliced loop
+	// is latency-bound on its loop-carried register dependency, so for
+	// the code's full-length codeword — the only length the decoder ever
+	// divides — the body splits into four independently-divided segments
+	// whose remainders recombine through the shiftL fold tables:
+	// rem(A·x^m + B) = rem(A)·x^m + rem(B) (mod g).
+	fourLen int      // post-prologue byte count the 4-way loop is built for
+	segLen  int      // bytes per interleaved segment (multiple of 8)
+	shiftL  []uint64 // flat rb·256: row (j·256+v) = v(x)·x^(8·(segLen+j)) mod g
+}
+
+// newDivider returns a division engine for the code, or nil when the
+// code's parity is not byte-aligned (toy codes fall back to the direct
+// syndrome walk).
+func newDivider(c *Code) *divider {
+	if c.GenDegree < 8 || c.GenDegree%8 != 0 {
+		return nil
+	}
+	e := NewEncoder(c)
+	dv := &divider{enc: e, r: e.r, rw: e.rw, rb: e.r / 8, slice8: e.slice8}
+	if expD := (c.K + c.GenDegree) / 8; dv.rw == 1 && dv.slice8 != nil {
+		body := expD - expD%8
+		if seg := (body / 8 / 4) * 8; seg >= 8*dv.rb {
+			dv.fourLen = body
+			dv.segLen = seg
+			dv.shiftL = buildShiftL(dv, seg)
+		}
+	}
+	return dv
+}
+
+// buildShiftL tabulates S_j[v] = v(x)·x^(8·(segBytes+j)) mod g for
+// j = 0..rb-1 — the per-byte fold of a remainder register across one
+// segment's length. Only built for rw == 1 (r <= 64) codes. One walk
+// carries x^(8·segBytes) up from x^r; each row then derives from an
+// 8-element bit basis by subset XOR, so the build is O(segBytes + rb·256)
+// rather than O(256·segBytes) — it runs lazily on a die's first decode
+// at a given capability, inside the simulation's measured hot path.
+func buildShiftL(dv *divider, segBytes int) []uint64 {
+	e := dv.enc
+	r, rb := dv.r, dv.rb
+	mask := ^uint64(0)
+	if r < 64 {
+		mask = 1<<uint(r) - 1
+	}
+	// g = x^r + gLow, so x^r ≡ gLow (mod g) — and e.tbl[1] is exactly
+	// 1·x^r mod g.
+	gLow := e.tbl[1][0]
+	shift8 := func(v uint64) uint64 {
+		top := byte(v >> uint(r-8))
+		return (v << 8 & mask) ^ e.tbl[top][0]
+	}
+	shift1 := func(v uint64) uint64 {
+		top := v >> uint(r-1)
+		v = v << 1 & mask
+		if top != 0 {
+			v ^= gLow
+		}
+		return v
+	}
+	w := gLow // x^r mod g
+	for k := 0; k < segBytes-rb; k++ {
+		w = shift8(w) // now x^(8·segBytes) mod g
+	}
+	tab := make([]uint64, rb*256)
+	var basis [8]uint64
+	for j := 0; j < rb; j++ {
+		basis[0] = w
+		for u := 1; u < 8; u++ {
+			basis[u] = shift1(basis[u-1]) // x^(8·(segBytes+j)+u) mod g
+		}
+		row := tab[j*256 : (j+1)*256]
+		for v := 1; v < 256; v++ {
+			// Subset-sum: drop v's lowest set bit, XOR that bit's basis.
+			row[v] = row[v&(v-1)] ^ basis[bits.TrailingZeros8(uint8(v))]
+		}
+		w = shift8(w)
+	}
+	return tab
+}
+
+// foldSeg advances a remainder register across one segment's worth of
+// zeros: R·x^(8·segLen) mod g, one table row per register byte.
+func (dv *divider) foldSeg(R uint64) uint64 {
+	st := dv.shiftL
+	var v uint64
+	for j := 0; j < dv.rb; j++ {
+		v ^= st[j*256+int(byte(R>>uint(8*j)))]
+	}
+	return v
+}
+
+// buildSlice8 extends the encoder's remainder table T_0[v] = v(x)·x^r
+// mod g to T_k[v] = v(x)·x^(r+8k) mod g for k = 0..7, iterating
+// T_{k+1}[v] = T_k[v]·x^8 mod g with the byte-wise step.
+func buildSlice8(e *Encoder) []uint64 {
+	rw := e.rw
+	tab := make([]uint64, 8*256*rw)
+	tmp := make([]uint64, rw)
+	for v := 0; v < 256; v++ {
+		copy(tab[v*rw:(v+1)*rw], e.tbl[v])
+	}
+	for k := 1; k < 8; k++ {
+		for v := 0; v < 256; v++ {
+			copy(tmp, tab[((k-1)*256+v)*rw:][:rw])
+			top := e.topByte(tmp)
+			e.shiftLeft8(tmp)
+			row := e.tbl[top]
+			dst := tab[(k*256+v)*rw:][:rw]
+			for i := range dst {
+				dst[i] = tmp[i] ^ row[i]
+			}
+		}
+	}
+	return tab
+}
+
+// remainderInto computes rem(x) = codeword(x) mod g(x) into rem
+// (MSB-first, coefficient of x^(r-1) in the MSB of rem[0] — the same
+// layout SyndromesInto expects), using reg (len rw) as the division
+// register.
+func (dv *divider) remainderInto(rem []byte, reg []uint64, codeword []byte) {
+	for i := range reg {
+		reg[i] = 0
+	}
+	// A leading byte-wise prologue aligns the bulk of the word to whole
+	// 8-byte chunks for the sliced loop.
+	head := len(codeword)
+	if dv.slice8 != nil {
+		head = len(codeword) % 8
+	}
+	dv.bytewise(reg, codeword[:head])
+	if dv.slice8 != nil {
+		if body := codeword[head:]; len(body) == dv.fourLen {
+			dv.chunks4(reg, body)
+		} else {
+			dv.chunks(reg, body)
+		}
+	}
+	// Serialise MSB-first: rem byte i carries coefficients
+	// r-8i-1 .. r-8i-8, matching the encoder's parity layout.
+	r := dv.r
+	for i := range rem {
+		pos := r - 8*(i+1)
+		word, off := pos/64, uint(pos%64)
+		v := reg[word] >> off
+		if off > 56 && word+1 < len(reg) {
+			v |= reg[word+1] << (64 - off)
+		}
+		rem[i] = byte(v)
+	}
+}
+
+// bytewise is the one-byte-per-step division: the non-premultiplied
+// variant of the encoder's LFSR, where the incoming byte enters at
+// degree 0 rather than degree r, so the register tracks the plain
+// remainder of the received word instead of msg·x^r mod g.
+func (dv *divider) bytewise(reg []uint64, data []byte) {
+	e := dv.enc
+	last := len(reg) - 1
+	topPos := dv.r - 8
+	tw, toff := topPos/64, uint(topPos%64)
+	topMask := ^uint64(0)
+	if remBits := uint(dv.r % 64); remBits != 0 {
+		topMask = 1<<remBits - 1
+	}
+	for _, b := range data {
+		// reg·x^8 + b (mod g): extract the byte that overflows past
+		// x^(r-1), shift, inject b at the bottom, fold the overflow back
+		// in via tbl[top] = top(x)·x^r mod g.
+		top := reg[tw] >> toff
+		if toff > 56 && tw+1 < len(reg) {
+			top |= reg[tw+1] << (64 - toff)
+		}
+		row := e.tbl[byte(top)]
+		for i := last; i > 0; i-- {
+			reg[i] = (reg[i]<<8 | reg[i-1]>>56) ^ row[i]
+		}
+		reg[0] = reg[0]<<8 ^ row[0] ^ uint64(b)
+		reg[last] &= topMask
+	}
+}
+
+// chunks4 is the rw == 1 sliced loop with the loop-carried dependency
+// broken four ways: the body splits into four segments divided
+// independently (their recurrences share no state, so the four table
+// fold chains overlap in flight), and the partial remainders recombine
+// with three foldSeg applications — polynomial concatenation is linear,
+// rem(A·x^m + B) = rem(A)·x^m + rem(B) (mod g). len(data) must equal
+// dv.fourLen; any extra leading chunks beyond the four equal segments
+// run single-stream first.
+func (dv *divider) chunks4(reg []uint64, data []byte) {
+	// The hot loops index tab with k·256 + byte, k = 0..7: resłicing to
+	// exactly 2048 entries lets the compiler drop every bounds check.
+	tab := dv.slice8[:2048:2048]
+	r := uint(dv.r)
+	sh := 64 - r // Go shifts >= width yield 0, so r == 64 needs no branch
+	lmask := ^uint64(0)
+	if r < 64 {
+		lmask = 1<<r - 1
+	}
+	seg := dv.segLen
+	g0 := reg[0]
+	p := 0
+	for extra := len(data) - 4*seg; p < extra; p += 8 {
+		b := binary.BigEndian.Uint64(data[p:])
+		h := g0<<sh | b>>r
+		g0 = (b & lmask) ^
+			tab[byte(h)] ^
+			tab[1*256+int(byte(h>>8))] ^
+			tab[2*256+int(byte(h>>16))] ^
+			tab[3*256+int(byte(h>>24))] ^
+			tab[4*256+int(byte(h>>32))] ^
+			tab[5*256+int(byte(h>>40))] ^
+			tab[6*256+int(byte(h>>48))] ^
+			tab[7*256+int(h>>56&0xff)]
+	}
+	d0 := data[p : p+seg : p+seg]
+	d1 := data[p+seg : p+2*seg : p+2*seg]
+	d2 := data[p+2*seg : p+3*seg : p+3*seg]
+	d3 := data[p+3*seg:]
+	var g1, g2, g3 uint64
+	// Advancing the slices themselves (rather than indexing) keeps the
+	// loads free of bounds checks: the length guards cover each Uint64
+	// and each re-slice. The four lengths are equal by construction; the
+	// redundant compares cost far less than the checks they eliminate.
+	for len(d0) >= 8 && len(d1) >= 8 && len(d2) >= 8 && len(d3) >= 8 {
+		b0 := binary.BigEndian.Uint64(d0)
+		b1 := binary.BigEndian.Uint64(d1)
+		b2 := binary.BigEndian.Uint64(d2)
+		b3 := binary.BigEndian.Uint64(d3)
+		d0, d1, d2, d3 = d0[8:], d1[8:], d2[8:], d3[8:]
+		h0 := g0<<sh | b0>>r
+		h1 := g1<<sh | b1>>r
+		h2 := g2<<sh | b2>>r
+		h3 := g3<<sh | b3>>r
+		g0 = (b0 & lmask) ^
+			tab[byte(h0)] ^
+			tab[1*256+int(byte(h0>>8))] ^
+			tab[2*256+int(byte(h0>>16))] ^
+			tab[3*256+int(byte(h0>>24))] ^
+			tab[4*256+int(byte(h0>>32))] ^
+			tab[5*256+int(byte(h0>>40))] ^
+			tab[6*256+int(byte(h0>>48))] ^
+			tab[7*256+int(h0>>56&0xff)]
+		g1 = (b1 & lmask) ^
+			tab[byte(h1)] ^
+			tab[1*256+int(byte(h1>>8))] ^
+			tab[2*256+int(byte(h1>>16))] ^
+			tab[3*256+int(byte(h1>>24))] ^
+			tab[4*256+int(byte(h1>>32))] ^
+			tab[5*256+int(byte(h1>>40))] ^
+			tab[6*256+int(byte(h1>>48))] ^
+			tab[7*256+int(h1>>56&0xff)]
+		g2 = (b2 & lmask) ^
+			tab[byte(h2)] ^
+			tab[1*256+int(byte(h2>>8))] ^
+			tab[2*256+int(byte(h2>>16))] ^
+			tab[3*256+int(byte(h2>>24))] ^
+			tab[4*256+int(byte(h2>>32))] ^
+			tab[5*256+int(byte(h2>>40))] ^
+			tab[6*256+int(byte(h2>>48))] ^
+			tab[7*256+int(h2>>56&0xff)]
+		g3 = (b3 & lmask) ^
+			tab[byte(h3)] ^
+			tab[1*256+int(byte(h3>>8))] ^
+			tab[2*256+int(byte(h3>>16))] ^
+			tab[3*256+int(byte(h3>>24))] ^
+			tab[4*256+int(byte(h3>>32))] ^
+			tab[5*256+int(byte(h3>>40))] ^
+			tab[6*256+int(byte(h3>>48))] ^
+			tab[7*256+int(h3>>56&0xff)]
+	}
+	R := dv.foldSeg(g0) ^ g1
+	R = dv.foldSeg(R) ^ g2
+	R = dv.foldSeg(R) ^ g3
+	reg[0] = R
+}
+
+// chunks advances the division register eight bytes per step:
+// reg·x^64 + B splits at degree r into a 64-bit overflow H (degrees
+// r..r+63) and an r-bit low part, and H folds back in as
+// Σ_k T_k[byte_k(H)] — eight independent lookups the CPU can overlap.
+// len(data) must be a multiple of 8.
+func (dv *divider) chunks(reg []uint64, data []byte) {
+	tab := dv.slice8
+	r := dv.r
+	if dv.rw == 1 {
+		// r <= 64: the whole register is one word, kept in a local.
+		lmask := ^uint64(0)
+		if r < 64 {
+			lmask = 1<<uint(r) - 1
+		}
+		g := reg[0]
+		for i := 0; i+8 <= len(data); i += 8 {
+			b := binary.BigEndian.Uint64(data[i:])
+			h := g
+			if r < 64 {
+				h = g<<uint(64-r) | b>>uint(r)
+			}
+			g = (b & lmask) ^
+				tab[byte(h)] ^
+				tab[1*256+int(byte(h>>8))] ^
+				tab[2*256+int(byte(h>>16))] ^
+				tab[3*256+int(byte(h>>24))] ^
+				tab[4*256+int(byte(h>>32))] ^
+				tab[5*256+int(byte(h>>40))] ^
+				tab[6*256+int(byte(h>>48))] ^
+				tab[7*256+int(h>>56&0xff)]
+		}
+		reg[0] = g
+		return
+	}
+	// Generic width (r > 64): word-shift the register by 64 bits, inject
+	// the chunk at the bottom, fold the evicted 64 bits back in.
+	rw := dv.rw
+	last := rw - 1
+	s := uint(r % 64)
+	for i := 0; i+8 <= len(data); i += 8 {
+		b := binary.BigEndian.Uint64(data[i:])
+		var h uint64
+		if s == 0 {
+			h = reg[last]
+		} else {
+			h = reg[last]<<(64-s) | reg[last-1]>>s
+		}
+		for j := last; j > 0; j-- {
+			reg[j] = reg[j-1]
+		}
+		reg[0] = b
+		if s != 0 {
+			reg[last] &= 1<<s - 1
+		}
+		for k := 0; k < 8; k++ {
+			row := tab[(k<<8|int(byte(h>>uint(8*k))))*rw:][:rw]
+			for j, w := range row {
+				reg[j] ^= w
+			}
+		}
+	}
+}

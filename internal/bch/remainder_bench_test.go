@@ -1,0 +1,25 @@
+package bch
+
+import "testing"
+
+// BenchmarkRemainderChunks4K gauges the polynomial-division kernel on
+// one full-length codeword of the paper's page code at t = 3 — the
+// dominant per-read cost of the simulation hot path.
+func BenchmarkRemainderChunks4K(b *testing.B) {
+	code, err := NewCode(Params{M: 16, K: 32768, T: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dv := newDivider(code)
+	data := make([]byte, (code.K+code.GenDegree)/8)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	reg := make([]uint64, dv.rw)
+	rem := make([]byte, dv.rb)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dv.remainderInto(rem, reg, data)
+	}
+}

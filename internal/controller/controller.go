@@ -22,9 +22,13 @@ var ErrUncorrectable = errors.New("controller: uncorrectable page")
 type Controller struct {
 	dev   *nand.Device
 	codec ecc.Codec
-	bus   timing.FlashBus
-	regs  RegisterFile
-	mgr   *ReliabilityManager
+	// ml is non-nil when the codec calibrates decode cost per error
+	// weight (ecc.MeasuredLatency); successful decodes then book the
+	// measured duration instead of the flat estimate.
+	ml   ecc.MeasuredLatency
+	bus  timing.FlashBus
+	regs RegisterFile
+	mgr  *ReliabilityManager
 
 	pageBuffer []byte // controller-side page RAM (Fig. 1), size of one codeword
 	readBuffer []byte // codeword staging RAM for the read path (pooled across reads)
@@ -95,6 +99,7 @@ func New(dev *nand.Device, codec ecc.Codec, cfg Config) (*Controller, error) {
 		pageBuffer: make([]byte, bufBytes),
 		readBuffer: make([]byte, bufBytes),
 	}
+	c.ml, _ = codec.(ecc.MeasuredLatency)
 	if codec.SupportsSoft() {
 		c.llrBuffer = make([]int8, bufBytes*8)
 	}
@@ -385,6 +390,31 @@ func (res *ReadResult) noteStage(step int, soft bool, senses, attempt, capHint i
 // pages. Uncorrectable pages return ErrUncorrectable with the final
 // attempt's raw data attached.
 func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResult, error) {
+	return c.readPageRetryInto(blockIdx, pageIdx, maxRetries, nil)
+}
+
+// ReadPageRetryInto is ReadPageRetry with a caller-provided destination
+// for the decoded page: when dst is at least the page's data size, the
+// result's Data aliases dst and the steady-state read path performs no
+// allocation. A nil or short dst falls back to allocating, preserving
+// ReadPageRetry semantics exactly.
+func (c *Controller) ReadPageRetryInto(blockIdx, pageIdx, maxRetries int, dst []byte) (ReadResult, error) {
+	return c.readPageRetryInto(blockIdx, pageIdx, maxRetries, dst)
+}
+
+// claimData materialises a read result's data: into dst when it is big
+// enough, freshly allocated otherwise.
+func claimData(dst, src []byte) []byte {
+	if len(dst) >= len(src) {
+		dst = dst[:len(src)]
+	} else {
+		dst = make([]byte, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
+func (c *Controller) readPageRetryInto(blockIdx, pageIdx, maxRetries int, dst []byte) (ReadResult, error) {
 	var res ReadResult
 	res.Alg = c.algorithm()
 	if alg, err := c.dev.WrittenAlgorithm(blockIdx, pageIdx); err == nil {
@@ -468,17 +498,24 @@ func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResul
 		codeword := c.readBuffer[:nData+nSpare]
 		nErr, decErr := c.codec.Decode(level, codeword)
 
+		// A successful decode's cost is booked at the observed error
+		// weight when the codec calibrates it (measured min-sum
+		// iterations); failures and flat-latency codecs keep the
+		// worst-case estimate.
+		decLat := c.codec.DecodeLatency(level, nErr == 0 && decErr == nil)
+		if c.ml != nil && decErr == nil {
+			decLat = c.ml.MeasuredDecodeLatency(level, nErr)
+		}
 		stage := ReadLatency{
 			TR:       nand.PageReadTime,
 			Transfer: c.bus.Transfer(len(codeword)),
-			Decode:   c.codec.DecodeLatency(level, nErr == 0 && decErr == nil),
+			Decode:   decLat,
 		}
 		res.noteStage(step, false, 1, attempt, capHint, stage)
 
 		if decErr == nil {
 			res.Corrected = nErr
-			res.Data = make([]byte, nData)
-			copy(res.Data, codeword[:nData])
+			res.Data = claimData(dst, codeword[:nData])
 			c.regs.setStatus(StatusOK, uint32(nErr))
 			c.mgr.ObserveDecode(res.Alg, c.codewordBits(level), nErr)
 			c.mgr.ObserveRetry(cycles, step, attempt, true)
@@ -487,8 +524,7 @@ func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResul
 		}
 		if attempt == n-1 && softAttempts == 0 {
 			// Budget exhausted: surface the final attempt's raw data.
-			res.Data = make([]byte, nData)
-			copy(res.Data, codeword[:nData])
+			res.Data = claimData(dst, codeword[:nData])
 		}
 	}
 
@@ -528,8 +564,7 @@ func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResul
 
 		if decErr == nil {
 			res.Corrected = nErr
-			res.Data = make([]byte, nData)
-			copy(res.Data, codeword[:nData])
+			res.Data = claimData(dst, codeword[:nData])
 			c.regs.setStatus(StatusOK, uint32(nErr))
 			c.mgr.ObserveDecode(res.Alg, c.codewordBits(level), nErr)
 			c.mgr.ObserveRetry(cycles, softStep, attempt, true)
@@ -539,8 +574,7 @@ func (c *Controller) ReadPageRetry(blockIdx, pageIdx, maxRetries int) (ReadResul
 		}
 		c.mgr.ObserveSoft(false)
 		if s == softAttempts-1 {
-			res.Data = make([]byte, nData)
-			copy(res.Data, codeword[:nData])
+			res.Data = claimData(dst, codeword[:nData])
 		}
 	}
 

@@ -1,0 +1,184 @@
+package dispatch
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"xlnand/internal/stats"
+)
+
+// refCalendar is the straightforward pre-optimisation calendar: one
+// sorted busy list, earliest-gap search by linear scan, no fast path,
+// no amortised compaction. The production calendar must reproduce its
+// timeline exactly wherever compaction has not (yet) forfeited a gap.
+type refCalendar struct {
+	busy []span
+}
+
+func (r *refCalendar) acquire(earliest, dur time.Duration) (start, end time.Duration) {
+	if dur <= 0 {
+		return earliest, earliest
+	}
+	start = earliest
+	idx := len(r.busy)
+	for i, s := range r.busy {
+		if s.end <= start {
+			continue
+		}
+		if start+dur <= s.start {
+			idx = i
+			break
+		}
+		start = s.end
+	}
+	end = start + dur
+	if idx > 0 && r.busy[idx-1].end == start {
+		r.busy[idx-1].end = end
+		if idx < len(r.busy) && r.busy[idx].start == end {
+			r.busy[idx-1].end = r.busy[idx].end
+			r.busy = append(r.busy[:idx], r.busy[idx+1:]...)
+		}
+	} else if idx < len(r.busy) && r.busy[idx].start == end {
+		r.busy[idx].start = start
+	} else {
+		r.busy = append(r.busy, span{})
+		copy(r.busy[idx+1:], r.busy[idx:])
+		r.busy[idx] = span{start, end}
+	}
+	return start, end
+}
+
+// TestCalendarMatchesReference drives the production calendar and the
+// reference through an identical seeded stream of forward marches and
+// laggard backfills (kept under the compaction threshold, where the two
+// are defined to agree) and requires every reservation to match.
+func TestCalendarMatchesReference(t *testing.T) {
+	rng := stats.NewRNG(20260808)
+	var cal calendar
+	var ref refCalendar
+	cursor := time.Duration(0)
+	for i := 0; i < 3000; i++ {
+		var earliest time.Duration
+		dur := time.Duration(1+rng.Intn(5)) * time.Microsecond
+		switch {
+		case i%7 == 3 && cursor > 40*time.Microsecond:
+			// Laggard backfill well behind the high-water mark.
+			earliest = cursor - time.Duration(10+rng.Intn(30))*time.Microsecond
+		case i%11 == 5:
+			// Re-reservation at the exact cursor (abutting coalesce path).
+			earliest = cursor
+		default:
+			cursor += time.Duration(rng.Intn(8)) * time.Microsecond
+			earliest = cursor
+		}
+		gs, ge := cal.acquire(earliest, dur)
+		ws, we := ref.acquire(earliest, dur)
+		if gs != ws || ge != we {
+			t.Fatalf("acquire %d (earliest=%v dur=%v): got [%v,%v), reference [%v,%v)",
+				i, earliest, dur, gs, ge, ws, we)
+		}
+		if ge > cursor {
+			cursor = ge
+		}
+	}
+	if len(cal.busy) >= 2*maxCalendarSpans {
+		t.Fatalf("test stayed under the compaction threshold by design, busy=%d", len(cal.busy))
+	}
+}
+
+// TestCalendarCompactionNoDoubleBooking drives a calendar far past the
+// amortised-compaction threshold with gappy (never-coalescing) acquires
+// plus periodic backfills, then asserts every reservation ever granted
+// is pairwise disjoint: compaction may forfeit backfill gaps (extra
+// serialisation) but must never hand the same virtual time out twice.
+// It also pins the memory bound: the span slice never exceeds twice the
+// nominal budget.
+func TestCalendarCompactionNoDoubleBooking(t *testing.T) {
+	rng := stats.NewRNG(4242)
+	var cal calendar
+	var got []span
+	cursor := time.Duration(0)
+	const acquires = 3*maxCalendarSpans + 500
+	for i := 0; i < acquires; i++ {
+		var earliest time.Duration
+		dur := time.Duration(1+rng.Intn(3)) * time.Microsecond
+		if i%9 == 7 && cursor > 100*time.Microsecond {
+			earliest = cursor - time.Duration(20+rng.Intn(80))*time.Microsecond
+		} else {
+			// Leave a gap so spans cannot coalesce and the busy list
+			// genuinely grows toward the compaction threshold.
+			cursor += dur + time.Duration(1+rng.Intn(4))*time.Microsecond
+			earliest = cursor
+		}
+		s, e := cal.acquire(earliest, dur)
+		if e != s+dur {
+			t.Fatalf("acquire %d: got [%v,%v), want length %v", i, s, e, dur)
+		}
+		if s < earliest {
+			t.Fatalf("acquire %d: start %v before earliest %v", i, s, earliest)
+		}
+		got = append(got, span{s, e})
+		if len(cal.busy) > 2*maxCalendarSpans {
+			t.Fatalf("acquire %d: busy list %d spans exceeds the 2x budget bound", i, len(cal.busy))
+		}
+		if e > cursor {
+			cursor = e
+		}
+	}
+	if len(cal.busy) >= 2*maxCalendarSpans {
+		t.Fatalf("compaction never ran: %d spans", len(cal.busy))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].start < got[j].start })
+	for i := 1; i < len(got); i++ {
+		if got[i].start < got[i-1].end {
+			t.Fatalf("double booking: [%v,%v) overlaps [%v,%v)",
+				got[i-1].start, got[i-1].end, got[i].start, got[i].end)
+		}
+	}
+}
+
+// TestShardedTimelineMatchesSingleLock replays a seeded 4-die batch —
+// each die marching its own array clock, then contending for the shared
+// bus and codec — against (a) the sharded per-resource calendars the
+// dispatcher uses and (b) a single-lock reference in which both
+// resources live behind one serial point. The virtual timelines must be
+// identical: sharding changes lock granularity, never modelled time.
+func TestShardedTimelineMatchesSingleLock(t *testing.T) {
+	rng := stats.NewRNG(77)
+	const dies, steps = 4, 2000
+
+	type batch struct{ tR, xfer, dec time.Duration }
+	plan := make([]batch, steps)
+	for i := range plan {
+		plan[i] = batch{
+			tR:   time.Duration(70+rng.Intn(10)) * time.Microsecond,
+			xfer: time.Duration(8+rng.Intn(4)) * time.Microsecond,
+			dec:  time.Duration(2+rng.Intn(6)) * time.Microsecond,
+		}
+	}
+
+	run := func(bus, codec interface {
+		acquire(time.Duration, time.Duration) (time.Duration, time.Duration)
+	}) []time.Duration {
+		clocks := make([]time.Duration, dies)
+		done := make([]time.Duration, 0, steps)
+		for i, b := range plan {
+			d := i % dies
+			ready := clocks[d] + b.tR
+			_, busEnd := bus.acquire(ready, b.xfer)
+			_, decEnd := codec.acquire(busEnd, b.dec)
+			clocks[d] = decEnd
+			done = append(done, decEnd)
+		}
+		return done
+	}
+
+	sharded := run(&calendar{}, &calendar{})
+	single := run(&refCalendar{}, &refCalendar{})
+	for i := range sharded {
+		if sharded[i] != single[i] {
+			t.Fatalf("step %d: sharded completion %v, single-lock reference %v", i, sharded[i], single[i])
+		}
+	}
+}

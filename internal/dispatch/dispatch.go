@@ -20,6 +20,7 @@ package dispatch
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,9 +57,11 @@ type span struct {
 	start, end time.Duration
 }
 
-// maxCalendarSpans bounds calendar memory: beyond it the oldest half is
-// coalesced into one span, which only forfeits backfill opportunities
-// (more serialisation, never double-booking).
+// maxCalendarSpans is the calendar's nominal span budget. Compaction is
+// amortised: the slice may grow to twice this before the oldest spans
+// are coalesced back down to the budget (one O(n) copy per ~n acquires
+// instead of one per acquire at the cap), which only forfeits backfill
+// opportunities (more serialisation, never double-booking).
 const maxCalendarSpans = 4096
 
 // calendar is a shared virtual-time resource with arbitration: acquire
@@ -67,6 +70,15 @@ const maxCalendarSpans = 4096
 // in real time cannot push other dies' earlier-readiness transfers
 // behind its own future ones, which is how a fair bus or codec arbiter
 // behaves. Busy intervals are kept sorted and coalesced.
+//
+// The common case by far is a reservation at or past the calendar's
+// high-water mark (the timeline mostly moves forward), for which the
+// gap search provably returns [earliest, earliest+dur): one tail
+// comparison detects that case up front and the critical section is a
+// constant-time append — no scan, no span copying. Reservations behind
+// the high-water mark (laggard dies backfilling) binary-search to the
+// first span that can constrain them instead of walking the whole
+// calendar.
 type calendar struct {
 	mu   sync.Mutex
 	busy []span
@@ -77,13 +89,29 @@ func (c *calendar) acquire(earliest, dur time.Duration) (start, end time.Duratio
 		return earliest, earliest
 	}
 	c.mu.Lock()
+	if n := len(c.busy); n == 0 || c.busy[n-1].end <= earliest {
+		// Fast path: nothing booked at or after earliest, so the search
+		// below would scan past every span and book at earliest.
+		start, end = earliest, earliest+dur
+		if n > 0 && c.busy[n-1].end == start {
+			c.busy[n-1].end = end
+		} else {
+			c.busy = append(c.busy, span{start, end})
+		}
+		c.compact()
+		c.mu.Unlock()
+		return start, end
+	}
 	defer c.mu.Unlock()
 	start = earliest
+	// Spans are disjoint and sorted, so their ends are increasing: skip
+	// straight past everything that ends at or before the candidate —
+	// those spans impose no constraint (the linear scan would `continue`
+	// over each of them).
+	lo := sort.Search(len(c.busy), func(i int) bool { return c.busy[i].end > earliest })
 	idx := len(c.busy)
-	for i, s := range c.busy {
-		if s.end <= start {
-			continue // entirely before the candidate; no constraint
-		}
+	for i := lo; i < len(c.busy); i++ {
+		s := c.busy[i]
 		if start+dur <= s.start {
 			idx = i // fits in the gap before this span
 			break
@@ -105,12 +133,21 @@ func (c *calendar) acquire(earliest, dur time.Duration) (start, end time.Duratio
 		copy(c.busy[idx+1:], c.busy[idx:])
 		c.busy[idx] = span{start, end}
 	}
-	if len(c.busy) > maxCalendarSpans {
-		half := len(c.busy) / 2
-		c.busy[half-1] = span{c.busy[0].start, c.busy[half-1].end}
-		c.busy = c.busy[half-1:]
-	}
+	c.compact()
 	return start, end
+}
+
+// compact coalesces the oldest spans into one once the calendar has
+// doubled past its budget, copying the survivors down in place. Run
+// under c.mu.
+func (c *calendar) compact() {
+	if len(c.busy) < 2*maxCalendarSpans {
+		return
+	}
+	drop := len(c.busy) - maxCalendarSpans
+	c.busy[drop] = span{c.busy[0].start, c.busy[drop].end}
+	n := copy(c.busy, c.busy[drop:])
+	c.busy = c.busy[:n]
 }
 
 // die bundles one NAND die with its controller, worker inbox and array
@@ -130,6 +167,16 @@ type job struct {
 	arrival time.Duration
 	deliver func(Completion)
 
+	// Lean synchronous path (DoRead/DoWrite): the worker decodes into
+	// dst, stores the result in the caller's rres/wres scratch, and
+	// sends the completion on sync instead of calling deliver — no
+	// per-operation allocation. jobs on this path are pooled (jobPool);
+	// sync is allocated once per pooled job and reused.
+	dst  []byte
+	rres *controller.ReadResult
+	wres *controller.WriteResult
+	sync chan Completion
+
 	// Control path: fn runs on the worker with exclusive controller
 	// access; done receives one token afterwards. done channels are
 	// pooled (see donePool), so completion is signalled by send, not
@@ -137,6 +184,12 @@ type job struct {
 	fn   func(*controller.Controller)
 	done chan struct{}
 }
+
+// jobPool recycles lean-path jobs: the synchronous FTL read/write fast
+// path issues one job per physical page op, and allocating job +
+// channel + closure per op dominated the dispatch overhead of
+// fleet-scale runs.
+var jobPool = sync.Pool{New: func() any { return &job{sync: make(chan Completion, 1)} }}
 
 // donePool recycles the control path's completion channels: a control
 // call is a tiny synchronous hop onto a die worker, and allocating a
@@ -391,6 +444,13 @@ func (d *Dispatcher) worker(w *die) {
 		}
 		c := d.execute(w, j)
 		d.bumpNow(c.Finish)
+		if j.sync != nil {
+			// Lean path: hand the completion straight back to the blocked
+			// caller. The caller owns j again after the receive, so the
+			// worker must not touch it past this send.
+			j.sync <- c
+			continue
+		}
 		j.deliver(c)
 	}
 }
@@ -470,8 +530,13 @@ func (d *Dispatcher) execute(w *die, j *job) Completion {
 		alg, t := d.resolveWrite(w, req)
 		w.ctrl.SetAlgorithm(alg)
 		w.ctrl.SetCapability(t)
+		rp := j.wres
+		if rp == nil {
+			rp = new(controller.WriteResult)
+		}
 		res, err := w.ctrl.WritePage(req.Block, req.Page, req.Data)
-		comp.Write = &res
+		*rp = res
+		comp.Write = rp
 		comp.T, comp.Alg, comp.ParityBytes = res.T, res.Alg, res.ParityBy
 		encS, encE := d.codecClk.acquire(j.arrival, res.Latency.Encode)
 		_, busE := d.bus.acquire(encE, res.Latency.Transfer)
@@ -481,14 +546,17 @@ func (d *Dispatcher) execute(w *die, j *job) Completion {
 			comp.Err = opErr(req, err)
 		}
 	case OpRead:
-		var res controller.ReadResult
-		var err error
-		if req.Retries != nil {
-			res, err = w.ctrl.ReadPageRetry(req.Block, req.Page, *req.Retries)
-		} else {
-			res, err = w.ctrl.ReadPage(req.Block, req.Page)
+		rp := j.rres
+		if rp == nil {
+			rp = new(controller.ReadResult)
 		}
-		comp.Read = &res
+		retries := w.ctrl.ReadRetry()
+		if req.Retries != nil {
+			retries = *req.Retries
+		}
+		res, err := w.ctrl.ReadPageRetryInto(req.Block, req.Page, retries, j.dst)
+		*rp = res
+		comp.Read = rp
 		comp.Data, comp.T, comp.Alg, comp.Corrected = res.Data, res.T, res.Alg, res.Corrected
 		comp.Retries = res.Retries
 		comp.SoftSenses = res.SoftSenses

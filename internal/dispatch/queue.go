@@ -3,6 +3,8 @@ package dispatch
 import (
 	"context"
 	"sync"
+
+	"xlnand/internal/controller"
 )
 
 // Queue is a submission/completion handle onto the dispatcher. Any
@@ -115,4 +117,52 @@ func (q *Queue) Do(ctx context.Context, req Request) (Completion, error) {
 		return Completion{}, err
 	}
 	return comps[0], comps[0].Err
+}
+
+// DoRead executes a single read synchronously through the pooled
+// allocation-free path: the decoded page lands in dst (when it is at
+// least page-sized; Completion.Data and out.Data then alias dst) and
+// the full result is written into out, which the caller owns and must
+// keep stable until DoRead returns. Semantics — validation, calendar
+// booking, error reporting — are identical to Do with an OpRead
+// request.
+func (q *Queue) DoRead(ctx context.Context, req Request, dst []byte, out *controller.ReadResult) (Completion, error) {
+	return q.doLean(ctx, req, dst, out, nil)
+}
+
+// DoWrite is DoRead's write-side twin: a synchronous write whose result
+// lands in the caller-owned out scratch instead of a fresh allocation.
+func (q *Queue) DoWrite(ctx context.Context, req Request, out *controller.WriteResult) (Completion, error) {
+	return q.doLean(ctx, req, nil, nil, out)
+}
+
+// doLean runs one request through a pooled job and the worker's
+// scratch-result path. The job (and its completion channel) is reused
+// across calls; the blocked caller reclaims it after the worker's
+// hand-back send.
+func (q *Queue) doLean(ctx context.Context, req Request, dst []byte, rres *controller.ReadResult, wres *controller.WriteResult) (Completion, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	arrival := q.d.Now()
+	if err := q.d.validate(&req); err != nil {
+		c := Completion{Tag: req.Tag, Op: req.Op, Die: req.Die, Block: req.Block, Page: req.Page}
+		c.Start, c.Finish = arrival, arrival
+		c.Err = opErr(req, err)
+		return c, c.Err
+	}
+	j := jobPool.Get().(*job)
+	j.ctx, j.req, j.arrival = ctx, req, arrival
+	j.dst, j.rres, j.wres = dst, rres, wres
+	if err := q.d.enqueue(req.Die, j); err != nil {
+		j.ctx, j.req = nil, Request{}
+		j.dst, j.rres, j.wres = nil, nil, nil
+		jobPool.Put(j)
+		return Completion{}, err
+	}
+	c := <-j.sync
+	j.ctx, j.req = nil, Request{}
+	j.dst, j.rres, j.wres = nil, nil, nil
+	jobPool.Put(j)
+	return c, c.Err
 }

@@ -120,3 +120,16 @@ type Codec interface {
 	// sensitive path needs no construction work.
 	Warm(level int) error
 }
+
+// MeasuredLatency is an optional Codec extension for engines whose
+// decode cost depends on the observed error weight. Implementations
+// calibrate against the decoder itself (e.g. measured min-sum
+// iterations-to-converge per level × weight) and the controller books
+// the returned duration on the codec calendar instead of the flat
+// DecodeLatency estimate. nErr is the corrected bit count of a
+// successful decode; implementations must make nErr == 0 agree with
+// DecodeLatency(level, true) so clean reads price identically on both
+// paths.
+type MeasuredLatency interface {
+	MeasuredDecodeLatency(level, nErr int) time.Duration
+}

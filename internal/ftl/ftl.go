@@ -120,6 +120,13 @@ type Partition struct {
 	// scrubMarks holds partition-local block indices awaiting refresh
 	// (see scrub.go).
 	scrubMarks map[int]bool
+
+	// Lean host-read scratch (guarded by mu like everything else): the
+	// allocation-free ReadInto path stores its result here and passes
+	// capRetries by address, so a steady-state host read allocates
+	// nothing at all.
+	readRes    controller.ReadResult
+	capRetries int
 }
 
 // FTL is the translation layer over one multi-die dispatcher.
@@ -206,34 +213,48 @@ func (f *FTL) addr(global int) (die, block int) {
 // Called with the partition lock held.
 func (f *FTL) writePhys(p *Partition, global, page int, data []byte) (*controller.WriteResult, error) {
 	die, block := f.addr(global)
-	mode := p.Mode
-	comp, err := f.q.Do(context.Background(), dispatch.Request{
+	// p.Mode is stable for the duration of the call (mu held, and the
+	// dispatcher reads it before DoWrite returns), so its address goes
+	// straight in — no per-write boxing.
+	comp, err := f.q.DoWrite(context.Background(), dispatch.Request{
 		Op: dispatch.OpWrite, Die: die, Block: block, Page: page,
-		Data: data, Mode: &mode,
-	})
+		Data: data, Mode: &p.Mode,
+	}, nil)
 	if err != nil {
 		return comp.Write, err
 	}
 	return comp.Write, nil
 }
 
-// readPhys reads one physical page through the ECC path.
-func (f *FTL) readPhys(global, page int) (*controller.ReadResult, error) {
+// readPhys reads one physical page through the ECC path. A non-nil out
+// routes the read through the dispatcher's pooled lean path: the result
+// lands in out (data in dst when it is page-sized) with no allocation.
+func (f *FTL) readPhys(global, page int, dst []byte, out *controller.ReadResult) (*controller.ReadResult, error) {
 	die, block := f.addr(global)
-	comp, err := f.q.Do(context.Background(), dispatch.Request{
-		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
-	})
+	req := dispatch.Request{Op: dispatch.OpRead, Die: die, Block: block, Page: page}
+	if out != nil {
+		comp, err := f.q.DoRead(context.Background(), req, dst, out)
+		return comp.Read, err
+	}
+	comp, err := f.q.Do(context.Background(), req)
 	return comp.Read, err
 }
 
 // readPhysCapped reads one physical page with an explicit recovery
-// budget override (the disturb-aware retry guard's capped path).
-func (f *FTL) readPhysCapped(global, page, retries int) (*controller.ReadResult, error) {
+// budget override (the disturb-aware retry guard's capped path). The
+// retry count is passed by reference so lean callers can hand in
+// long-lived scratch instead of boxing an int per read.
+func (f *FTL) readPhysCapped(global, page int, retries *int, dst []byte, out *controller.ReadResult) (*controller.ReadResult, error) {
 	die, block := f.addr(global)
-	comp, err := f.q.Do(context.Background(), dispatch.Request{
+	req := dispatch.Request{
 		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
-		Retries: &retries,
-	})
+		Retries: retries,
+	}
+	if out != nil {
+		comp, err := f.q.DoRead(context.Background(), req, dst, out)
+		return comp.Read, err
+	}
+	comp, err := f.q.Do(context.Background(), req)
 	return comp.Read, err
 }
 
@@ -394,6 +415,18 @@ func localPPA(p *Partition, bs *blockState) int {
 
 // Read fetches one logical page through the ECC path.
 func (f *FTL) Read(part string, lpa int) ([]byte, *controller.ReadResult, error) {
+	return f.read(part, lpa, nil, false)
+}
+
+// ReadInto is the allocation-free host read: the page lands in dst
+// (which must be at least page-sized) and the returned result points at
+// partition-owned scratch — both are only valid until the partition's
+// next ReadInto, so callers that keep data or result must copy them.
+func (f *FTL) ReadInto(part string, lpa int, dst []byte) ([]byte, *controller.ReadResult, error) {
+	return f.read(part, lpa, dst, true)
+}
+
+func (f *FTL) read(part string, lpa int, dst []byte, lean bool) ([]byte, *controller.ReadResult, error) {
 	p, err := f.Partition(part)
 	if err != nil {
 		return nil, nil, err
@@ -413,19 +446,24 @@ func (f *FTL) Read(part string, lpa int) ([]byte, *controller.ReadResult, error)
 	}
 	blk := enc / p.pages
 	bs := p.blocks[blk]
+	var out *controller.ReadResult
+	if lean {
+		out = &p.readRes
+	}
 	var res *controller.ReadResult
 	if f.disturbGuarded(bs) {
 		// Near the disturb budget: cap the ladder (no soft multi-sense —
 		// it only unlocks past the full hard walk) and queue the block
 		// for relocation, which heals the disturb count outright.
-		res, err = f.readPhysCapped(bs.id, enc%p.pages, f.retryGuard.DisturbRetryCap)
+		p.capRetries = f.retryGuard.DisturbRetryCap
+		res, err = f.readPhysCapped(bs.id, enc%p.pages, &p.capRetries, dst, out)
 		p.DisturbCapped++
 		if p.scrubMarks == nil {
 			p.scrubMarks = make(map[int]bool)
 		}
 		p.scrubMarks[blk] = true
 	} else {
-		res, err = f.readPhys(bs.id, enc%p.pages)
+		res, err = f.readPhys(bs.id, enc%p.pages, dst, out)
 	}
 	if res != nil {
 		bs.lastReads = res.BlockReads
@@ -549,7 +587,7 @@ func (f *FTL) collect(p *Partition) error {
 		if lpa == invalidPPA {
 			continue
 		}
-		res, err := f.readPhys(vb.id, page)
+		res, err := f.readPhys(vb.id, page, nil, nil)
 		if res != nil {
 			p.RelocRetries += res.Retries
 			vb.lastReads = res.BlockReads
@@ -685,7 +723,7 @@ func (f *FTL) relocateLive(p *Partition, bs *blockState) (moved, uncorrectable i
 		if bs.lbaOf[le.page] != le.lpa {
 			continue // already moved by GC during this pass
 		}
-		res, err := f.readPhys(bs.id, le.page)
+		res, err := f.readPhys(bs.id, le.page, nil, nil)
 		if res != nil {
 			p.RelocRetries += res.Retries
 			bs.lastReads = res.BlockReads

@@ -60,6 +60,9 @@ type Codec struct {
 	mu       sync.Mutex // serialises slot construction only
 	codes    []atomic.Pointer[code]
 	decoders []atomic.Pointer[Decoder]
+	// measured holds the per-level iterations-to-converge calibration
+	// tables backing MeasuredDecodeLatency, built lazily like the codes.
+	measured []atomic.Pointer[measuredTable]
 }
 
 // NewCodec builds a codec from the parameter set.
@@ -76,6 +79,7 @@ func NewCodec(p Params, hw HWConfig) (*Codec, error) {
 		hw:       hw,
 		codes:    make([]atomic.Pointer[code], len(p.ParityBits)),
 		decoders: make([]atomic.Pointer[Decoder], len(p.ParityBits)),
+		measured: make([]atomic.Pointer[measuredTable], len(p.ParityBits)),
 	}, nil
 }
 

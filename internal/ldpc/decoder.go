@@ -79,6 +79,16 @@ func packWords(dst []uint64, cw []byte) {
 // On success the corrected word is written back into cw and the number
 // of flipped bits returned; on failure cw is untouched.
 func (d *Decoder) decode(cw []byte, llr []int8, maxIter, flipGuard int) (int, error) {
+	flips, _, err := d.decodeIter(cw, llr, maxIter, flipGuard)
+	return flips, err
+}
+
+// decodeIter is decode additionally reporting the min-sum iterations
+// consumed — the raw observable the measured-latency calibration tables
+// are built from. The early-termination fast path counts as zero
+// iterations (it is one syndrome pass, already priced separately by the
+// latency model).
+func (d *Decoder) decodeIter(cw []byte, llr []int8, maxIter, flipGuard int) (int, int, error) {
 	c := d.c
 	s := d.pool.Get().(*decodeScratch)
 	defer d.pool.Put(s)
@@ -92,9 +102,9 @@ func (d *Decoder) decode(cw []byte, llr []int8, maxIter, flipGuard int) (int, er
 	packWords(s.hard, cw)
 	if c.syndromeZero(s.hard, s.syn) {
 		if !c.crcOK(cw) {
-			return 0, ErrUncorrectable
+			return 0, 0, ErrUncorrectable
 		}
-		return 0, nil
+		return 0, 0, nil
 	}
 
 	// Channel initialisation.
@@ -183,7 +193,7 @@ func (d *Decoder) decode(cw []byte, llr []int8, maxIter, flipGuard int) (int, er
 				flips += popcountDiff(word, binary.BigEndian.Uint64(cw[w*8:]))
 			}
 			if flips > flipGuard {
-				return 0, ErrUncorrectable
+				return 0, iter + 1, ErrUncorrectable
 			}
 			// The embedded CRC is the authoritative verdict: a min-sum
 			// convergence onto a wrong codeword (possible past the
@@ -193,18 +203,18 @@ func (d *Decoder) decode(cw []byte, llr []int8, maxIter, flipGuard int) (int, er
 				binary.BigEndian.PutUint64(s.out[w*8:], word)
 			}
 			if !c.crcOK(s.out) {
-				return 0, ErrUncorrectable
+				return 0, iter + 1, ErrUncorrectable
 			}
 			copy(cw, s.out)
-			return flips, nil
+			return flips, iter + 1, nil
 		}
 		if unsat < bestUnsat {
 			bestUnsat, stall = unsat, 0
 		} else if stall++; stall >= stallPatience {
-			break
+			return 0, iter + 1, ErrUncorrectable
 		}
 	}
-	return 0, ErrUncorrectable
+	return 0, maxIter, ErrUncorrectable
 }
 
 // unsatisfied counts failing parity checks for the packed hard

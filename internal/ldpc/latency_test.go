@@ -1,0 +1,68 @@
+package ldpc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasuredLatencyCalibration pins the contract of the measured
+// iteration tables: weight zero prices exactly like the flat clean
+// estimate (one syndrome pass), any real error weight costs more than
+// clean, heavier weights never undercut a one-bit upset, and weights
+// past the flip guard clamp instead of extrapolating.
+func TestMeasuredLatencyCalibration(t *testing.T) {
+	c := testRig(t)
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		clean := c.DecodeLatency(lvl, true)
+		if got := c.MeasuredDecodeLatency(lvl, 0); got != clean {
+			t.Fatalf("level %d: measured(0) = %v, clean estimate = %v", lvl, got, clean)
+		}
+		one := c.MeasuredDecodeLatency(lvl, 1)
+		if one <= clean {
+			t.Fatalf("level %d: measured(1) = %v not above clean %v", lvl, one, clean)
+		}
+		cap := c.CorrectionCap(lvl)
+		atCap := c.MeasuredDecodeLatency(lvl, cap)
+		if atCap < one {
+			t.Fatalf("level %d: measured(cap=%d) = %v below measured(1) = %v", lvl, cap, atCap, one)
+		}
+		// Past the guard the table clamps: refused decodes never book an
+		// unbounded cost.
+		if got, want := c.MeasuredDecodeLatency(lvl, 100*cap), c.MeasuredDecodeLatency(lvl, flipGuard(cap)); got != want {
+			t.Fatalf("level %d: measured(100*cap) = %v, want clamp to %v", lvl, got, want)
+		}
+	}
+}
+
+// TestMeasuredLatencyDeterministic: calibration is seeded, so two
+// independent codecs measure identical tables — the property that keeps
+// latency trajectories reproducible across runs.
+func TestMeasuredLatencyDeterministic(t *testing.T) {
+	a := testRig(t)
+	b := testRig(t)
+	for _, lvl := range []int{0, a.MaxLevel()} {
+		for w := 0; w <= flipGuard(a.CorrectionCap(lvl)); w++ {
+			la, lb := a.MeasuredDecodeLatency(lvl, w), b.MeasuredDecodeLatency(lvl, w)
+			if la != lb {
+				t.Fatalf("level %d weight %d: %v vs %v across codecs", lvl, w, la, lb)
+			}
+		}
+	}
+}
+
+// TestMeasuredLatencyBounded: the measured cost of a rated correction
+// stays within the engine's iteration budget priced through the same
+// pipeline model — a sanity rail against a runaway calibration.
+func TestMeasuredLatencyBounded(t *testing.T) {
+	c := testRig(t)
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		atGuard := c.MeasuredDecodeLatency(lvl, flipGuard(c.CorrectionCap(lvl)))
+		// DecodeLatency prices AvgItersHard iterations; the hard budget
+		// is maxIterHard, so scale the dirty estimate accordingly.
+		dirty := c.DecodeLatency(lvl, false)
+		bound := time.Duration(float64(dirty) * float64(maxIterHard) / DefaultHWConfig().AvgItersHard)
+		if atGuard > bound {
+			t.Fatalf("level %d: measured(guard) = %v exceeds budget bound %v", lvl, atGuard, bound)
+		}
+	}
+}

@@ -29,6 +29,10 @@ type Device struct {
 	// timing observed by the last operation (for the controller's
 	// busy/ready modelling)
 	lastOpDuration time.Duration
+
+	// errPos is the error-position scratch for corruptInto, reused read
+	// over read (Device is single-goroutine by contract).
+	errPos []int
 }
 
 type block struct {
@@ -238,8 +242,8 @@ func (d *Device) ReadInto(blockIdx, pageIdx, step int, buf []byte) (nData, nSpar
 	b.reads++
 	rber := d.cal.RecoveredRBER(d.stress, p.alg, b.cycles, b.reads,
 		d.clockHours-p.writtenAtHours, step)
-	corruptInto(d.rng, buf[:nData], p.data, rber)
-	corruptInto(d.rng, buf[nData:nData+nSpare], p.spare, rber)
+	d.corruptInto(buf[:nData], p.data, rber)
+	d.corruptInto(buf[nData:nData+nSpare], p.spare, rber)
 	d.lastOpDuration = PageReadTime
 	return nData, nSpare, nil
 }
@@ -250,15 +254,18 @@ const PageReadTime = 75 * time.Microsecond
 
 // corruptInto copies src into dst (equal length) and flips each bit
 // independently with probability rber: the binomial error count is
-// sampled, then positions drawn uniformly.
-func corruptInto(rng *stats.RNG, dst, src []byte, rber float64) {
+// sampled, then positions drawn uniformly into the device's reusable
+// scratch — the draw consumes the same RNG stream as a fresh SampleK,
+// so injected error patterns are reproducible across both paths.
+func (d *Device) corruptInto(dst, src []byte, rber float64) {
 	copy(dst, src)
 	nbits := len(src) * 8
 	if nbits == 0 {
 		return
 	}
-	nerr := rng.Binomial(nbits, rber)
-	for _, pos := range rng.SampleK(nbits, nerr) {
+	nerr := d.rng.Binomial(nbits, rber)
+	d.errPos = d.rng.SampleKAppend(d.errPos[:0], nbits, nerr)
+	for _, pos := range d.errPos {
 		dst[pos/8] ^= 1 << uint(7-pos%8)
 	}
 }

@@ -194,14 +194,14 @@ func TestDeviceOperationDurations(t *testing.T) {
 }
 
 func TestCorruptStatistics(t *testing.T) {
-	rng := stats.NewRNG(7)
+	d := &Device{rng: stats.NewRNG(7)}
 	src := make([]byte, 4096)
 	const rber = 1e-3
 	total := 0
 	const reps = 50
 	for i := 0; i < reps; i++ {
 		dst := make([]byte, len(src))
-		corruptInto(rng, dst, src, rber)
+		d.corruptInto(dst, src, rber)
 		total += bitDiff(dst, src)
 	}
 	mean := float64(total) / reps
@@ -212,6 +212,6 @@ func TestCorruptStatistics(t *testing.T) {
 }
 
 func TestCorruptEmpty(t *testing.T) {
-	rng := stats.NewRNG(8)
-	corruptInto(rng, nil, nil, 0.5) // must not panic or draw from the RNG
+	d := &Device{rng: stats.NewRNG(8)}
+	d.corruptInto(nil, nil, 0.5) // must not panic or draw from the RNG
 }

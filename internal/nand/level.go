@@ -74,13 +74,23 @@ func TargetLevels(data []byte) []Level {
 
 // LevelsToBytes inverts TargetLevels.
 func LevelsToBytes(levels []Level) []byte {
-	out := make([]byte, (len(levels)+3)/4)
+	return LevelsToBytesInto(make([]byte, (len(levels)+3)/4), levels)
+}
+
+// LevelsToBytesInto packs levels into dst, which must hold
+// (len(levels)+3)/4 bytes; it is cleared first, so a reused scratch
+// buffer never leaks a previous read's bits.
+func LevelsToBytesInto(dst []byte, levels []Level) []byte {
+	dst = dst[:(len(levels)+3)/4]
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i, l := range levels {
 		upper, lower := l.Bits()
-		out[i/4] |= upper << uint(7-2*(i%4))
-		out[i/4] |= lower << uint(6-2*(i%4))
+		dst[i/4] |= upper << uint(7-2*(i%4))
+		dst[i/4] |= lower << uint(6-2*(i%4))
 	}
-	return out
+	return dst
 }
 
 // VerifyTarget returns the verify voltage a programmed level must exceed;

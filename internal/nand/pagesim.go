@@ -24,6 +24,11 @@ type PageSim struct {
 	// reads can model retention shift proportionally.
 	programmed []Level
 	erased     bool
+
+	// lvlScratch backs ReadBytes-style reads that need a level buffer but
+	// hand back bytes; PageSim is single-goroutine by contract, so one
+	// buffer serves every read.
+	lvlScratch []Level
 }
 
 // NewPageSim builds a page of cells cells with manufacturing variability
@@ -95,16 +100,22 @@ func (p *PageSim) applyCCI() {
 	if p.cal.CCICoupling == 0 || len(p.vth) < 3 {
 		return
 	}
-	orig := append([]float64(nil), p.vth...)
+	// Walking left to right, only vth[i-1] has been disturbed by the time
+	// cell i is visited, so a single rolling copy of the previous cell's
+	// pre-CCI voltage replaces the full-page clone. The arithmetic below
+	// is term-for-term the cloned version's, so trajectories are
+	// bit-identical.
+	prev := 0.0
 	for i := range p.vth {
+		cur := p.vth[i]
 		var swing float64
 		var nb int
 		if i > 0 {
-			swing += orig[i-1] - p.cal.EraseMu
+			swing += prev - p.cal.EraseMu
 			nb++
 		}
-		if i < len(orig)-1 {
-			swing += orig[i+1] - p.cal.EraseMu
+		if i < len(p.vth)-1 {
+			swing += p.vth[i+1] - p.cal.EraseMu
 			nb++
 		}
 		if nb > 0 {
@@ -115,6 +126,7 @@ func (p *PageSim) applyCCI() {
 				p.vth[i] += p.cal.CCICoupling * s * 0.5 * p.rng.Float64()
 			}
 		}
+		prev = cur
 	}
 }
 
@@ -125,20 +137,57 @@ func (p *PageSim) applyCCI() {
 // noise. The stored VTH is not modified: retention is modelled at read
 // time so repeated reads at different ages reuse one programmed state.
 func (p *PageSim) ReadLevels(aged AgedParams, off ReadOffsets) []Level {
-	out := make([]Level, len(p.vth))
-	for i, v := range p.vth {
-		eff := v
-		if p.programmed[i] != L0 {
-			// Higher levels store more charge and leak proportionally more.
-			eff -= aged.RetShift * (1 + 0.5*float64(p.programmed[i]-1))
-		}
-		eff += p.rng.NormMuSigma(0, aged.ReadNoise)
-		out[i] = p.cal.ClassifyVTHShifted(eff, off)
+	return p.ReadLevelsInto(make([]Level, len(p.vth)), aged, off)
+}
+
+// ReadLevelsInto is the allocation-free sensing path: it classifies
+// every cell into dst (which must hold Cells() levels) and returns it.
+// The retention shift per programmed level and the shifted R1-R3
+// boundaries are hoisted out of the per-cell loop; only the sensing-
+// noise draw stays inside, so the RNG stream — and with it every golden
+// trajectory — is identical to the scalar path.
+func (p *PageSim) ReadLevelsInto(dst []Level, aged AgedParams, off ReadOffsets) []Level {
+	if len(dst) != len(p.vth) {
+		panic(fmt.Sprintf("nand: ReadLevelsInto dst %d for %d cells", len(dst), len(p.vth)))
 	}
-	return out
+	// Higher levels store more charge and leak proportionally more.
+	var shift [numLevels]float64
+	for l := L1; l < numLevels; l++ {
+		shift[l] = aged.RetShift * (1 + 0.5*float64(l-1))
+	}
+	r0 := p.cal.Read[0] + off[0]
+	r1 := p.cal.Read[1] + off[1]
+	r2 := p.cal.Read[2] + off[2]
+	noise := aged.ReadNoise
+	prog := p.programmed
+	for i, v := range p.vth {
+		eff := v - shift[prog[i]] + p.rng.NormMuSigma(0, noise)
+		switch {
+		case eff < r0:
+			dst[i] = L0
+		case eff < r1:
+			dst[i] = L1
+		case eff < r2:
+			dst[i] = L2
+		default:
+			dst[i] = L3
+		}
+	}
+	return dst
 }
 
 // ReadBytes reads the page back as data bytes via the Gray mapping.
 func (p *PageSim) ReadBytes(aged AgedParams, off ReadOffsets) []byte {
 	return LevelsToBytes(p.ReadLevels(aged, off))
+}
+
+// ReadBytesInto reads the page back as data bytes into dst, which must
+// hold Cells()/4 bytes (rounded up). The intermediate level buffer is
+// page-owned scratch, reused read over read.
+func (p *PageSim) ReadBytesInto(dst []byte, aged AgedParams, off ReadOffsets) []byte {
+	if cap(p.lvlScratch) < len(p.vth) {
+		p.lvlScratch = make([]Level, len(p.vth))
+	}
+	levels := p.ReadLevelsInto(p.lvlScratch[:len(p.vth)], aged, off)
+	return LevelsToBytesInto(dst, levels)
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package nand
+
+const raceEnabled = false

@@ -127,7 +127,8 @@ func (d *Device) ReadSoftN(blockIdx, pageIdx, step, senses int, buf []byte, llr 
 	copy(buf[:nData], p.data)
 	copy(buf[nData:nData+nSpare], p.spare)
 	nerr := d.rng.Binomial(nbits, rber)
-	errPos := d.rng.SampleK(nbits, nerr)
+	d.errPos = d.rng.SampleKAppend(d.errPos[:0], nbits, nerr)
+	errPos := d.errPos
 	for _, pos := range errPos {
 		buf[pos/8] ^= 1 << uint(7-pos%8)
 	}
@@ -156,8 +157,10 @@ func (d *Device) ReadSoftN(blockIdx, pageIdx, step, senses int, buf []byte, llr 
 		}
 	}
 	// And some correctly-read cells legitimately live near a boundary.
+	// errPos is dead past this point, so its scratch is recycled.
 	nFalse := d.rng.Binomial(nbits, falseWeak)
-	for _, pos := range d.rng.SampleK(nbits, nFalse) {
+	d.errPos = d.rng.SampleKAppend(d.errPos[:0], nbits, nFalse)
+	for _, pos := range d.errPos {
 		weaken(pos)
 	}
 

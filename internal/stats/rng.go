@@ -201,18 +201,29 @@ func (r *RNG) Perm(dst []int) {
 // SampleK chooses k distinct integers uniformly from [0, n) using Floyd's
 // algorithm and returns them in unspecified order. It panics if k > n.
 func (r *RNG) SampleK(n, k int) []int {
+	return r.SampleKAppend(make([]int, 0, k), n, k)
+}
+
+// SampleKAppend is SampleK appending into dst, for callers reusing a
+// scratch buffer across draws. It consumes the identical RNG stream and
+// yields the identical values in the identical order as SampleK: the
+// seen-set is the appended prefix itself, scanned linearly — for the
+// small k of an error-injection draw that beats building a map, and it
+// allocates nothing when dst has capacity.
+func (r *RNG) SampleKAppend(dst []int, n, k int) []int {
 	if k > n {
 		panic("stats: SampleK with k > n")
 	}
-	seen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	start := len(dst)
 	for j := n - k; j < n; j++ {
 		v := r.Intn(j + 1)
-		if _, dup := seen[v]; dup {
-			v = j
+		for _, u := range dst[start:] {
+			if u == v {
+				v = j
+				break
+			}
 		}
-		seen[v] = struct{}{}
-		out = append(out, v)
+		dst = append(dst, v)
 	}
-	return out
+	return dst
 }
