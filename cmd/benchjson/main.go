@@ -114,7 +114,7 @@ var suites = []suite{
 	},
 	{
 		name: "hotpath",
-		desc: "raw-speed gauge: 16-drive simulated read IOPS + BCH remainder kernel",
+		desc: "raw-speed gauge: 16/64-drive simulated read IOPS + BCH remainder kernel",
 		runs: []run{
 			// Fixed iteration counts: read-disturb state accumulates with
 			// b.N, so only same-benchtime numbers are comparable. count=3

@@ -6,6 +6,8 @@
 //	fleet                          # 16-drive lifetime smoke fleet
 //	fleet -drives 64 -seed 7       # wider fleet, different seed
 //	fleet -json fleet.json         # archive the merged report
+//	fleet -soak                    # 128-drive fleet-soak scenario
+//	fleet -soak -drives 32 -ops-scale 0.5   # reduced-rounds CI smoke
 //	fleet -array                   # striped-array workload instead
 //	fleet -array -drives 16 -cache-pages 256 -policy clock -ops 4000
 //	fleet -array -drives 8 -redundancy parity -spares 1 \
@@ -29,7 +31,9 @@ import (
 func main() {
 	var (
 		arrayMode = flag.Bool("array", false, "run the striped-array workload instead of the lifetime fleet")
-		drives    = flag.Int("drives", 16, "number of drives in the fleet")
+		soakMode  = flag.Bool("soak", false, "run the 128-drive fleet-soak scenario instead of the smoke fleet (lifetime mode only)")
+		opsScale  = flag.Float64("ops-scale", 1, "scale every biography phase's host ops by this factor (lifetime mode; <1 = reduced rounds for smokes)")
+		drives    = flag.Int("drives", 0, "number of drives in the fleet (0 keeps the scenario's count; smoke default 16)")
 		seed      = flag.Uint64("seed", 0, "override the master seed (0 keeps the default)")
 		workers   = flag.Int("workers", 0, "cap on concurrently running drives (0 = min(drives, 16); lifetime mode only)")
 		jsonOut   = flag.String("json", "", "write the merged report JSON to this file (- for stdout)")
@@ -62,7 +66,7 @@ func main() {
 			killDrive: *killDrive, killRound: *killRound,
 		})
 	} else {
-		js, err = runLifetimeFleet(*drives, *workers, *seed, *killDrive)
+		js, err = runLifetimeFleet(*soakMode, *drives, *workers, *seed, *killDrive, *opsScale)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,15 +86,42 @@ func main() {
 	}
 }
 
-// runLifetimeFleet plays the smoke biography across the fleet and
-// prints the merged phase table. killDrive >= 0 fail-stops that drive
-// after the first phase of its biography.
-func runLifetimeFleet(drives, workers int, seed uint64, killDrive int) ([]byte, error) {
+// runLifetimeFleet plays the selected biography (smoke or soak) across
+// the fleet and prints the merged phase table. killDrive >= 0
+// fail-stops that drive after the first phase of its biography;
+// opsScale < 1 compresses every phase's host ops (the CI smoke knob for
+// the soak scenario). Narrowing a scenario below a scheduled fail-stop
+// drops that fail-stop rather than failing validation.
+func runLifetimeFleet(soak bool, drives, workers int, seed uint64, killDrive int, opsScale float64) ([]byte, error) {
 	fs := lifetime.FleetSmoke()
-	fs.Drives = drives
+	if soak {
+		fs = lifetime.FleetSoak()
+	}
+	if drives > 0 {
+		fs.Drives = drives
+		kept := fs.FailStops[:0]
+		for _, k := range fs.FailStops {
+			if k.Drive < drives {
+				kept = append(kept, k)
+			}
+		}
+		fs.FailStops = kept
+	}
 	fs.Workers = workers
 	if seed != 0 {
 		fs.Seed = seed
+	}
+	if opsScale != 1 {
+		if opsScale <= 0 {
+			return nil, fmt.Errorf("fleet: -ops-scale must be positive, got %g", opsScale)
+		}
+		for i := range fs.Base.Phases {
+			ops := int(float64(fs.Base.Phases[i].Ops) * opsScale)
+			if ops < 1 {
+				ops = 1
+			}
+			fs.Base.Phases[i].Ops = ops
+		}
 	}
 	if killDrive >= 0 {
 		fs.FailStops = []lifetime.FleetFailStop{{Drive: killDrive, AfterPhase: 0}}
@@ -124,6 +155,9 @@ type arrayParams struct {
 func runArray(p arrayParams) ([]byte, error) {
 	drives, dies, blocks, stripe := p.drives, p.dies, p.blocks, p.stripe
 	cachePages, policy, ops, seed := p.cachePages, p.policy, p.ops, p.seed
+	if drives == 0 {
+		drives = 16
+	}
 	if seed == 0 {
 		seed = 42
 	}

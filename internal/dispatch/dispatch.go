@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xlnand/internal/bch"
@@ -151,12 +152,23 @@ func (c *calendar) compact() {
 }
 
 // die bundles one NAND die with its controller, worker inbox and array
-// clock. Only the die's worker goroutine touches ctrl and its device.
+// clock. ctrl and its device are exclusively owned: every job — whether
+// routed through the worker goroutine or executed inline by the lean
+// synchronous fast path — runs under mu.
 type die struct {
 	idx   int
 	ctrl  *controller.Controller
 	jobs  chan *job
 	clock vclock // array occupancy (sensing / program / erase)
+
+	// mu serialises controller/device access between the worker and
+	// direct (inline) executors; pending counts jobs enqueued on the
+	// worker inbox that have not finished executing, so a direct
+	// executor can prove the die idle — taking the inline path only
+	// when nothing is queued preserves per-die FIFO ordering for every
+	// ordered (non-concurrent) submission sequence.
+	mu      sync.Mutex
+	pending atomic.Int64
 }
 
 // job carries either one Request or a control function through a die's
@@ -317,7 +329,9 @@ func (d *Dispatcher) enqueue(dieIdx int, j *job) error {
 	if d.closed {
 		return ErrClosed
 	}
-	d.dies[dieIdx].jobs <- j
+	w := d.dies[dieIdx]
+	w.pending.Add(1)
+	w.jobs <- j
 	return nil
 }
 
@@ -438,11 +452,17 @@ func (d *Dispatcher) worker(w *die) {
 	defer d.wg.Done()
 	for j := range w.jobs {
 		if j.fn != nil {
+			w.mu.Lock()
 			j.fn(w.ctrl)
+			w.mu.Unlock()
+			w.pending.Add(-1)
 			j.done <- struct{}{}
 			continue
 		}
+		w.mu.Lock()
 		c := d.execute(w, j)
+		w.mu.Unlock()
+		w.pending.Add(-1)
 		d.bumpNow(c.Finish)
 		if j.sync != nil {
 			// Lean path: hand the completion straight back to the blocked

@@ -140,6 +140,15 @@ func (q *Queue) DoWrite(ctx context.Context, req Request, out *controller.WriteR
 // scratch-result path. The job (and its completion channel) is reused
 // across calls; the blocked caller reclaims it after the worker's
 // hand-back send.
+//
+// When the target die is provably idle — nothing enqueued or executing
+// on its worker — the request executes inline on the caller's goroutine
+// under the die mutex instead: the synchronous single-client pattern
+// (one FTL per die issuing one op at a time, the fleet hot path) then
+// pays no channel hop and no goroutine wakeup per op. Ordering is
+// preserved: an ordered submitter's previous op has fully drained
+// (pending == 0) before the inline path is taken, and racing concurrent
+// submitters never had a defined order between them.
 func (q *Queue) doLean(ctx context.Context, req Request, dst []byte, rres *controller.ReadResult, wres *controller.WriteResult) (Completion, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -150,6 +159,30 @@ func (q *Queue) doLean(ctx context.Context, req Request, dst []byte, rres *contr
 		c.Start, c.Finish = arrival, arrival
 		c.Err = opErr(req, err)
 		return c, c.Err
+	}
+	d := q.d
+	if w := d.dies[req.Die]; w.pending.Load() == 0 && w.mu.TryLock() {
+		if w.pending.Load() != 0 {
+			// A job slipped onto the inbox between the check and the
+			// lock; let the worker keep FIFO order.
+			w.mu.Unlock()
+		} else {
+			// Hold the close guard for the duration: after Close returns,
+			// no inline execution is in flight, matching the worker
+			// drain guarantee.
+			d.closeMu.RLock()
+			if d.closed {
+				d.closeMu.RUnlock()
+				w.mu.Unlock()
+				return Completion{}, ErrClosed
+			}
+			j := job{ctx: ctx, req: req, arrival: arrival, dst: dst, rres: rres, wres: wres}
+			c := d.execute(w, &j)
+			d.closeMu.RUnlock()
+			w.mu.Unlock()
+			d.bumpNow(c.Finish)
+			return c, c.Err
+		}
 	}
 	j := jobPool.Get().(*job)
 	j.ctx, j.req, j.arrival = ctx, req, arrival

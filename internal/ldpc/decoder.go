@@ -2,6 +2,7 @@ package ldpc
 
 import (
 	"encoding/binary"
+	"math"
 	"math/bits"
 	"sync"
 )
@@ -35,7 +36,11 @@ type Decoder struct {
 
 // decodeScratch is one decode's working set: posterior LLRs, per-edge
 // check-to-variable messages, and the packed hard-decision words the
-// word-parallel syndrome check runs over.
+// word-parallel syndrome check runs over. q and sgn are the
+// struct-of-arrays check kernel's per-check blocks (q values and packed
+// q-sign lanes for the widest check); cww holds the received word
+// packed once per decode so the convergence flip count never re-reads
+// the codeword bytes.
 type decodeScratch struct {
 	post  []float32 // posterior LLR per codeword bit
 	r     []float32 // check-to-variable message per edge
@@ -43,10 +48,19 @@ type decodeScratch struct {
 	syn   []uint64  // syndrome scratch (m/64 words)
 	chans []float32 // channel LLR per codeword bit
 	out   []byte    // byte image of a convergence, for the CRC verdict
+	cww   []uint64  // received word, packed once at decode start
+	q     []float32 // per-check q block (variable-to-check values)
+	sgn   []uint64  // per-check packed q-sign lanes
 }
 
 func newDecoder(c *code) *Decoder {
 	d := &Decoder{c: c}
+	maxDeg := 0
+	for ci := 0; ci < c.m; ci++ {
+		if deg := int(c.checkStart[ci+1] - c.checkStart[ci]); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
 	d.pool.New = func() any {
 		return &decodeScratch{
 			post:  make([]float32, c.n),
@@ -55,6 +69,9 @@ func newDecoder(c *code) *Decoder {
 			syn:   make([]uint64, c.m/Z),
 			chans: make([]float32, c.n),
 			out:   make([]byte, c.n/8),
+			cww:   make([]uint64, c.n/Z),
+			q:     make([]float32, maxDeg),
+			sgn:   make([]uint64, (maxDeg+63)/64),
 		}
 	}
 	return d
@@ -106,6 +123,10 @@ func (d *Decoder) decodeIter(cw []byte, llr []int8, maxIter, flipGuard int) (int
 		}
 		return 0, 0, nil
 	}
+	// The received word, kept packed for the duration of the decode:
+	// the convergence flip count diffs hard-decision words against these
+	// instead of re-reading cw's bytes every accepted iteration.
+	copy(s.cww, s.hard)
 
 	// Channel initialisation.
 	if llr == nil {
@@ -129,41 +150,62 @@ func (d *Decoder) decodeIter(cw []byte, llr []int8, maxIter, flipGuard int) (int
 	bestUnsat := c.m + 1
 	stall := 0
 	for iter := 0; iter < maxIter; iter++ {
-		// Layered check-node pass with posterior tracking: for each
-		// check, peel the old message out of the posterior, run the
-		// min/sign kernel, fold the new message back in.
+		// Layered check-node pass, restructured as a struct-of-arrays
+		// kernel over each check's contiguous edge block. A first fused
+		// sweep peels the old messages out of the posteriors into the q
+		// block, packs the q signs into uint64 lanes (the check parity is
+		// then a popcount fold, not a per-edge counter), and tracks
+		// min1/min2 in swap form — one comparison per edge instead of the
+		// two-branch chain, and no minAt bookkeeping: the apply sweep
+		// recognises the minimum edge by magnitude (a tie forces
+		// min2 == min1, so either message value is the same).
+		//
+		// Magnitudes are sign-bit-cleared |q| and message signs are
+		// applied by XOR on the float's sign bit — identical to the
+		// historical conditional negation for every value, with at most
+		// the sign of a zero differing in intermediates, which no
+		// comparison, popcount or hard decision can observe.
 		for ci := 0; ci < c.m; ci++ {
-			lo, hi := c.checkStart[ci], c.checkStart[ci+1]
+			lo, hi := int(c.checkStart[ci]), int(c.checkStart[ci+1])
+			deg := hi - lo
+			qs := s.q[:deg]
+			lanes := s.sgn[:(deg+63)/64]
+			for l := range lanes {
+				lanes[l] = 0
+			}
 			min1, min2 := float32(llrClamp*2), float32(llrClamp*2)
-			minAt := lo
-			negs := 0
-			for e := lo; e < hi; e++ {
+			for j := 0; j < deg; j++ {
+				e := lo + j
 				q := s.post[c.checkVar[e]] - s.r[e]
+				qs[j] = q
 				if q < 0 {
-					negs++
-					q = -q
+					lanes[j>>6] |= 1 << uint(j&63)
 				}
-				if q < min1 {
-					min2, min1, minAt = min1, q, e
-				} else if q < min2 {
-					min2 = q
+				if a := absf32(q); a < min2 {
+					min2 = a
+					if min2 < min1 {
+						min1, min2 = min2, min1
+					}
 				}
 			}
-			m1 := min1 * minSumAlpha
-			m2 := min2 * minSumAlpha
-			for e := lo; e < hi; e++ {
-				v := c.checkVar[e]
-				q := s.post[v] - s.r[e]
+			negs := 0
+			for _, l := range lanes {
+				negs += popcount(l)
+			}
+			parity := uint32(negs&1) << 31
+			m1 := math.Float32bits(min1 * minSumAlpha)
+			m2 := math.Float32bits(min2 * minSumAlpha)
+			for j := 0; j < deg; j++ {
+				e := lo + j
+				q := qs[j]
 				mag := m1
-				if e == minAt {
+				if absf32(q) == min1 {
 					mag = m2
 				}
 				// Sign: product of the *other* incoming signs — the
 				// total parity, with this edge's own sign divided out.
-				nr := mag
-				if (negs&1 == 1) != (q < 0) {
-					nr = -mag
-				}
+				sbit := uint32(lanes[j>>6]>>uint(j&63)&1) << 31
+				nr := math.Float32frombits(mag ^ parity ^ sbit)
 				p := q + nr
 				if p > llrClamp {
 					p = llrClamp
@@ -171,26 +213,28 @@ func (d *Decoder) decodeIter(cw []byte, llr []int8, maxIter, flipGuard int) (int
 					p = -llrClamp
 				}
 				s.r[e] = nr
+				v := int(c.checkVar[e])
 				s.post[v] = p
+				// Hard-decision maintenance fused into the posterior
+				// update: the bit tracks sign(p) (by comparison, not sign
+				// bit — a -0.0 posterior is non-negative here), so the
+				// words are current the moment the layered pass ends and
+				// the separate n/Z repack loop disappears.
+				neg := uint64(0)
+				if p < 0 {
+					neg = 1
+				}
+				w := v >> 6
+				bit := uint(63 - v&63)
+				s.hard[w] = s.hard[w]&^(1<<bit) | neg<<bit
 			}
 		}
 
-		// Hard decisions and word-parallel convergence check.
-		for w := 0; w < c.n/Z; w++ {
-			var word uint64
-			base := w * Z
-			for b := 0; b < Z; b++ {
-				if s.post[base+b] < 0 {
-					word |= 1 << uint(63-b)
-				}
-			}
-			s.hard[w] = word
-		}
 		unsat := c.unsatisfied(s.hard, s.syn)
 		if unsat == 0 {
 			flips := 0
 			for w, word := range s.hard {
-				flips += popcountDiff(word, binary.BigEndian.Uint64(cw[w*8:]))
+				flips += popcountDiff(word, s.cww[w])
 			}
 			if flips > flipGuard {
 				return 0, iter + 1, ErrUncorrectable
@@ -238,3 +282,9 @@ func (c *code) unsatisfied(cw []uint64, scratch []uint64) int {
 func popcount(x uint64) int { return bits.OnesCount64(x) }
 
 func popcountDiff(a, b uint64) int { return bits.OnesCount64(a ^ b) }
+
+// absf32 clears the sign bit — branch-free |x| for the min-sum
+// magnitude sweep.
+func absf32(x float32) float32 {
+	return math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
+}

@@ -1,0 +1,183 @@
+package ldpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"xlnand/internal/stats"
+)
+
+// scalarDecodeIter is the historical edge-at-a-time min-sum decoder,
+// kept verbatim as the reference the struct-of-arrays kernel in
+// decodeIter is pinned against: per-edge branch chain for min1/min2,
+// conditional negation for the message sign, a separate hard-decision
+// repack loop after every layered pass, and per-iteration reloads of
+// the original codeword bytes in the convergence flip count.
+func scalarDecodeIter(d *Decoder, cw []byte, llr []int8, maxIter, flipGuard int) (int, int, error) {
+	c := d.c
+	s := struct {
+		post, r, chans []float32
+		hard, syn      []uint64
+		out            []byte
+	}{
+		post:  make([]float32, c.n),
+		r:     make([]float32, c.edges),
+		chans: make([]float32, c.n),
+		hard:  make([]uint64, c.n/Z),
+		syn:   make([]uint64, c.m/Z),
+		out:   make([]byte, c.n/8),
+	}
+
+	packWords(s.hard, cw)
+	if c.syndromeZero(s.hard, s.syn) {
+		if !c.crcOK(cw) {
+			return 0, 0, ErrUncorrectable
+		}
+		return 0, 0, nil
+	}
+
+	if llr == nil {
+		for v := 0; v < c.n; v++ {
+			if s.hard[v/Z]&(1<<uint(63-v%Z)) == 0 {
+				s.chans[v] = 1
+			} else {
+				s.chans[v] = -1
+			}
+		}
+	} else {
+		for v := 0; v < c.n; v++ {
+			s.chans[v] = float32(llr[v])
+		}
+	}
+	copy(s.post, s.chans)
+
+	bestUnsat := c.m + 1
+	stall := 0
+	for iter := 0; iter < maxIter; iter++ {
+		for ci := 0; ci < c.m; ci++ {
+			lo, hi := c.checkStart[ci], c.checkStart[ci+1]
+			min1, min2 := float32(llrClamp*2), float32(llrClamp*2)
+			minAt := lo
+			negs := 0
+			for e := lo; e < hi; e++ {
+				q := s.post[c.checkVar[e]] - s.r[e]
+				if q < 0 {
+					negs++
+					q = -q
+				}
+				if q < min1 {
+					min2, min1, minAt = min1, q, e
+				} else if q < min2 {
+					min2 = q
+				}
+			}
+			m1 := min1 * minSumAlpha
+			m2 := min2 * minSumAlpha
+			for e := lo; e < hi; e++ {
+				v := c.checkVar[e]
+				q := s.post[v] - s.r[e]
+				mag := m1
+				if e == minAt {
+					mag = m2
+				}
+				nr := mag
+				if (negs&1 == 1) != (q < 0) {
+					nr = -mag
+				}
+				p := q + nr
+				if p > llrClamp {
+					p = llrClamp
+				} else if p < -llrClamp {
+					p = -llrClamp
+				}
+				s.r[e] = nr
+				s.post[v] = p
+			}
+		}
+
+		for w := 0; w < c.n/Z; w++ {
+			var word uint64
+			base := w * Z
+			for b := 0; b < Z; b++ {
+				if s.post[base+b] < 0 {
+					word |= 1 << uint(63-b)
+				}
+			}
+			s.hard[w] = word
+		}
+		unsat := c.unsatisfied(s.hard, s.syn)
+		if unsat == 0 {
+			flips := 0
+			for w, word := range s.hard {
+				flips += popcountDiff(word, binary.BigEndian.Uint64(cw[w*8:]))
+			}
+			if flips > flipGuard {
+				return 0, iter + 1, ErrUncorrectable
+			}
+			for w, word := range s.hard {
+				binary.BigEndian.PutUint64(s.out[w*8:], word)
+			}
+			if !c.crcOK(s.out) {
+				return 0, iter + 1, ErrUncorrectable
+			}
+			copy(cw, s.out)
+			return flips, iter + 1, nil
+		}
+		if unsat < bestUnsat {
+			bestUnsat, stall = unsat, 0
+		} else if stall++; stall >= stallPatience {
+			return 0, iter + 1, ErrUncorrectable
+		}
+	}
+	return 0, maxIter, ErrUncorrectable
+}
+
+// TestMinSumScalarEquivalence replays the conformance error matrix
+// ({1, cap/2, cap} errors per level, a 3*cap guard-breaker, and the
+// soft-cap soft decode) through both the production struct-of-arrays
+// kernel and the scalar reference, asserting identical iteration
+// counts, flip counts, error verdicts and output bytes. This is the
+// bit-exactness contract of the word-parallel refactor: the SoA pass
+// is a reorganisation of the same arithmetic, not an approximation.
+func TestMinSumScalarEquivalence(t *testing.T) {
+	c := testRig(t)
+	check := func(lvl, nerr int, soft bool, cw []byte, llr []int8, maxIter, guard int) {
+		t.Helper()
+		d, err := c.decoder(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastCW := append([]byte(nil), cw...)
+		refCW := append([]byte(nil), cw...)
+		fastFlips, fastIters, fastErr := d.decodeIter(fastCW, llr, maxIter, guard)
+		refFlips, refIters, refErr := scalarDecodeIter(d, refCW, llr, maxIter, guard)
+		if fastIters != refIters {
+			t.Fatalf("level %d nerr %d soft=%v: SoA kernel used %d iterations, scalar %d",
+				lvl, nerr, soft, fastIters, refIters)
+		}
+		if fastFlips != refFlips || !errors.Is(fastErr, refErr) && (fastErr != nil || refErr != nil) {
+			t.Fatalf("level %d nerr %d soft=%v: SoA (flips=%d err=%v) vs scalar (flips=%d err=%v)",
+				lvl, nerr, soft, fastFlips, fastErr, refFlips, refErr)
+		}
+		if !bytes.Equal(fastCW, refCW) {
+			t.Fatalf("level %d nerr %d soft=%v: decoded codewords diverged", lvl, nerr, soft)
+		}
+	}
+	for lvl := 0; lvl <= c.MaxLevel(); lvl++ {
+		hardCap := c.CorrectionCap(lvl)
+		for _, nerr := range []int{1, hardCap / 2, hardCap, 3 * hardCap} {
+			rng := stats.NewRNG(900 + uint64(lvl*131+nerr))
+			cw := makeCodeword(t, c, lvl, 900+uint64(lvl*131+nerr))
+			flip(cw, nerr, rng)
+			check(lvl, nerr, false, cw, nil, maxIterHard, flipGuard(hardCap))
+		}
+		softCap := c.SoftCorrectionCap(lvl)
+		rng := stats.NewRNG(3100 + uint64(lvl))
+		cw := makeCodeword(t, c, lvl, 3100+uint64(lvl))
+		pos := flip(cw, softCap, rng)
+		llr := softLLR(cw, pos, rng)
+		check(lvl, softCap, true, cw, llr, maxIterSoft, flipGuard(softCap))
+	}
+}

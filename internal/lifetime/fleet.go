@@ -304,6 +304,50 @@ func FleetSmoke() FleetScenario {
 	}
 }
 
+// FleetSoak is the hundreds-of-drives catalog scenario the word-parallel
+// kernels exist for: 128 drives play a compressed three-phase biography
+// (fill, mid-life churn, end-of-life audit) concurrently, with three
+// scheduled fail-stops standing in for the drive deaths a parity layer
+// would absorb at this fleet width. The merge is byte-deterministic per
+// seed — TestFleetSoakDeterminism pins it — and the run is sized so a
+// single soak completes in tens of seconds on the fast read path.
+func FleetSoak() FleetScenario {
+	return FleetScenario{
+		Name:        "fleet-soak",
+		Description: "128-drive parity-fleet soak: compressed fill/mid-life/EOL biography per drive, three mid-life fail-stops",
+		Seed:        90125,
+		Drives:      128,
+		Base:        soakBase(),
+		FailStops: []FleetFailStop{
+			{Drive: 17, AfterPhase: 0},
+			{Drive: 63, AfterPhase: 1},
+			{Drive: 101, AfterPhase: 1},
+		},
+	}
+}
+
+// soakBase is the compressed per-drive biography of the soak fleet: the
+// golden-stream shape extended by an end-of-life audit phase, so every
+// drive crosses two aging steps and a retention bake while staying small
+// enough that 128 of them finish quickly.
+func soakBase() Scenario {
+	return Scenario{
+		Name:        "soak-base",
+		Description: "compressed soak biography: fill, mid-life churn, end-of-life audit",
+		Dies:        1, BlocksPerDie: 3,
+		Partitions:   []PartitionConfig{{Name: "p0", Blocks: 3, Mode: sim.ModeNominal, WorkingSet: 64}},
+		Scrub:        ftl.ScrubPolicy{FractionOfT: 0.3},
+		ScrubEvery:   60,
+		MaxUBER:      1e-8,
+		SafetyMargin: 1.7,
+		Phases: []Phase{
+			{Name: "fill", Ops: 70, ReadFraction: 0.2},
+			{Name: "mid-life", AgeCycles: 2e5, BakeHours: 300, Ops: 80, ReadFraction: 0.6},
+			{Name: "eol-audit", AgeCycles: 3e5, BakeHours: 200, Ops: 70, ReadFraction: 0.9},
+		},
+	}
+}
+
 // fleetBase is the per-drive biography fleet scenarios share: a
 // compact fill + aged-stream pair (the golden-stream shape, reseeded
 // per drive by RunFleet).

@@ -31,6 +31,50 @@ func TestFleetDeterminism(t *testing.T) {
 	}
 }
 
+// TestFleetSoakDeterminism is the acceptance pin for the
+// hundreds-of-drives soak: the full 128-drive fleet-soak scenario runs
+// twice and the merged reports must be byte-identical, with the three
+// scheduled fail-stops recorded exactly where the scenario put them.
+func TestFleetSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak needs two full 128-drive runs")
+	}
+	if raceEnabled {
+		t.Skip("128-drive soak is minutes under the race detector; TestFleetDeterminism covers the concurrent merge")
+	}
+	fs := FleetSoak()
+	run := func() (*FleetResult, []byte) {
+		t.Helper()
+		res, err := RunFleet(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, js
+	}
+	res, js1 := run()
+	if _, js2 := run(); !bytes.Equal(js1, js2) {
+		t.Fatal("fleet-soak diverged between identical runs")
+	}
+	if res.Drives != 128 || len(res.PerDrive) != 128 {
+		t.Fatalf("soak ran %d drives (%d reported), want 128", res.Drives, len(res.PerDrive))
+	}
+	dead := map[int]int{17: 1, 63: 2, 101: 2}
+	for _, d := range res.PerDrive {
+		want, killed := dead[d.Drive]
+		if killed {
+			if d.Health != "dead" || d.PhasesRun != want {
+				t.Fatalf("drive %d reports health %q phases %d, want dead/%d", d.Drive, d.Health, d.PhasesRun, want)
+			}
+		} else if d.Health != "" {
+			t.Fatalf("healthy drive %d reports health %q", d.Drive, d.Health)
+		}
+	}
+}
+
 // TestFleetMerge checks the merged result's structure: per-drive
 // entries in index order with decorrelated seeds, phase counters that
 // sum the drives, and totals consistent with the per-drive totals.

@@ -33,6 +33,19 @@ type Device struct {
 	// errPos is the error-position scratch for corruptInto, reused read
 	// over read (Device is single-goroutine by contract).
 	errPos []int
+
+	// programSeq stamps stored page contents: it increments on every
+	// Program, so a content identity (page.seq) is never reused even
+	// across erase/re-program of the same page. Controllers use the
+	// stamp to prove a sensed page still holds bytes they have already
+	// verified (the clean-read decode short-circuit).
+	programSeq uint64
+
+	// lastSenseFlips / lastSenseSeq describe the most recent ReadInto:
+	// how many bit errors the fault-injection path flipped (data and
+	// spare combined) and the content stamp of the page it sensed.
+	lastSenseFlips int
+	lastSenseSeq   uint64
 }
 
 type block struct {
@@ -45,6 +58,8 @@ type page struct {
 	data    []byte // nil until programmed
 	spare   []byte
 	written bool
+	// seq is the device-wide program stamp of the stored content.
+	seq uint64
 	// algorithm used when the page was programmed; determines its RBER
 	alg Algorithm
 	// cycles of the parent block at program time
@@ -165,6 +180,8 @@ func (d *Device) Program(blockIdx, pageIdx int, data, spare []byte, alg Algorith
 	p.data = append([]byte(nil), data...)
 	p.spare = append([]byte(nil), spare...)
 	p.written = true
+	d.programSeq++
+	p.seq = d.programSeq
 	p.alg = alg
 	p.cyclesAtWrite = b.cycles
 	p.writtenAtHours = d.clockHours
@@ -242,10 +259,23 @@ func (d *Device) ReadInto(blockIdx, pageIdx, step int, buf []byte) (nData, nSpar
 	b.reads++
 	rber := d.cal.RecoveredRBER(d.stress, p.alg, b.cycles, b.reads,
 		d.clockHours-p.writtenAtHours, step)
-	d.corruptInto(buf[:nData], p.data, rber)
-	d.corruptInto(buf[nData:nData+nSpare], p.spare, rber)
+	flips := d.corruptInto(buf[:nData], p.data, rber)
+	flips += d.corruptInto(buf[nData:nData+nSpare], p.spare, rber)
+	d.lastSenseFlips, d.lastSenseSeq = flips, p.seq
 	d.lastOpDuration = PageReadTime
 	return nData, nSpare, nil
+}
+
+// LastProgramSeq returns the content stamp of the most recent Program.
+func (d *Device) LastProgramSeq() uint64 { return d.programSeq }
+
+// LastSense reports the most recent ReadInto: the content stamp of the
+// page it sensed and the number of bit errors injected into the
+// returned buffer. flips == 0 means the buffer is byte-identical to the
+// stored content — the observation behind the controller's clean-read
+// decode short-circuit.
+func (d *Device) LastSense() (seq uint64, flips int) {
+	return d.lastSenseSeq, d.lastSenseFlips
 }
 
 // PageReadTime is the array-to-page-register sensing time tR; the paper
@@ -256,18 +286,20 @@ const PageReadTime = 75 * time.Microsecond
 // independently with probability rber: the binomial error count is
 // sampled, then positions drawn uniformly into the device's reusable
 // scratch — the draw consumes the same RNG stream as a fresh SampleK,
-// so injected error patterns are reproducible across both paths.
-func (d *Device) corruptInto(dst, src []byte, rber float64) {
+// so injected error patterns are reproducible across both paths. It
+// returns the number of bits flipped.
+func (d *Device) corruptInto(dst, src []byte, rber float64) int {
 	copy(dst, src)
 	nbits := len(src) * 8
 	if nbits == 0 {
-		return
+		return 0
 	}
 	nerr := d.rng.Binomial(nbits, rber)
 	d.errPos = d.rng.SampleKAppend(d.errPos[:0], nbits, nerr)
 	for _, pos := range d.errPos {
 		dst[pos/8] ^= 1 << uint(7-pos%8)
 	}
+	return nerr
 }
 
 // EstimateProgram returns the expected program-operation statistics for

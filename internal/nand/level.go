@@ -1,6 +1,9 @@
 package nand
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Level identifies one of the four V_TH distributions of a 2-bit MLC cell
 // (paper Fig. 3): L0 is the erased state, L1-L3 are programmed.
@@ -78,15 +81,28 @@ func LevelsToBytes(levels []Level) []byte {
 }
 
 // LevelsToBytesInto packs levels into dst, which must hold
-// (len(levels)+3)/4 bytes; it is cleared first, so a reused scratch
+// (len(levels)+3)/4 bytes; written bytes are fully assembled before the
+// store (and any partial tail byte cleared first), so a reused scratch
 // buffer never leaks a previous read's bits.
+//
+// The bulk runs word-parallel: 32 cells assemble into one uint64 — each
+// cell contributes its 2-bit Gray pattern MSB-first, exactly the scalar
+// layout — and land as 8 output bytes per big-endian store.
 func LevelsToBytesInto(dst []byte, levels []Level) []byte {
 	dst = dst[:(len(levels)+3)/4]
-	for i := range dst {
+	n32 := len(levels) &^ 31
+	for c := 0; c < n32; c += 32 {
+		var w uint64
+		for _, l := range levels[c : c+32 : c+32] {
+			w = w<<2 | uint64(grayEncode[l])
+		}
+		binary.BigEndian.PutUint64(dst[c/4:], w)
+	}
+	for i := n32 / 4; i < len(dst); i++ {
 		dst[i] = 0
 	}
-	for i, l := range levels {
-		upper, lower := l.Bits()
+	for i := n32; i < len(levels); i++ {
+		upper, lower := levels[i].Bits()
 		dst[i/4] |= upper << uint(7-2*(i%4))
 		dst[i/4] |= lower << uint(6-2*(i%4))
 	}

@@ -29,6 +29,9 @@ type PageSim struct {
 	// hand back bytes; PageSim is single-goroutine by contract, so one
 	// buffer serves every read.
 	lvlScratch []Level
+	// noiseScratch batches the per-cell sensing-noise draws of one read
+	// so the classification sweep below runs free of RNG calls.
+	noiseScratch []float64
 }
 
 // NewPageSim builds a page of cells cells with manufacturing variability
@@ -143,9 +146,18 @@ func (p *PageSim) ReadLevels(aged AgedParams, off ReadOffsets) []Level {
 // ReadLevelsInto is the allocation-free sensing path: it classifies
 // every cell into dst (which must hold Cells() levels) and returns it.
 // The retention shift per programmed level and the shifted R1-R3
-// boundaries are hoisted out of the per-cell loop; only the sensing-
-// noise draw stays inside, so the RNG stream — and with it every golden
-// trajectory — is identical to the scalar path.
+// boundaries are hoisted out of the per-cell loop, the sensing-noise
+// draws are batched into page-owned scratch in cell order (the RNG
+// consumes exactly the stream the scalar path did, so every golden
+// trajectory survives), and the classification itself is a branch-free
+// sweep: level = (eff>=b0)+(eff>=b1)+(eff>=b2) as integer adds.
+//
+// The sum form is equivalent to the historical first-match switch
+// (eff < r0 -> L0, eff < r1 -> L1, ...) only against non-decreasing
+// boundaries, and a read-retry offset triple may produce any ordering
+// of r0..r2 — so the sweep classifies against the running maxima
+// b0 <= b1 <= b2, which reproduce first-match semantics exactly for
+// every finite input.
 func (p *PageSim) ReadLevelsInto(dst []Level, aged AgedParams, off ReadOffsets) []Level {
 	if len(dst) != len(p.vth) {
 		panic(fmt.Sprintf("nand: ReadLevelsInto dst %d for %d cells", len(dst), len(p.vth)))
@@ -155,30 +167,44 @@ func (p *PageSim) ReadLevelsInto(dst []Level, aged AgedParams, off ReadOffsets) 
 	for l := L1; l < numLevels; l++ {
 		shift[l] = aged.RetShift * (1 + 0.5*float64(l-1))
 	}
-	r0 := p.cal.Read[0] + off[0]
-	r1 := p.cal.Read[1] + off[1]
-	r2 := p.cal.Read[2] + off[2]
+	b0 := p.cal.Read[0] + off[0]
+	b1 := p.cal.Read[1] + off[1]
+	b2 := p.cal.Read[2] + off[2]
+	if b1 < b0 {
+		b1 = b0
+	}
+	if b2 < b1 {
+		b2 = b1
+	}
 	noise := aged.ReadNoise
+	if cap(p.noiseScratch) < len(p.vth) {
+		p.noiseScratch = make([]float64, len(p.vth))
+	}
+	ns := p.noiseScratch[:len(p.vth)]
+	for i := range ns {
+		ns[i] = p.rng.NormMuSigma(0, noise)
+	}
 	prog := p.programmed
 	for i, v := range p.vth {
-		eff := v - shift[prog[i]] + p.rng.NormMuSigma(0, noise)
-		switch {
-		case eff < r0:
-			dst[i] = L0
-		case eff < r1:
-			dst[i] = L1
-		case eff < r2:
-			dst[i] = L2
-		default:
-			dst[i] = L3
-		}
+		eff := v - shift[prog[i]] + ns[i]
+		dst[i] = Level(b2u(eff >= b0) + b2u(eff >= b1) + b2u(eff >= b2))
 	}
 	return dst
 }
 
-// ReadBytes reads the page back as data bytes via the Gray mapping.
+// b2u is the branch-free comparison accumulator of the classification
+// sweep (compiles to a flag set, not a jump).
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadBytes reads the page back as data bytes via the Gray mapping. It
+// is a thin allocating shim over ReadBytesInto.
 func (p *PageSim) ReadBytes(aged AgedParams, off ReadOffsets) []byte {
-	return LevelsToBytes(p.ReadLevels(aged, off))
+	return p.ReadBytesInto(make([]byte, (len(p.vth)+3)/4), aged, off)
 }
 
 // ReadBytesInto reads the page back as data bytes into dst, which must

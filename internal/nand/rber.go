@@ -60,6 +60,7 @@ func MeasureRBER(cal Calibration, alg Algorithm, cycles float64, cells, minError
 	var totalPulses, totalVerifies, totalPre int
 	sim := NewPageSim(cal, cells, rng.Split())
 	data := make([]byte, cells/4)
+	lvls := make([]Level, cells)
 	for m.Pages = 0; m.Pages < maxPages && m.BitErrors < minErrors; m.Pages++ {
 		for i := range data {
 			data[i] = byte(rng.Intn(256))
@@ -70,7 +71,7 @@ func MeasureRBER(cal Calibration, alg Algorithm, cycles float64, cells, minError
 		if err != nil {
 			panic("nand: MeasureRBER internal misuse: " + err.Error())
 		}
-		got := sim.ReadLevels(aged, ReadOffsets{})
+		got := sim.ReadLevelsInto(lvls, aged, ReadOffsets{})
 		for i, tgt := range targets {
 			m.BitErrors += BitErrors(tgt, got[i])
 		}
