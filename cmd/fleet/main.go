@@ -13,6 +13,8 @@
 //	fleet -array -drives 8 -redundancy parity -spares 1 \
 //	    -kill-drive 3 -kill-round 20   # fail-stop drive 3 mid-run
 //	fleet -kill-drive 2                # lifetime: drive 2 dies after phase 1
+//	fleet -array -slo 500us -trace trace.json -metrics metrics.prom
+//	                                   # latency SLO + observability exports
 //
 // Both modes are seed-reproducible: the same flags produce
 // byte-identical JSON no matter how the drive goroutines interleave —
@@ -23,9 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xlnand/internal/array"
 	"xlnand/internal/lifetime"
+	"xlnand/internal/obs"
 )
 
 func main() {
@@ -51,8 +55,29 @@ func main() {
 		spares     = flag.Int("spares", 0, "hot spares for rebuild after a drive death (array mode)")
 		killDrive  = flag.Int("kill-drive", -1, "fail-stop this drive mid-run (-1 disables)")
 		killRound  = flag.Int("kill-round", 20, "array round at which -kill-drive fires (array mode)")
+
+		// Observability exports (virtual-time; byte-identical per seed).
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (both modes)")
+		metricsOut = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file (array mode)")
+		sloTarget  = flag.Duration("slo", 0, "per-op latency SLO for the oltp tenant, e.g. 500us (array mode; 0 disables)")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		if !*arrayMode {
+			fail(fmt.Errorf("fleet: -metrics requires -array (lifetime mode publishes no registry)"))
+		}
+		reg = obs.NewRegistry()
+	}
 
 	var (
 		js  []byte
@@ -64,13 +89,32 @@ func main() {
 			cachePages: *cachePages, policy: *policy, ops: *ops, seed: *seed,
 			redundancy: *redundancy, spares: *spares,
 			killDrive: *killDrive, killRound: *killRound,
+			slo: *sloTarget, tracer: tracer, reg: reg,
 		})
 	} else {
-		js, err = runLifetimeFleet(*soakMode, *drives, *workers, *seed, *killDrive, *opsScale)
+		js, err = runLifetimeFleet(*soakMode, *drives, *workers, *seed, *killDrive, *opsScale, tracer)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		kept, dropped := tracer.Events()
+		fmt.Printf("trace: %d events (%d dropped) -> %s\n", kept, dropped, *traceOut)
+	}
+	if reg != nil {
+		if err := os.WriteFile(*metricsOut, reg.PrometheusText(), 0o644); err != nil {
+			fail(err)
+		}
 	}
 	if *jsonOut == "" {
 		return
@@ -92,11 +136,12 @@ func main() {
 // opsScale < 1 compresses every phase's host ops (the CI smoke knob for
 // the soak scenario). Narrowing a scenario below a scheduled fail-stop
 // drops that fail-stop rather than failing validation.
-func runLifetimeFleet(soak bool, drives, workers int, seed uint64, killDrive int, opsScale float64) ([]byte, error) {
+func runLifetimeFleet(soak bool, drives, workers int, seed uint64, killDrive int, opsScale float64, tracer *obs.Tracer) ([]byte, error) {
 	fs := lifetime.FleetSmoke()
 	if soak {
 		fs = lifetime.FleetSoak()
 	}
+	fs.Trace = tracer
 	if drives > 0 {
 		fs.Drives = drives
 		kept := fs.FailStops[:0]
@@ -144,6 +189,9 @@ type arrayParams struct {
 	redundancy                   string
 	spares                       int
 	killDrive, killRound         int
+	slo                          time.Duration
+	tracer                       *obs.Tracer
+	reg                          *obs.Registry
 }
 
 // runArray drives a striped volume with two tenants — an unthrottled
@@ -177,8 +225,9 @@ func runArray(p arrayParams) ([]byte, error) {
 		Spares:       p.spares,
 		Faults:       plan,
 		Cache:        array.CacheConfig{Pages: cachePages, Policy: policy},
+		Trace:        p.tracer,
 		Tenants: []array.TenantConfig{
-			{Name: "oltp"},
+			{Name: "oltp", SLOTarget: p.slo},
 			{Name: "scan", Rate: 4000, Burst: 32},
 		},
 	})
@@ -244,6 +293,9 @@ func runArray(p arrayParams) ([]byte, error) {
 		return nil, err
 	}
 	rep := a.Report()
+	if p.reg != nil {
+		a.PublishMetrics(p.reg)
+	}
 	fmt.Print(rep.Summary())
 	for _, d := range rep.PerDrive {
 		for _, tr := range d.Transitions {

@@ -27,7 +27,19 @@ import (
 
 	"xlnand/internal/controller"
 	"xlnand/internal/ecc"
+	"xlnand/internal/obs"
 	"xlnand/internal/sim"
+)
+
+// Host-process trace thread ids (the front end is trace pid 0; drives
+// are pid index+1). Tenants get tids from hostTidTenant0 in declared
+// order, the rebuild tenant last.
+const (
+	hostTidSched   = 0 // scheduling rounds and QoS stalls
+	hostTidCache   = 1 // cache hits/misses
+	hostTidRecov   = 2 // degraded-read reconstructions
+	hostTidRebuild = 3 // rebuild progress
+	hostTidTenant0 = 10
 )
 
 // Config shapes an Array.
@@ -76,6 +88,12 @@ type Config struct {
 	Env *sim.Env
 	// Controller overrides the per-die controller config (nil = defaults).
 	Controller *controller.Config
+	// Trace, when non-nil, collects virtual-time spans from every layer:
+	// the front end (rounds, QoS stalls, cache traffic, reconstructions,
+	// rebuild progress) as trace process 0 and each drive's stack (dies,
+	// bus, codec, FTL background work) as its own process. nil disables
+	// tracing at zero per-op cost.
+	Trace *obs.Tracer
 }
 
 // Op is one tenant operation against the volume address space.
@@ -144,6 +162,18 @@ type Array struct {
 	parityStale  int64
 	rebuiltPages int64
 	pendingWB    []writeback // dirty evictions carried into the next round
+
+	// trace is the host front end's span stream (nil when tracing is
+	// off); every hook through it is front-end confined.
+	trace *obs.Stream
+
+	// Front-end-owned op-class histograms: degraded reads served by
+	// reconstruction and rebuild page copies (neither belongs to any one
+	// drive). retired accumulates the per-class histograms of stacks
+	// that died mid-run, so fleet-level summaries never lose history.
+	latDegraded obs.LatencyHist
+	latRebuild  obs.LatencyHist
+	retired     [4]obs.LatencyHist // clean, retried, soft, write
 
 	// scr is the round's reusable staging (front-end confined). The
 	// results handed back from round are copied by Drain before the next
@@ -254,6 +284,18 @@ func New(cfg Config) (*Array, error) {
 		sched.tenants = append(sched.tenants, t)
 		sched.byName[rebuildTenant] = t
 		a.rebuildTen = t
+	}
+	if cfg.Trace != nil {
+		host := cfg.Trace.Process(0, "host")
+		host.Thread(hostTidSched, "scheduler")
+		host.Thread(hostTidCache, "cache")
+		host.Thread(hostTidRecov, "recovery")
+		host.Thread(hostTidRebuild, "rebuild")
+		for i, t := range sched.tenants {
+			t.tid = hostTidTenant0 + int32(i)
+			host.Thread(t.tid, "tenant "+t.cfg.Name)
+		}
+		a.trace = host.Stream()
 	}
 	faults := make(map[int]DriveFault, len(cfg.Faults.Drives))
 	for _, df := range cfg.Faults.Drives {
@@ -394,6 +436,7 @@ func (a *Array) wbActions(wbs []writeback) []action {
 // and judge each faulted drive's UBER climate at the barrier.
 func (a *Array) round() ([]Result, error) {
 	a.rounds++
+	roundStart := a.clock
 	a.applyScheduledFaults()
 	picked := a.sched.pick(a.cfg.RoundOps)
 	if len(picked) == 0 && !a.rebuildActive() {
@@ -404,6 +447,7 @@ func (a *Array) round() ([]Result, error) {
 			return nil, fmt.Errorf("array: scheduler stalled with %d ops pending", a.sched.pending())
 		}
 		a.stalls++
+		a.trace.Span1(hostTidSched, "qos_stall", a.clock, wait, "round", a.rounds)
 		a.advance(wait)
 		return nil, nil
 	}
@@ -454,6 +498,7 @@ func (a *Array) round() ([]Result, error) {
 		if data, ok := a.cache.lookup(op.Page); ok {
 			t.stats.CacheHits++
 			t.stats.BytesRead += int64(len(data))
+			a.trace.Instant1(hostTidCache, "cache_hit", a.clock, "page", int64(op.Page))
 			r.CacheHit = true
 			if op.Buf != nil {
 				r.Data = op.Buf[:len(data)]
@@ -467,6 +512,7 @@ func (a *Array) round() ([]Result, error) {
 		}
 		acts = append(acts, action{page: op.Page, res: r, buf: op.Buf})
 		if a.cache.enabled() {
+			a.trace.Instant1(hostTidCache, "cache_miss", a.clock, "page", int64(op.Page))
 			fills = append(fills, fill{slot: i, page: op.Page})
 		}
 	}
@@ -483,13 +529,26 @@ func (a *Array) round() ([]Result, error) {
 	crit := a.execRound(acts, true)
 	a.judgeClimate()
 
-	// Post-barrier, deterministic order: account read bytes, fill the
-	// cache with miss data (evictions carry to the next round), and
-	// advance the fleet clock by the round's critical path.
+	// Post-barrier, deterministic order: account read bytes, record
+	// per-tenant latencies against any SLO, fill the cache with miss
+	// data (evictions carry to the next round), and advance the fleet
+	// clock by the round's critical path.
 	for i := range results {
 		r := &results[i]
+		t := a.sched.byName[r.Tenant]
 		if !r.Write && !r.CacheHit && r.Err == nil {
-			a.sched.byName[r.Tenant].stats.BytesRead += int64(len(r.Data))
+			t.stats.BytesRead += int64(len(r.Data))
+		}
+		if r.Err == nil {
+			t.observe(r.Latency, a.rounds)
+			if a.trace != nil {
+				name := "read"
+				if r.Write {
+					name = "write"
+				}
+				a.trace.Span2(t.tid, name, roundStart, r.Latency,
+					"page", int64(r.Page), "drive", int64(r.Drive))
+			}
 		}
 	}
 	for _, fl := range fills {
@@ -509,10 +568,15 @@ func (a *Array) round() ([]Result, error) {
 			wait = time.Microsecond
 		}
 		a.stalls++
+		a.trace.Span1(hostTidSched, "qos_stall", a.clock, wait, "round", a.rounds)
 		a.advance(wait)
 		return nil, nil
 	}
 	a.advance(crit + hostTime)
+	if a.trace != nil && a.clock > roundStart {
+		a.trace.Span2(hostTidSched, "round", roundStart, a.clock-roundStart,
+			"round", a.rounds, "ops", int64(len(picked)))
+	}
 	return results, nil
 }
 

@@ -8,8 +8,14 @@ import (
 	"xlnand/internal/controller"
 	"xlnand/internal/dispatch"
 	"xlnand/internal/ftl"
+	"xlnand/internal/obs"
 	"xlnand/internal/sim"
 )
+
+// ftlTraceTid is the trace thread id the drive's FTL stream reports
+// under (matching dispatch's internal thread layout: bus=1, codec=2,
+// ftl=3, dies from 10).
+const ftlTraceTid = 3
 
 // driveSeedStride decorrelates per-drive RNG streams the same way
 // dispatch's dieSeedStride decorrelates dies. A distinct odd constant
@@ -89,6 +95,15 @@ type drive struct {
 	injected           int64         // injected transient faults (per refused attempt)
 	roundElapsed       time.Duration // modelled time this drive spent in the current phase
 
+	// Per-op-class latency histograms, same ownership discipline as the
+	// accumulators above. Always recorded (Record is a few nanoseconds
+	// against multi-microsecond ops and never allocates); snapshotted
+	// into the drive report and merged fleet-wide in slot order.
+	latClean   obs.LatencyHist // reads decoded without any recovery rung
+	latRetried obs.LatencyHist // reads that paid the hard retry ladder
+	latSoft    obs.LatencyHist // reads that escalated to soft multi-sense
+	latWrite   obs.LatencyHist
+
 	closed bool
 }
 
@@ -101,6 +116,12 @@ type driveJob struct {
 // dispatcher, with a single volume partition spanning every block.
 func newDrive(idx int, cfg Config, env sim.Env, ctrlCfg controller.Config) (*drive, error) {
 	seed := cfg.Seed + uint64(idx)*driveSeedStride
+	// Each drive is its own trace process (pid = index + 1; pid 0 is
+	// the host front end); dispatch registers the bus/codec/die threads.
+	var proc *obs.Proc
+	if cfg.Trace != nil {
+		proc = cfg.Trace.Process(int32(idx+1), fmt.Sprintf("drive %d", idx))
+	}
 	disp, err := dispatch.New(dispatch.Config{
 		Dies:         cfg.DiesPerDrive,
 		BlocksPerDie: cfg.BlocksPerDie,
@@ -108,6 +129,7 @@ func newDrive(idx int, cfg Config, env sim.Env, ctrlCfg controller.Config) (*dri
 		Env:          env,
 		Controller:   ctrlCfg,
 		Family:       cfg.Family,
+		Trace:        proc,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("array: drive %d: %w", idx, err)
@@ -118,6 +140,14 @@ func newDrive(idx int, cfg Config, env sim.Env, ctrlCfg controller.Config) (*dri
 	if err != nil {
 		disp.Close()
 		return nil, fmt.Errorf("array: drive %d: %w", idx, err)
+	}
+	if proc != nil {
+		// The FTL's background spans (GC, scrub, deep retries) report on
+		// their own thread within the drive process. The stream is
+		// appended only from whichever goroutine drives the FTL — here
+		// the drive worker — preserving the single-writer contract.
+		proc.Thread(ftlTraceTid, "ftl")
+		f.SetTrace(proc.Stream(), ftlTraceTid)
 	}
 	part, err := f.Partition(volPartition)
 	if err != nil {
@@ -191,6 +221,7 @@ func (d *drive) execute(op *driveOp) {
 		if wr != nil {
 			lat = wr.Latency.Total()
 			d.writeLat += lat
+			d.latWrite.Record(lat)
 		}
 		op.fill(nil, lat, err)
 		return
@@ -201,6 +232,18 @@ func (d *drive) execute(op *driveOp) {
 	if rr != nil {
 		lat = rr.Latency.Total()
 		d.readLat += lat
+		if err == nil {
+			// Classify by how hard the read worked: the soft multi-sense
+			// rung dominates the hard ladder, which dominates clean.
+			switch {
+			case rr.Soft:
+				d.latSoft.Record(lat)
+			case rr.Retries > 0:
+				d.latRetried.Record(lat)
+			default:
+				d.latClean.Record(lat)
+			}
+		}
 	}
 	if err != nil {
 		d.uncorrectableReads++
@@ -242,6 +285,15 @@ func (d *drive) report() DriveReport {
 	if wmin, wmax, err := d.f.WearSpread(volPartition); err == nil {
 		rep.WearMin = wmin
 		rep.WearMax = wmax
+	}
+	rep.CleanReads = int64(d.disp.CleanHits())
+	if d.latClean.Count()+d.latRetried.Count()+d.latSoft.Count()+d.latWrite.Count() > 0 {
+		rep.Latency = &DriveLatency{
+			CleanRead:   d.latClean.Snapshot(),
+			RetriedRead: d.latRetried.Snapshot(),
+			SoftRead:    d.latSoft.Snapshot(),
+			Write:       d.latWrite.Snapshot(),
+		}
 	}
 	rep.ModelledSeconds = d.disp.Now().Seconds()
 	if d.readOps > 0 {

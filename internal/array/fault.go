@@ -162,10 +162,18 @@ func (a *Array) kill(s *slot) {
 		return
 	}
 	s.transition(Dead, a.rounds, a.clock.Seconds())
+	a.trace.Instant1(hostTidSched, "drive_dead", a.clock, "slot", int64(s.id))
 	if s.d != nil {
 		rep := s.d.report()
 		rep.Health = Dead.String()
 		s.final = &rep
+		// Fold the dead stack's class histograms into the fleet-level
+		// retired accumulators so merged latency summaries keep its
+		// history after the stack is released.
+		a.retired[0].Merge(&s.d.latClean)
+		a.retired[1].Merge(&s.d.latRetried)
+		a.retired[2].Merge(&s.d.latSoft)
+		a.retired[3].Merge(&s.d.latWrite)
 		s.d.close()
 		s.d = nil
 	}

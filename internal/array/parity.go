@@ -884,6 +884,11 @@ func (a *Array) planRecon(rs *readSet, page, drv, lpa int) (recRead, error) {
 }
 
 // resolveRecon XORs a reconstruction's components into the host result.
+// The degraded-read class histogram and trace span record here: the
+// reconstruction costs its slowest component read plus the host-side
+// XOR service time, starting at the round's clock (the fleet clock does
+// not advance until the round ends, so the span nests inside the
+// round's).
 func (a *Array) resolveRecon(rec recRead) {
 	var lat time.Duration
 	for _, c := range rec.comps {
@@ -904,6 +909,13 @@ func (a *Array) resolveRecon(rec recRead) {
 	rec.res.Data = data
 	rec.res.Latency += lat + a.cfg.HitLatency
 	a.slots[rec.drv].reconBytes += int64(a.pageBytes)
+	a.latDegraded.Record(lat + a.cfg.HitLatency)
+	// The span covers the component-read window only (the host-side XOR
+	// service time is not part of any drive's timeline), which keeps it
+	// nested inside the round span even when the reconstruction is the
+	// round's entire critical path.
+	a.trace.Span2(hostTidRecov, "reconstruct", a.clock, lat,
+		"page", int64(rec.page), "slot", int64(rec.drv))
 }
 
 // anyRowWritten reports whether any data page of the row holding

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"xlnand/internal/obs"
 )
 
 // TenantConfig declares one tenant sharing the array.
@@ -16,6 +18,11 @@ type TenantConfig struct {
 	// Burst caps the bucket (tokens accumulate while the tenant idles).
 	// Defaults to max(1, Rate/10) for throttled tenants.
 	Burst float64
+	// SLOTarget is the tenant's per-op latency objective (0 = no SLO).
+	// Every completed op whose end-to-end modelled latency exceeds the
+	// target counts as a breach; breaches and the rounds they occurred
+	// in surface in the tenant's FleetReport entry.
+	SLOTarget time.Duration
 }
 
 // TenantStats is one tenant's merged throughput climate.
@@ -32,7 +39,20 @@ type TenantStats struct {
 	// Throttled counts scheduler passes in which this tenant had work
 	// queued but no tokens — the visible cost of its budget.
 	Throttled int64 `json:"throttled"`
+	// Latency summarizes the tenant's end-to-end op latencies (cache
+	// hits included) when any op completed.
+	Latency *obs.HistSnapshot `json:"latency,omitempty"`
+	// SLO accounting, present only for tenants with a latency objective:
+	// the configured target, ops that missed it, and the first rounds
+	// (up to sloBreachRoundsCap) in which a miss occurred.
+	SLOTargetUs  float64 `json:"slo_target_us,omitempty"`
+	SLOBreaches  int64   `json:"slo_breaches,omitempty"`
+	BreachRounds []int64 `json:"slo_breach_rounds,omitempty"`
 }
+
+// sloBreachRoundsCap bounds the recorded breach-round list per tenant;
+// the breach counter keeps the full count regardless.
+const sloBreachRoundsCap = 64
 
 // tenant is the scheduler's per-tenant state: a token bucket refilled
 // on the fleet's modelled clock plus the pending-op queue. The queue is
@@ -45,6 +65,32 @@ type tenant struct {
 	queue  []Op
 	head   int
 	stats  TenantStats
+
+	// Observability, front-end confined: the end-to-end latency
+	// histogram (recorded post-barrier in round order), SLO breach
+	// accounting, and the tenant's trace thread id.
+	lat             obs.LatencyHist
+	sloBreaches     int64
+	breachRounds    []int64
+	lastBreachRound int64
+	tid             int32
+}
+
+// observe records one completed op's end-to-end latency and judges it
+// against the tenant's SLO. Breach rounds dedupe per round and cap at
+// sloBreachRoundsCap entries; the counter keeps the full tally.
+func (t *tenant) observe(lat time.Duration, round int64) {
+	t.lat.Record(lat)
+	if t.cfg.SLOTarget <= 0 || lat <= t.cfg.SLOTarget {
+		return
+	}
+	t.sloBreaches++
+	if t.lastBreachRound != round {
+		t.lastBreachRound = round
+		if len(t.breachRounds) < sloBreachRoundsCap {
+			t.breachRounds = append(t.breachRounds, round)
+		}
+	}
 }
 
 // newTenant validates and initialises one tenant; buckets start full so
@@ -62,6 +108,9 @@ func newTenant(cfg TenantConfig) (*tenant, error) {
 	if cfg.Rate > 0 && cfg.Burst < 1 {
 		// A bucket that can never hold a whole token would stall forever.
 		return nil, fmt.Errorf("array: tenant %q: burst %v below one token", cfg.Name, cfg.Burst)
+	}
+	if cfg.SLOTarget < 0 {
+		return nil, fmt.Errorf("array: tenant %q: negative SLO target %v", cfg.Name, cfg.SLOTarget)
 	}
 	t := &tenant{cfg: cfg, tokens: cfg.Burst}
 	t.stats.Name = cfg.Name
@@ -237,11 +286,21 @@ func (s *scheduler) stallWait() time.Duration {
 	return best
 }
 
-// stats returns per-tenant counters in declared order.
+// stats returns per-tenant counters in declared order, folding in the
+// latency snapshot and SLO accounting gathered since the last call.
 func (s *scheduler) stats() []TenantStats {
 	out := make([]TenantStats, len(s.tenants))
 	for i, t := range s.tenants {
 		out[i] = t.stats
+		if t.lat.Count() > 0 {
+			snap := t.lat.Snapshot()
+			out[i].Latency = &snap
+		}
+		if t.cfg.SLOTarget > 0 {
+			out[i].SLOTargetUs = float64(t.cfg.SLOTarget) / float64(time.Microsecond)
+			out[i].SLOBreaches = t.sloBreaches
+			out[i].BreachRounds = t.breachRounds
+		}
 	}
 	return out
 }

@@ -88,6 +88,8 @@ func (a *Array) attachSpare(s *slot) {
 		StartClockSec: a.clock.Seconds(),
 	}
 	a.rebuilds = append(a.rebuilds, s.rb)
+	a.trace.Instant2(hostTidRebuild, "rebuild_start", a.clock,
+		"slot", int64(s.id), "spare", int64(d.idx))
 }
 
 // rebuildNeeded reports whether the slot's spare is missing live
@@ -202,6 +204,7 @@ func (a *Array) finishRebuild(items []rbItem) {
 		a.rebuiltPages++
 		s.rb.Pages++
 		s.rb.Bytes += int64(a.pageBytes)
+		a.latRebuild.Record(it.write.lat)
 		if a.mode == RedundancyParity && it.parityRebuild {
 			a.parityOK[it.lpa] = true
 		}
@@ -211,6 +214,8 @@ func (a *Array) finishRebuild(items []rbItem) {
 			s.rb.Checkpoints = append(s.rb.Checkpoints, RebuildCheckpoint{
 				Pages: s.rb.Pages, Round: a.rounds, ClockSec: a.clock.Seconds(),
 			})
+			a.trace.Instant2(hostTidRebuild, "rebuild_checkpoint", a.clock,
+				"slot", int64(s.id), "pages", s.rb.Pages)
 		}
 	}
 	for _, s := range a.slots {
@@ -224,6 +229,8 @@ func (a *Array) finishRebuild(items []rbItem) {
 			continue
 		}
 		s.transition(Restored, a.rounds, a.clock.Seconds())
+		a.trace.Instant2(hostTidRebuild, "rebuild_done", a.clock,
+			"slot", int64(s.id), "pages", s.rb.Pages)
 		s.rb.Complete = true
 		s.rb.DoneRound = a.rounds
 		s.rb.DoneClockSec = a.clock.Seconds()

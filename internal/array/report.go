@@ -3,8 +3,32 @@ package array
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
+
+	"xlnand/internal/obs"
 )
+
+// DriveLatency groups one drive's per-op-class latency summaries.
+type DriveLatency struct {
+	CleanRead   obs.HistSnapshot `json:"clean_read"`
+	RetriedRead obs.HistSnapshot `json:"retried_read"`
+	SoftRead    obs.HistSnapshot `json:"soft_read"`
+	Write       obs.HistSnapshot `json:"write"`
+}
+
+// FleetLatency is the fleet-merged per-op-class latency view: the
+// drives' class histograms (retired stacks included) plus the two
+// front-end classes no single drive owns — reads served by parity
+// reconstruction and rebuild page copies onto spares.
+type FleetLatency struct {
+	CleanRead    obs.HistSnapshot `json:"clean_read"`
+	RetriedRead  obs.HistSnapshot `json:"retried_read"`
+	SoftRead     obs.HistSnapshot `json:"soft_read"`
+	DegradedRead obs.HistSnapshot `json:"degraded_read"`
+	Write        obs.HistSnapshot `json:"write"`
+	RebuildCopy  obs.HistSnapshot `json:"rebuild_copy"`
+}
 
 // DriveReport is one slot's telemetry slice of the fleet report,
 // merged strictly in slot order. Drive is the logical slot; Physical
@@ -23,12 +47,19 @@ type DriveReport struct {
 	Erases     int `json:"erases"`
 	LostPages  int `json:"lost_pages"`
 
-	// Recovery climate, summed over the drive's dies.
+	// Recovery climate, summed over the drive's dies. CleanReads counts
+	// reads the controller's stamped-page short-circuit served without
+	// touching the decoder.
 	RetryHist      []int `json:"retry_hist"`
 	RetryRecovered int   `json:"retry_recovered"`
 	Uncorrectable  int   `json:"uncorrectable"`
 	SoftAttempts   int   `json:"soft_attempts"`
 	SoftRecovered  int   `json:"soft_recovered"`
+	CleanReads     int64 `json:"clean_reads"`
+
+	// Latency holds the drive's per-op-class latency snapshots once any
+	// op has been served.
+	Latency *DriveLatency `json:"latency,omitempty"`
 
 	UncorrectableReads int64 `json:"uncorrectable_reads"`
 	WritebackErrors    int64 `json:"writeback_errors"`
@@ -61,6 +92,7 @@ type FleetTotals struct {
 	RetryRecovered int   `json:"retry_recovered"`
 	SoftAttempts   int   `json:"soft_attempts"`
 	SoftRecovered  int   `json:"soft_recovered"`
+	CleanReads     int64 `json:"clean_reads"`
 
 	UncorrectableReads int64 `json:"uncorrectable_reads"`
 	// UBER is the fleet's observed uncorrectable bit error rate:
@@ -99,7 +131,9 @@ type FleetReport struct {
 	PerDrive []DriveReport   `json:"per_drive"`
 	Retired  []DriveReport   `json:"retired,omitempty"`
 	Rebuilds []RebuildReport `json:"rebuilds,omitempty"`
-	Totals   FleetTotals     `json:"totals"`
+	// Latency is the fleet-merged per-op-class latency view.
+	Latency *FleetLatency `json:"latency,omitempty"`
+	Totals  FleetTotals   `json:"totals"`
 }
 
 // slotReport renders one slot: the live stack's telemetry (or the dead
@@ -165,9 +199,44 @@ func (a *Array) Report() *FleetReport {
 	for _, rb := range a.rebuilds {
 		rep.Rebuilds = append(rep.Rebuilds, *rb)
 	}
+	rep.Latency = a.fleetLatency()
 	rep.Totals = mergeTotals(append(append([]DriveReport(nil), rep.PerDrive...), rep.Retired...), a.pageBytes)
 	rep.Totals.ParityStaleEvents = a.parityStale
 	return rep
+}
+
+// fleetLatency merges the per-drive class histograms (live members in
+// slot order, then the retired accumulators) with the front-end-owned
+// degraded-read and rebuild-copy classes. Merge is associative, so the
+// grouping cannot change the summaries. Returns nil before any op.
+func (a *Array) fleetLatency() *FleetLatency {
+	var clean, retried, soft, write obs.LatencyHist
+	for _, s := range a.slots {
+		if s.d == nil {
+			continue
+		}
+		clean.Merge(&s.d.latClean)
+		retried.Merge(&s.d.latRetried)
+		soft.Merge(&s.d.latSoft)
+		write.Merge(&s.d.latWrite)
+	}
+	clean.Merge(&a.retired[0])
+	retried.Merge(&a.retired[1])
+	soft.Merge(&a.retired[2])
+	write.Merge(&a.retired[3])
+	total := clean.Count() + retried.Count() + soft.Count() + write.Count() +
+		a.latDegraded.Count() + a.latRebuild.Count()
+	if total == 0 {
+		return nil
+	}
+	return &FleetLatency{
+		CleanRead:    clean.Snapshot(),
+		RetriedRead:  retried.Snapshot(),
+		SoftRead:     soft.Snapshot(),
+		DegradedRead: a.latDegraded.Snapshot(),
+		Write:        write.Snapshot(),
+		RebuildCopy:  a.latRebuild.Snapshot(),
+	}
 }
 
 // mergeTotals folds per-drive reports into the fleet climate.
@@ -188,6 +257,7 @@ func mergeTotals(drives []DriveReport, pageBytes int) FleetTotals {
 		t.RetryRecovered += d.RetryRecovered
 		t.SoftAttempts += d.SoftAttempts
 		t.SoftRecovered += d.SoftRecovered
+		t.CleanReads += d.CleanReads
 		t.UncorrectableReads += d.UncorrectableReads
 		t.InjectedFaults += d.InjectedFaults
 		t.DegradedReads += d.DegradedReads
@@ -219,8 +289,41 @@ func (r *FleetReport) Summary() string {
 		r.Cache.PolicyName, r.Cache.Capacity, r.Cache.Hits, r.Cache.Misses,
 		100*r.Cache.HitRate(), r.Cache.Evictions, r.Cache.Writebacks, r.Cache.WritebackLost)
 	for _, t := range r.Tenants {
-		fmt.Fprintf(&b, "  tenant %-12s reads %6d (hits %6d) writes %6d throttled %d\n",
+		fmt.Fprintf(&b, "  tenant %-12s reads %6d (hits %6d) writes %6d throttled %d",
 			t.Name, t.Reads, t.CacheHits, t.Writes, t.Throttled)
+		if t.Latency != nil {
+			fmt.Fprintf(&b, "  p50/p99 %.1f/%.1fus", t.Latency.P50Us, t.Latency.P99Us)
+		}
+		if t.SLOTargetUs > 0 {
+			fmt.Fprintf(&b, "  SLO %.0fus breaches %d", t.SLOTargetUs, t.SLOBreaches)
+			if len(t.BreachRounds) > 0 {
+				b.WriteString(" (rounds")
+				for _, rd := range t.BreachRounds {
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatInt(rd, 10))
+				}
+				if t.SLOBreaches > int64(len(t.BreachRounds)) {
+					b.WriteString(" ...")
+				}
+				b.WriteByte(')')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if r.Latency != nil {
+		lat := func(name string, s obs.HistSnapshot) {
+			if s.Count == 0 {
+				return
+			}
+			fmt.Fprintf(&b, "  lat %-13s n %8d  p50 %9.1fus  p99 %9.1fus  p99.9 %9.1fus  max %9.1fus\n",
+				name, s.Count, s.P50Us, s.P99Us, s.P999Us, s.MaxUs)
+		}
+		lat("clean read", r.Latency.CleanRead)
+		lat("retried read", r.Latency.RetriedRead)
+		lat("soft read", r.Latency.SoftRead)
+		lat("degraded read", r.Latency.DegradedRead)
+		lat("write", r.Latency.Write)
+		lat("rebuild copy", r.Latency.RebuildCopy)
 	}
 	for _, d := range r.PerDrive {
 		if d.Health != "" && d.Health != "healthy" {
@@ -246,4 +349,61 @@ func (r *FleetReport) Summary() string {
 			r.Totals.LostWrites, r.Totals.ParityStaleEvents)
 	}
 	return b.String()
+}
+
+// PublishMetrics dumps the fleet's counters, gauges, and latency-class
+// summaries into the registry: array-level series first, then each
+// attached drive's dispatcher and FTL series labelled drive="<slot>".
+// Publish-on-snapshot: nothing here runs on the round hot path. Call it
+// between Drains, like Report.
+func (a *Array) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	rep := a.Report()
+	reg.SetGauge("array_drives", float64(rep.Drives))
+	reg.SetGauge("array_spares_free", float64(rep.SparesFree))
+	reg.SetGauge("array_clock_seconds", rep.ClockSec)
+	reg.SetGauge("array_fleet_iops", rep.FleetIOPS)
+	reg.AddCounter("array_rounds_total", float64(rep.Rounds))
+	reg.AddCounter("array_qos_stalls_total", float64(rep.QoSStalls))
+	reg.AddCounter("array_cache_hits_total", float64(rep.Cache.Hits))
+	reg.AddCounter("array_cache_misses_total", float64(rep.Cache.Misses))
+	reg.AddCounter("array_cache_writebacks_total", float64(rep.Cache.Writebacks))
+	reg.AddCounter("array_degraded_reads_total", float64(rep.Totals.DegradedReads))
+	reg.AddCounter("array_lost_writes_total", float64(rep.Totals.LostWrites))
+	reg.AddCounter("array_parity_stale_total", float64(rep.Totals.ParityStaleEvents))
+	for _, t := range rep.Tenants {
+		reg.AddCounter(obs.Label("tenant_reads_total", "name", t.Name), float64(t.Reads))
+		reg.AddCounter(obs.Label("tenant_writes_total", "name", t.Name), float64(t.Writes))
+		reg.AddCounter(obs.Label("tenant_throttled_total", "name", t.Name), float64(t.Throttled))
+		if t.SLOTargetUs > 0 {
+			reg.SetGauge(obs.Label("tenant_slo_target_us", "name", t.Name), t.SLOTargetUs)
+			reg.AddCounter(obs.Label("tenant_slo_breaches_total", "name", t.Name), float64(t.SLOBreaches))
+		}
+		if t.Latency != nil {
+			reg.ObserveHist(obs.Label("tenant_latency_us", "name", t.Name), *t.Latency)
+		}
+	}
+	if rep.Latency != nil {
+		class := func(name string, s obs.HistSnapshot) {
+			if s.Count > 0 {
+				reg.ObserveHist(obs.Label("array_op_latency_us", "class", name), s)
+			}
+		}
+		class("clean_read", rep.Latency.CleanRead)
+		class("retried_read", rep.Latency.RetriedRead)
+		class("soft_read", rep.Latency.SoftRead)
+		class("degraded_read", rep.Latency.DegradedRead)
+		class("write", rep.Latency.Write)
+		class("rebuild_copy", rep.Latency.RebuildCopy)
+	}
+	for _, s := range a.slots {
+		if s.d == nil {
+			continue
+		}
+		label := `drive="` + strconv.Itoa(s.id) + `"`
+		s.d.disp.PublishMetrics(reg, label)
+		s.d.f.PublishMetrics(reg, label)
+	}
 }

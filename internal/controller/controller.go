@@ -43,6 +43,10 @@ type Controller struct {
 	// (the FEMU-style emulation fast path). Any reprogram, through this
 	// controller or not, bumps the device stamp and voids the mark.
 	cleanSeq []uint64
+	// cleanHits counts reads resolved by the clean-read short-circuit —
+	// the observability layer surfaces it per drive so fleet reports
+	// show how much of the read load the emulation fast path absorbs.
+	cleanHits uint64
 	// decodeWarm tracks (one bit per capability level) whether this
 	// controller has run the shared codec's real decoder at that level.
 	// The first clean read per level decodes anyway: the codec builds
@@ -163,6 +167,12 @@ func (c *Controller) Manager() *ReliabilityManager { return c.mgr }
 
 // Device exposes the attached NAND device.
 func (c *Controller) Device() *nand.Device { return c.dev }
+
+// CleanHits reports how many reads the clean-read short-circuit
+// resolved without a decoder walk. Like the rest of the controller it
+// must be read with the die quiescent (or via the dispatcher's
+// control-plane hop).
+func (c *Controller) CleanHits() uint64 { return c.cleanHits }
 
 // Codec exposes the attached adaptive codec.
 func (c *Controller) Codec() ecc.Codec { return c.codec }
@@ -532,6 +542,7 @@ func (c *Controller) readPageRetryInto(blockIdx, pageIdx, maxRetries int, dst []
 			// walking the page. Bit-identical to the full decode: same
 			// result fields, same latency booking, no RNG involved.
 			nErr, decErr = 0, nil
+			c.cleanHits++
 		} else {
 			nErr, decErr = c.codec.Decode(level, codeword)
 			c.decodeWarm |= 1 << (uint(level) & 63)

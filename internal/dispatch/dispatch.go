@@ -30,7 +30,18 @@ import (
 	"xlnand/internal/ecc"
 	"xlnand/internal/ldpc"
 	"xlnand/internal/nand"
+	"xlnand/internal/obs"
 	"xlnand/internal/sim"
+)
+
+// Trace thread ids within a dispatcher's trace process: the shared bus
+// and codec get fixed lanes, dies start at traceTidDie0. These are
+// stable across runs (part of the byte-identical trace contract).
+const (
+	traceTidBus   = 1
+	traceTidCodec = 2
+	traceTidFTL   = 3
+	traceTidDie0  = 10
 )
 
 // vclock is a monotone virtual-time resource: acquire reserves dur
@@ -161,6 +172,13 @@ type die struct {
 	jobs  chan *job
 	clock vclock // array occupancy (sensing / program / erase)
 
+	// trace is the die's span stream (nil when tracing is off). Appends
+	// happen only inside execute, which always runs under mu — that
+	// single-writer discipline is what keeps traced runs race-free. tid
+	// is the die's thread lane in the trace process.
+	trace *obs.Stream
+	tid   int32
+
 	// mu serialises controller/device access between the worker and
 	// direct (inline) executors; pending counts jobs enqueued on the
 	// worker inbox that have not finished executing, so a direct
@@ -220,6 +238,13 @@ type Config struct {
 	// the paper's adaptive BCH; ecc.FamilyLDPC builds the soft-decision
 	// LDPC codec instead).
 	Family ecc.Family
+	// Trace, when non-nil, is the trace process this dispatcher's
+	// virtual timeline is recorded into: every calendar booking (die
+	// sense/program, bus transfer, codec encode/decode) becomes a span
+	// stamped with the booked virtual interval, retry-ladder rungs and
+	// soft-sense escalations carry step/sense arguments. Nil (the
+	// default) compiles the hooks down to nil-stream no-ops.
+	Trace *obs.Proc
 }
 
 // Dispatcher drives N dies behind shared bus and codec clocks.
@@ -289,13 +314,21 @@ func New(cfg Config) (*Dispatcher, error) {
 		return nil, err
 	}
 	d := &Dispatcher{env: cfg.Env, codec: codec, defaultMode: sim.ModeNominal}
+	if cfg.Trace != nil {
+		cfg.Trace.Thread(traceTidBus, "bus")
+		cfg.Trace.Thread(traceTidCodec, "codec")
+	}
 	for i := 0; i < cfg.Dies; i++ {
 		dev := nand.NewDevice(cfg.Env.Cal, cfg.BlocksPerDie, cfg.Seed+uint64(i)*dieSeedStride)
 		ctrl, err := controller.New(dev, codec, cfg.Controller)
 		if err != nil {
 			return nil, err
 		}
-		w := &die{idx: i, ctrl: ctrl, jobs: make(chan *job, 128)}
+		w := &die{idx: i, ctrl: ctrl, jobs: make(chan *job, 128), tid: traceTidDie0 + int32(i)}
+		if cfg.Trace != nil {
+			cfg.Trace.Thread(w.tid, fmt.Sprintf("die %d", i))
+			w.trace = cfg.Trace.Stream()
+		}
 		d.dies = append(d.dies, w)
 	}
 	for _, w := range d.dies {
@@ -559,9 +592,14 @@ func (d *Dispatcher) execute(w *die, j *job) Completion {
 		comp.Write = rp
 		comp.T, comp.Alg, comp.ParityBytes = res.T, res.Alg, res.ParityBy
 		encS, encE := d.codecClk.acquire(j.arrival, res.Latency.Encode)
-		_, busE := d.bus.acquire(encE, res.Latency.Transfer)
-		_, progE := w.clock.acquire(busE, res.Latency.Program)
+		busS, busE := d.bus.acquire(encE, res.Latency.Transfer)
+		progS, progE := w.clock.acquire(busE, res.Latency.Program)
 		comp.Start, comp.Finish = encS, progE
+		if w.trace != nil {
+			w.trace.Span1(traceTidCodec, "encode", encS, encE-encS, "t", int64(res.T))
+			w.trace.Span(traceTidBus, "transfer", busS, busE-busS)
+			w.trace.Span1(w.tid, "program", progS, progE-progS, "page", int64(req.Page))
+		}
 		if err != nil {
 			comp.Err = opErr(req, err)
 		}
@@ -586,21 +624,37 @@ func (d *Dispatcher) execute(w *die, j *job) Completion {
 		// throughput honestly degrades as the device ages into retries.
 		cursor := j.arrival
 		started := false
+		rung := 0
 		var start time.Duration
-		book := func(st controller.ReadLatency) {
+		book := func(st controller.ReadLatency, step int, soft bool, senses int) {
 			senseS, senseE := w.clock.acquire(cursor, st.TR)
-			_, busE := d.bus.acquire(senseE, st.Transfer)
-			_, decE := d.codecClk.acquire(busE, st.Decode)
+			busS, busE := d.bus.acquire(senseE, st.Transfer)
+			decS, decE := d.codecClk.acquire(busE, st.Decode)
+			if w.trace != nil {
+				if !started && senseS > j.arrival {
+					// Queue wait: the gap between request arrival and the
+					// first sense actually starting on the die array.
+					w.trace.Span(w.tid, "queue_wait", j.arrival, senseS-j.arrival)
+				}
+				if soft {
+					w.trace.Span2(w.tid, "soft_sense", senseS, senseE-senseS, "step", int64(step), "senses", int64(senses))
+				} else {
+					w.trace.Span2(w.tid, "sense", senseS, senseE-senseS, "step", int64(step), "rung", int64(rung))
+				}
+				w.trace.Span(traceTidBus, "transfer", busS, busE-busS)
+				w.trace.Span1(traceTidCodec, "decode", decS, decE-decS, "rung", int64(rung))
+			}
 			if !started {
 				start, started = senseS, true
 			}
+			rung++
 			cursor = decE
 		}
 		if len(res.Stages) == 0 {
-			book(res.Latency)
+			book(res.Latency, res.AppliedOffset, res.Soft, res.SoftSenses)
 		} else {
 			for _, st := range res.Stages {
-				book(st.Latency)
+				book(st.Latency, st.Step, st.Soft, st.Senses)
 			}
 		}
 		comp.Start, comp.Finish = start, cursor
@@ -615,6 +669,9 @@ func (d *Dispatcher) execute(w *die, j *job) Completion {
 		}
 		s, e := w.clock.acquire(j.arrival, dur)
 		comp.Start, comp.Finish = s, e
+		if w.trace != nil {
+			w.trace.Span1(w.tid, "erase", s, e-s, "block", int64(req.Block))
+		}
 		if err != nil {
 			comp.Err = opErr(req, err)
 		}
@@ -721,4 +778,59 @@ func (d *Dispatcher) Controller(dieIdx int) *controller.Controller {
 // inspection while traffic may be in flight on other queues.
 func (d *Dispatcher) WithController(dieIdx int, fn func(*controller.Controller)) error {
 	return d.control(dieIdx, fn)
+}
+
+// PublishMetrics dumps the dispatcher's reliability counters into the
+// registry under the given label set (labels is the pre-rendered
+// `key="value"` block to scope the series, e.g. `drive="3"`, or ""
+// for an unlabelled single-subsystem export). It rides the control
+// plane, so it is safe while traffic is in flight; after Close it
+// reads the internally-locked managers directly.
+func (d *Dispatcher) PublishMetrics(reg *obs.Registry, labels string) {
+	if reg == nil {
+		return
+	}
+	series := func(name string) string {
+		if labels == "" {
+			return name
+		}
+		return name + "{" + labels + "}"
+	}
+	var uncorrectable, softAttempts, softRecovered, retryRecovered int
+	var cleanHits uint64
+	for i := range d.dies {
+		gather := func(c *controller.Controller) {
+			m := c.Manager()
+			uncorrectable += m.Uncorrectables()
+			retryRecovered += m.Recovered()
+			at, rec := m.SoftStats()
+			softAttempts += at
+			softRecovered += rec
+			cleanHits += c.CleanHits()
+		}
+		if err := d.control(i, gather); err != nil {
+			gather(d.dies[i].ctrl)
+		}
+	}
+	reg.AddCounter(series("nand_reads_uncorrectable_total"), float64(uncorrectable))
+	reg.AddCounter(series("nand_retry_recovered_total"), float64(retryRecovered))
+	reg.AddCounter(series("nand_soft_attempts_total"), float64(softAttempts))
+	reg.AddCounter(series("nand_soft_recovered_total"), float64(softRecovered))
+	reg.AddCounter(series("nand_clean_reads_total"), float64(cleanHits))
+	reg.SetGauge(series("dispatch_vtime_seconds"), d.Now().Seconds())
+}
+
+// CleanHits sums the clean-read short-circuit counters across dies
+// (control-plane hop per die; falls back to direct reads after Close —
+// safe only once workers are drained, which Close guarantees).
+func (d *Dispatcher) CleanHits() uint64 {
+	var total uint64
+	for i := range d.dies {
+		if err := d.control(i, func(c *controller.Controller) {
+			total += c.CleanHits()
+		}); err != nil {
+			total += d.dies[i].ctrl.CleanHits()
+		}
+	}
+	return total
 }

@@ -21,6 +21,7 @@ import (
 
 	"xlnand/internal/controller"
 	"xlnand/internal/dispatch"
+	"xlnand/internal/obs"
 	"xlnand/internal/sim"
 )
 
@@ -147,7 +148,26 @@ type FTL struct {
 	// soft multi-sense walks entirely — and their block is marked for
 	// early scrub relocation instead of deeper recovery.
 	retryGuard ScrubPolicy
+
+	// trace, when non-nil, records scrub passes, GC rounds and
+	// deep-retry rescues as spans on the owning drive's virtual
+	// timeline (SetTrace). The stream follows the same single-writer
+	// rule as the rest of the tracer: callers that scrub concurrently
+	// with host traffic must leave tracing off or serialise externally.
+	trace    *obs.Stream
+	traceTid int32
 }
+
+// SetTrace attaches a span stream for maintenance work (scrub, GC,
+// deep retry). tid is the thread lane within the drive's trace
+// process. A nil stream (the default) keeps every hook a no-op.
+func (f *FTL) SetTrace(s *obs.Stream, tid int32) {
+	f.trace = s
+	f.traceTid = tid
+}
+
+// vnow reads the dispatcher's virtual high-water mark (trace stamps).
+func (f *FTL) vnow() time.Duration { return f.q.Dispatcher().Now() }
 
 // New builds an FTL over the dispatcher, carving the device's blocks
 // (striped across dies) into the declared partitions. Every partition
@@ -291,10 +311,22 @@ func (f *FTL) readPhysDeep(global, page int) (*controller.ReadResult, error) {
 		return nil, fmt.Errorf("ftl: deep retry disabled: %w", controller.ErrUncorrectable)
 	}
 	die, block := f.addr(global)
+	start := time.Duration(0)
+	if f.trace != nil {
+		start = f.vnow()
+	}
 	comp, err := f.q.Do(context.Background(), dispatch.Request{
 		Op: dispatch.OpRead, Die: die, Block: block, Page: page,
 		Retries: &deepRetryBudget,
 	})
+	if f.trace != nil {
+		rescued := int64(0)
+		if err == nil {
+			rescued = 1
+		}
+		f.trace.Span2(f.traceTid, "deep_retry", start, f.vnow()-start,
+			"block", int64(block), "rescued", rescued)
+	}
 	return comp.Read, err
 }
 
@@ -315,6 +347,34 @@ func (f *FTL) cyclesOf(global int) (float64, error) {
 
 // Partitions returns the declared services.
 func (f *FTL) Partitions() []*Partition { return f.parts }
+
+// PublishMetrics dumps per-partition FTL counters into the registry.
+// labels is the pre-rendered label block scoping this FTL's series
+// (e.g. `drive="3"`, or "" for a single-subsystem export); every
+// series additionally carries the partition name.
+func (f *FTL) PublishMetrics(reg *obs.Registry, labels string) {
+	if reg == nil {
+		return
+	}
+	for _, p := range f.parts {
+		p.mu.Lock()
+		series := func(name string) string {
+			if labels == "" {
+				return obs.Label(name, "part", p.Name)
+			}
+			return name + "{" + labels + `,part="` + p.Name + `"}`
+		}
+		reg.AddCounter(series("ftl_host_reads_total"), float64(p.HostReads))
+		reg.AddCounter(series("ftl_host_writes_total"), float64(p.HostWrites))
+		reg.AddCounter(series("ftl_gc_moves_total"), float64(p.GCMoves))
+		reg.AddCounter(series("ftl_erases_total"), float64(p.Erases))
+		reg.AddCounter(series("ftl_lost_pages_total"), float64(p.LostPages))
+		reg.AddCounter(series("ftl_deep_recovered_total"), float64(p.DeepRecovered))
+		reg.AddCounter(series("ftl_disturb_capped_total"), float64(p.DisturbCapped))
+		reg.AddCounter(series("ftl_reloc_retries_total"), float64(p.RelocRetries))
+		p.mu.Unlock()
+	}
+}
 
 // Partition returns a partition by name.
 func (f *FTL) Partition(name string) (*Partition, error) {
@@ -572,6 +632,14 @@ func (f *FTL) collect(p *Partition) error {
 	}
 	if victim == -1 {
 		return fmt.Errorf("ftl: partition %q has no sealed block to collect", p.Name)
+	}
+	if f.trace != nil {
+		gcStart := f.vnow()
+		movedBefore := p.GCMoves
+		defer func() {
+			f.trace.Span2(f.traceTid, "gc", gcStart, f.vnow()-gcStart,
+				"victim", int64(p.blocks[victim].id), "moved", int64(p.GCMoves-movedBefore))
+		}()
 	}
 	vb := p.blocks[victim]
 	if vb.livePages == p.pages {

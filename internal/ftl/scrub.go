@@ -151,6 +151,13 @@ func (f *FTL) Scrub(part string) (ScrubReport, error) {
 	defer p.mu.Unlock()
 	marks := sortedMarks(p.scrubMarks)
 	p.scrubMarks = nil
+	if f.trace != nil && len(marks) > 0 {
+		scrubStart := f.vnow()
+		defer func() {
+			f.trace.Span2(f.traceTid, "scrub", scrubStart, f.vnow()-scrubStart,
+				"blocks", int64(rep.BlocksRefreshed), "moved", int64(rep.PagesMoved))
+		}()
+	}
 	for _, blk := range marks {
 		bs := p.blocks[blk]
 		if bs.livePages == 0 && bs.writePtr == 0 {

@@ -11,8 +11,17 @@ import (
 	"xlnand/internal/controller"
 	"xlnand/internal/dispatch"
 	"xlnand/internal/ftl"
+	"xlnand/internal/obs"
 	"xlnand/internal/sim"
 	"xlnand/internal/stats"
+)
+
+// Trace thread ids within a drive's trace process. The dispatcher owns
+// tids 1 (bus), 2 (codec) and 10+ (dies); the phase annotator and the
+// FTL maintenance thread take the gaps.
+const (
+	phaseTraceTid = 0
+	ftlTraceTid   = 3
 )
 
 // InvariantError reports a violated end-to-end invariant. The scenario
@@ -68,6 +77,8 @@ type engine struct {
 	pageBytes int
 	scratch   []byte // expected-content buffer
 
+	trace *obs.Stream // phase-annotation spans (nil = tracing disabled)
+
 	opsSinceScrub int
 	prevWear      [][]float64 // previous phase's (die, block) cycles
 
@@ -101,6 +112,7 @@ func Run(sc Scenario) (*Report, error) {
 		Env:          env,
 		Controller:   ctrlCfg,
 		Family:       sc.Codec,
+		Trace:        sc.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -134,6 +146,12 @@ func Run(sc Scenario) (*Report, error) {
 		pageBytes: disp.Geometry().PageDataBytes,
 	}
 	e.scratch = make([]byte, e.pageBytes)
+	if sc.Trace != nil {
+		sc.Trace.Thread(phaseTraceTid, "phase")
+		e.trace = sc.Trace.Stream()
+		sc.Trace.Thread(ftlTraceTid, "ftl")
+		f.SetTrace(sc.Trace.Stream(), ftlTraceTid)
+	}
 	if sc.SafetyMargin > 0 {
 		for die := 0; die < sc.Dies; die++ {
 			if err := disp.WithController(die, func(c *controller.Controller) {
@@ -210,6 +228,7 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 		BakeHours:    ph.BakeHours,
 		DisturbReads: ph.DisturbReads,
 	}
+	phaseStart := e.disp.Now()
 	// Stress first: the phase's traffic sees the aged medium.
 	if ph.AgeCycles > 0 {
 		if err := e.agePhased(ph.Name, ph.AgeCycles, pr); err != nil {
@@ -400,6 +419,10 @@ func (e *engine) runPhase(phi int, ph Phase) (*PhaseReport, error) {
 	if pr.BitsRead > 0 {
 		pr.UBER = float64(pr.LostBits) / float64(pr.BitsRead)
 	}
+	// One span per biography phase on the dispatcher's virtual clock,
+	// named after the phase, wrapping its stress and traffic segments.
+	e.trace.Span2(phaseTraceTid, ph.Name, phaseStart, e.disp.Now()-phaseStart,
+		"ops", int64(ph.Ops), "reads", int64(pr.HostReads))
 	return pr, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"xlnand/internal/ftl"
+	"xlnand/internal/obs"
 	"xlnand/internal/sim"
 )
 
@@ -35,6 +36,12 @@ type FleetScenario struct {
 	// The dead drive contributes nothing to later phases and is marked
 	// "dead" in the merged result.
 	FailStops []FleetFailStop
+	// Trace, when non-nil, collects every drive's virtual-time spans:
+	// drive i becomes trace process i ("drive i"), with its dispatcher,
+	// FTL and phase threads inside. The export is byte-identical per
+	// seed regardless of worker scheduling (processes serialize sorted
+	// by pid; each drive appends only to its own streams).
+	Trace *obs.Tracer
 }
 
 // FleetFailStop is one scheduled mid-biography drive death.
@@ -172,13 +179,20 @@ func RunFleet(fs FleetScenario) (*FleetResult, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < fs.Drives; i++ {
 		wg.Add(1)
-		go func(idx int) {
+		// Trace processes are minted on the main goroutine so drive 0's
+		// proc exists before any worker races to register threads on it.
+		var proc *obs.Proc
+		if fs.Trace != nil {
+			proc = fs.Trace.Process(int32(i), fmt.Sprintf("drive %d", i))
+		}
+		go func(idx int, proc *obs.Proc) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			sc := fs.Base
 			sc.Seed = fs.Seed + uint64(idx)*fleetSeedStride
 			sc.Name = fmt.Sprintf("%s/drive%03d", fs.Name, idx)
+			sc.Trace = proc
 			if after, ok := killAfter[idx]; ok {
 				// A fail-stopped drive plays its biography only up to
 				// the kill point; truncating the schedule IS the fault
@@ -186,7 +200,7 @@ func RunFleet(fs FleetScenario) (*FleetResult, error) {
 				sc.Phases = sc.Phases[:after+1]
 			}
 			reports[idx], errs[idx] = Run(sc)
-		}(i)
+		}(i, proc)
 	}
 	wg.Wait()
 	for i, err := range errs {

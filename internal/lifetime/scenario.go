@@ -23,6 +23,7 @@ import (
 
 	"xlnand/internal/ecc"
 	"xlnand/internal/ftl"
+	"xlnand/internal/obs"
 	"xlnand/internal/sim"
 )
 
@@ -126,6 +127,13 @@ type Scenario struct {
 
 	// Env overrides the analytic environment (nil uses sim.DefaultEnv).
 	Env *sim.Env
+
+	// Trace, when non-nil, is the trace process this drive's engine
+	// annotates: the dispatcher registers its bus/codec/die threads on
+	// it, the FTL its maintenance thread, and the phase loop emits one
+	// span per biography phase on the dispatcher's virtual clock. The
+	// report schema is unaffected — tracing is a parallel export.
+	Trace *obs.Proc
 }
 
 // Scenario.ReadRetry sentinels. The field's zero value keeps the

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"xlnand/internal/stats"
+)
+
+// lcg is a tiny deterministic generator so tests never touch
+// math/rand's global state.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to the bucket,
+	// and bucket boundaries must be monotonic.
+	for i := 0; i < histBuckets; i++ {
+		v := histValue(i)
+		if got := histIndex(v); got != i {
+			t.Fatalf("histIndex(histValue(%d)) = %d", i, got)
+		}
+	}
+	var r lcg = 12345
+	for n := 0; n < 100000; n++ {
+		v := r.next() >> (r.next() % 40)
+		i := histIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		// Relative quantization error bounded by 1/32.
+		rep := histValue(i)
+		if v >= 64 {
+			rel := math.Abs(float64(rep)-float64(v)) / float64(v)
+			if rel > 1.0/histSubBuckets {
+				t.Fatalf("bucket error %.4f for v=%d (rep %d)", rel, v, rep)
+			}
+		} else if rep != v {
+			t.Fatalf("small value %d not exact (rep %d)", v, rep)
+		}
+	}
+}
+
+// TestHistQuantileAccuracy pins histogram percentiles against the
+// exact stats.Percentile of the raw samples: the HDR bucketing bounds
+// relative error at 1/32, so snapshots must agree within ~4%.
+func TestHistQuantileAccuracy(t *testing.T) {
+	var h LatencyHist
+	var r lcg = 99
+	exact := make([]float64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Log-uniform-ish latencies from ~100ns to ~100ms.
+		v := 100 + r.next()%(uint64(1)<<(7+r.next()%20))
+		h.Record(time.Duration(v))
+		exact = append(exact, float64(v))
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := stats.Percentile(exact, q)
+		got := float64(h.Quantile(q))
+		rel := math.Abs(got-want) / want
+		if rel > 0.04 {
+			t.Errorf("q=%.3f: hist %.0f vs exact %.0f (rel err %.4f)", q, got, want, rel)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 50000 {
+		t.Fatalf("snapshot count %d", snap.Count)
+	}
+	if !(snap.MinUs <= snap.P50Us && snap.P50Us <= snap.P99Us && snap.P99Us <= snap.P999Us && snap.P999Us <= snap.MaxUs) {
+		t.Fatalf("percentiles not monotonic: %+v", snap)
+	}
+}
+
+// TestHistMergeAssociativity verifies (a+b)+c == a+(b+c) == scalar sum.
+func TestHistMergeAssociativity(t *testing.T) {
+	var r lcg = 7
+	parts := make([]*LatencyHist, 3)
+	var all LatencyHist
+	for p := range parts {
+		parts[p] = new(LatencyHist)
+		for i := 0; i < 10000; i++ {
+			v := time.Duration(r.next() % 10_000_000)
+			parts[p].Record(v)
+			all.Record(v)
+		}
+	}
+	var left, right LatencyHist
+	left.Merge(parts[0])
+	left.Merge(parts[1])
+	left.Merge(parts[2])
+	var bc LatencyHist
+	bc.Merge(parts[1])
+	bc.Merge(parts[2])
+	right.Merge(parts[0])
+	right.Merge(&bc)
+	if left != right {
+		t.Fatal("merge not associative")
+	}
+	if left != all {
+		t.Fatal("merged parts differ from direct recording")
+	}
+}
+
+func TestHistRecordZeroAlloc(t *testing.T) {
+	var h LatencyHist
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(123456 * time.Nanosecond)
+	}); n != 0 {
+		t.Fatalf("Record allocates %.1f/op", n)
+	}
+	var nilHist *LatencyHist
+	if n := testing.AllocsPerRun(1000, func() {
+		nilHist.Record(time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("nil Record allocates %.1f/op", n)
+	}
+}
+
+func TestHistEmptySnapshot(t *testing.T) {
+	var h LatencyHist
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+	var nilHist *LatencyHist
+	if s := nilHist.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("nil snapshot %+v", s)
+	}
+	if q := nilHist.Quantile(0.5); q != 0 {
+		t.Fatalf("nil quantile %v", q)
+	}
+}

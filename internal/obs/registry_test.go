@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.AddCounter(Label("drive_reads_total", "drive", "1"), 10)
+	r.AddCounter(Label("drive_reads_total", "drive", "0"), 7)
+	r.AddCounter(Label("drive_reads_total", "drive", "0"), 3) // accumulates to 10
+	r.AddCounter("fleet_rounds_total", 42)
+	r.SetGauge("fleet_vtime_seconds", 1.5)
+	var h LatencyHist
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	r.ObserveHist(Label2("op_latency_us", "class", "clean_read", "drive", "0"), h.Snapshot())
+	return r
+}
+
+func TestRegistryPrometheusStable(t *testing.T) {
+	a := buildRegistry().PrometheusText()
+	b := buildRegistry().PrometheusText()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("prometheus export not stable:\n%s\nvs\n%s", a, b)
+	}
+	text := string(a)
+	for _, want := range []string{
+		"# TYPE drive_reads_total counter",
+		`drive_reads_total{drive="0"} 10`,
+		`drive_reads_total{drive="1"} 10`,
+		"# TYPE fleet_vtime_seconds gauge",
+		"# TYPE op_latency_us summary",
+		`op_latency_us{class="clean_read",drive="0",quantile="0.5"}`,
+		`op_latency_us_count{class="clean_read",drive="0"} 100`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Sorted: drive 0 series before drive 1.
+	if strings.Index(text, `drive="0"`) > strings.Index(text, `drive="1"`) {
+		t.Error("series not sorted by name")
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	a, err := buildRegistry().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := buildRegistry().JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("JSON export not stable")
+	}
+	var doc struct {
+		Counters []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"counters"`
+		Hists []struct {
+			Name  string `json:"name"`
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Counters) != 3 || len(doc.Hists) != 1 || doc.Hists[0].Count != 100 {
+		t.Fatalf("unexpected shape: %s", a)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.AddCounter("x", 1)
+	r.SetGauge("y", 2)
+	r.ObserveHist("z", HistSnapshot{})
+	if r.PrometheusText() != nil {
+		t.Fatal("nil registry rendered text")
+	}
+}

@@ -125,24 +125,68 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the q-quantile (q in [0,1]) of an ascending-sorted
-// slice using linear interpolation between closest ranks.
+// slice using linear interpolation between closest ranks. It is the
+// unit-weight special case of PercentileWeighted; both share one
+// closest-ranks definition so histogram quantiles and exact-sample
+// quantiles cannot drift apart.
 func Percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	return PercentileWeighted(sorted, nil, q)
+}
+
+// PercentileWeighted returns the q-quantile (q in [0,1]) of an
+// ascending-sorted slice where sorted[i] occurs weights[i] times, using
+// linear interpolation between closest ranks — exactly equivalent to
+// expanding every value by its weight and calling Percentile on the
+// expansion. A nil weights slice means one occurrence per value. This
+// is the single quantile implementation in the tree: fixed-bucket
+// latency histograms (internal/obs) feed their (value, count) pairs
+// through it rather than growing a second interpolation scheme.
+func PercentileWeighted(sorted []float64, weights []uint64, q float64) float64 {
+	n := uint64(len(sorted))
+	if weights != nil {
+		n = 0
+		for _, w := range weights {
+			n += w
+		}
+	}
+	if n == 0 {
 		return math.NaN()
 	}
 	if q <= 0 {
-		return sorted[0]
+		q = 0
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1]
+		q = 1
 	}
-	pos := q * float64(len(sorted)-1)
-	i := int(pos)
-	frac := pos - float64(i)
-	if i+1 >= len(sorted) {
-		return sorted[len(sorted)-1]
+	pos := q * float64(n-1)
+	lo := uint64(pos)
+	frac := pos - float64(lo)
+	hi := lo
+	if frac > 0 && lo+1 < n {
+		hi = lo + 1
 	}
-	return sorted[i]*(1-frac) + sorted[i+1]*frac
+	v1 := valueAtRank(sorted, weights, lo)
+	if hi == lo || frac == 0 {
+		return v1
+	}
+	v2 := valueAtRank(sorted, weights, hi)
+	return v1*(1-frac) + v2*frac
+}
+
+// valueAtRank resolves the value at a zero-based rank of the weighted
+// expansion (rank < sum of weights, checked by the caller).
+func valueAtRank(sorted []float64, weights []uint64, rank uint64) float64 {
+	if weights == nil {
+		return sorted[rank]
+	}
+	var cum uint64
+	for i, w := range weights {
+		cum += w
+		if rank < cum {
+			return sorted[i]
+		}
+	}
+	return sorted[len(sorted)-1]
 }
 
 // LogSpace returns n points logarithmically spaced from lo to hi inclusive.

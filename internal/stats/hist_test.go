@@ -144,3 +144,49 @@ func TestLinSpace(t *testing.T) {
 		}
 	}
 }
+
+// TestPercentileWeightedMatchesExpansion checks the defining property:
+// PercentileWeighted over (value, weight) pairs equals Percentile over
+// the weight-expanded sample, for every quantile.
+func TestPercentileWeightedMatchesExpansion(t *testing.T) {
+	vals := []float64{1, 3, 7, 20, 100}
+	weights := []uint64{3, 1, 5, 2, 4}
+	var expanded []float64
+	for i, v := range vals {
+		for k := uint64(0); k < weights[i]; k++ {
+			expanded = append(expanded, v)
+		}
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := PercentileWeighted(vals, weights, q)
+		want := Percentile(expanded, q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("q=%.2f: weighted %v vs expanded %v", q, got, want)
+		}
+	}
+}
+
+// TestPercentileWeightedUnitWeights pins that nil weights reproduce
+// Percentile exactly — they share one implementation by construction,
+// but this guards the delegation.
+func TestPercentileWeightedUnitWeights(t *testing.T) {
+	sorted := []float64{2, 4, 8, 16, 32, 64}
+	unit := []uint64{1, 1, 1, 1, 1, 1}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		a := Percentile(sorted, q)
+		b := PercentileWeighted(sorted, nil, q)
+		c := PercentileWeighted(sorted, unit, q)
+		if a != b || a != c {
+			t.Fatalf("q=%v: %v / %v / %v diverge", q, a, b, c)
+		}
+	}
+}
+
+func TestPercentileWeightedEmpty(t *testing.T) {
+	if !math.IsNaN(PercentileWeighted(nil, nil, 0.5)) {
+		t.Fatal("empty weighted percentile not NaN")
+	}
+	if !math.IsNaN(PercentileWeighted([]float64{1, 2}, []uint64{0, 0}, 0.5)) {
+		t.Fatal("zero-weight percentile not NaN")
+	}
+}

@@ -1,0 +1,53 @@
+package xlnand
+
+import "xlnand/internal/obs"
+
+// Tracer collects virtual-time spans from the simulated stack and
+// exports them as Chrome trace-event JSON (chrome://tracing or
+// https://ui.perfetto.dev). Timestamps come from the modelled clocks,
+// never wall time, so two runs of the same seeded configuration export
+// byte-identical traces. Attach one with WithTrace.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty trace collector for WithTrace.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// Registry is a metrics registry: counters, gauges and latency
+// histograms published at snapshot time and exported as Prometheus
+// text or JSON with a stable series order.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry for PublishMetrics.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// HistSnapshot is one latency histogram's frozen summary (count,
+// min/mean/max and p50/p99/p99.9, in microseconds).
+type HistSnapshot = obs.HistSnapshot
+
+// WithTrace attaches a trace collector to the sub-system: the
+// dispatcher records per-die sense/decode/transfer/program/erase spans,
+// retry-ladder rungs and soft-sense escalations on the modelled
+// timeline. A nil tracer (or omitting the option) compiles the hooks
+// out of the hot path — disabled tracing costs nothing per operation.
+func WithTrace(t *Tracer) Option {
+	return optionFunc(func(c *config) { c.trace = t })
+}
+
+// traceProc mints the sub-system's trace process (pid 0) on the
+// attached tracer, or nil when tracing is disabled.
+func (c *config) traceProc() *obs.Proc {
+	if c.trace == nil {
+		return nil
+	}
+	return c.trace.Process(0, "subsystem")
+}
+
+// PublishMetrics publishes the sub-system's counters into reg as
+// unlabelled series (nand_reads_uncorrectable_total,
+// nand_retry_recovered_total, nand_soft_attempts_total,
+// nand_soft_recovered_total, nand_clean_reads_total,
+// dispatch_vtime_seconds). It rides the control plane, so calling it
+// while traffic is in flight is safe.
+func (s *Subsystem) PublishMetrics(reg *Registry) {
+	s.disp.PublishMetrics(reg, "")
+}

@@ -153,6 +153,7 @@ type config struct {
 	family        ecc.Family
 	bus           *timing.FlashBus
 	hw            *codecHW
+	trace         *Tracer
 }
 
 type codecHW struct {
@@ -357,6 +358,7 @@ func Open(opts ...Option) (*Subsystem, error) {
 		Env:          env,
 		Controller:   ctrlCfg,
 		Family:       cfg.family,
+		Trace:        cfg.traceProc(),
 	})
 	if err != nil {
 		return nil, err
